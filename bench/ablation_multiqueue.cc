@@ -1,0 +1,136 @@
+// Experiment E8 — ablations over the design choices DESIGN.md calls out:
+//
+//   (a) MultiQueue queue factor c (sub-queues per thread): the paper uses
+//       c = 4; smaller c means less relaxation but more contention.
+//   (b) one-choice vs two-choice sampling on pop: one-choice loses the
+//       rank bound entirely (rank error grows over the run), two-choice is
+//       the classic MultiQueue.
+//   (c) exact executor's backoff-wait vs the relaxed executor's re-insert
+//       (the two strategies the paper contrasts in §4);
+//   (d) locked (spinlock + heap) vs lock-free (Harris lists) MultiQueue —
+//       the paper's own implementation uses "lock-free lists to maintain
+//       the individual priority queues".
+//
+// Workload: concurrent MIS on a mid-size sparse G(n, m) at max threads.
+//
+// Usage: ablation_multiqueue [--n=500000] [--m=5000000] [--trials=3]
+#include <algorithm>
+#include <cstdio>
+
+#include "algorithms/mis.h"
+#include "core/parallel_executor.h"
+#include "sched/lockfree_multiqueue.h"
+#include "graph/generators.h"
+#include "util/cli.h"
+#include "util/thread_pin.h"
+
+namespace {
+
+using relax::algorithms::AtomicMisProblem;
+
+struct Result {
+  double seconds;
+  std::uint64_t failed_deletes;
+};
+
+Result run_relaxed(const relax::graph::Graph& g,
+                   const relax::graph::Priorities& pri, unsigned threads,
+                   unsigned queue_factor, unsigned choices, int trials,
+                   std::uint64_t seed) {
+  Result best{1e300, 0};
+  for (int t = 0; t < trials; ++t) {
+    relax::core::ParallelOptions opts;
+    opts.num_threads = threads;
+    opts.queue_factor = queue_factor;
+    opts.choices = choices;
+    opts.seed = seed + t;
+    AtomicMisProblem problem(g, pri);
+    const auto stats = relax::core::run_parallel_relaxed(problem, pri, opts);
+    if (stats.seconds < best.seconds)
+      best = {stats.seconds, stats.failed_deletes};
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const relax::util::CommandLine cli(argc, argv);
+  const auto n = static_cast<std::uint32_t>(cli.get_int("n", 500000));
+  const auto m = static_cast<std::uint64_t>(cli.get_int("m", 5000000));
+  const int trials = static_cast<int>(cli.get_int("trials", 3));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const unsigned threads = relax::util::hardware_threads();
+
+  const auto g = relax::graph::gnm(n, m, seed);
+  const auto pri = relax::graph::random_priorities(n, seed + 7);
+
+  std::printf("# MultiQueue ablations: concurrent MIS, n=%u m=%llu, "
+              "%u threads, best of %d trials\n",
+              n, static_cast<unsigned long long>(g.num_edges()), threads,
+              trials);
+
+  std::printf("\n## (a) queue factor c (choices=2)\n");
+  std::printf("%4s %10s %16s\n", "c", "seconds", "failed_deletes");
+  for (const unsigned c : {1u, 2u, 4u, 8u, 16u}) {
+    const auto r = run_relaxed(g, pri, threads, c, 2, trials, seed);
+    std::printf("%4u %10.4f %16llu\n", c, r.seconds,
+                static_cast<unsigned long long>(r.failed_deletes));
+    std::fflush(stdout);
+  }
+
+  std::printf("\n## (b) choices per pop (c=4)\n");
+  std::printf("%8s %10s %16s\n", "choices", "seconds", "failed_deletes");
+  for (const unsigned choices : {1u, 2u, 4u}) {
+    const auto r = run_relaxed(g, pri, threads, 4, choices, trials, seed);
+    std::printf("%8u %10.4f %16llu\n", choices, r.seconds,
+                static_cast<unsigned long long>(r.failed_deletes));
+    std::fflush(stdout);
+  }
+
+  std::printf("\n## (c) dependency-miss strategy at c=4, choices=2\n");
+  std::printf("%12s %10s %16s\n", "strategy", "seconds", "waste");
+  {
+    const auto r = run_relaxed(g, pri, threads, 4, 2, trials, seed);
+    std::printf("%12s %10.4f %16llu\n", "re-insert", r.seconds,
+                static_cast<unsigned long long>(r.failed_deletes));
+  }
+  {
+    double best = 1e300;
+    std::uint64_t waits = 0;
+    for (int t = 0; t < trials; ++t) {
+      relax::core::ParallelOptions opts;
+      opts.num_threads = threads;
+      opts.seed = seed + t;
+      AtomicMisProblem problem(g, pri);
+      const auto stats = relax::core::run_parallel_exact(problem, pri, opts);
+      if (stats.seconds < best) {
+        best = stats.seconds;
+        waits = stats.failed_deletes;
+      }
+    }
+    std::printf("%12s %10.4f %16llu\n", "exact-wait", best,
+                static_cast<unsigned long long>(waits));
+  }
+
+  std::printf("\n## (d) sub-queue implementation at c=4, choices=2\n");
+  std::printf("%12s %10.4f  (locked: spinlock + two-part heap)\n", "locked",
+              run_relaxed(g, pri, threads, 4, 2, trials, seed).seconds);
+  {
+    double best = 1e300;
+    for (int t = 0; t < trials; ++t) {
+      relax::core::ParallelOptions opts;
+      opts.num_threads = threads;
+      opts.seed = seed + t;
+      opts.pin_threads = true;
+      relax::sched::LockFreeMultiQueue mq(4 * threads, seed + t);
+      AtomicMisProblem problem(g, pri);
+      const auto stats =
+          relax::core::run_parallel_relaxed_on(problem, pri, mq, opts);
+      best = std::min(best, stats.seconds);
+    }
+    std::printf("%12s %10.4f  (lock-free Harris lists)\n", "lock-free",
+                best);
+  }
+  return 0;
+}

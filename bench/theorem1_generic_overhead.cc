@@ -1,0 +1,162 @@
+// Experiment E3 — Theorem 1 sanity for the *generic* framework
+// (Algorithm 2): extra iterations = O(m/n) * poly(k).
+//
+// Sweeps the four generic problems the paper names (greedy coloring,
+// greedy matching, list contraction, Knuth shuffle) across densities and
+// relaxation factors and prints failed deletes alongside the m/n ratio, so
+// the O(m/n)*poly(k) shape can be read off directly: within a column
+// (fixed k), overhead should track m/n; within a row, it should grow with
+// k but not with n.
+//
+// Usage: theorem1_generic_overhead [--runs=3] [--seed=1]
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "algorithms/coloring.h"
+#include "algorithms/knuth_shuffle.h"
+#include "algorithms/list_contraction.h"
+#include "algorithms/matching.h"
+#include "core/sequential_executor.h"
+#include "graph/generators.h"
+#include "sched/sim_multiqueue.h"
+#include "util/cli.h"
+
+namespace {
+
+using relax::core::run_sequential;
+using relax::graph::Graph;
+
+double coloring_overhead(std::uint32_t n, std::uint64_t m, std::uint32_t k,
+                         int runs, std::uint64_t seed) {
+  double total = 0;
+  for (int r = 0; r < runs; ++r) {
+    const Graph g = relax::graph::gnm(n, m, seed + r);
+    const auto pri = relax::graph::random_priorities(n, seed + 100 + r);
+    relax::algorithms::ColoringProblem p(g, pri);
+    relax::sched::SimMultiQueue s(k, seed + 200 + r);
+    total += static_cast<double>(run_sequential(p, pri, s).failed_deletes);
+  }
+  return total / runs;
+}
+
+double matching_overhead(std::uint32_t n, std::uint64_t m, std::uint32_t k,
+                         int runs, std::uint64_t seed) {
+  double total = 0;
+  for (int r = 0; r < runs; ++r) {
+    const Graph g = relax::graph::gnm(n, m, seed + r);
+    const relax::algorithms::EdgeIncidence inc(g);
+    const auto pri =
+        relax::graph::random_priorities(inc.num_edges(), seed + 100 + r);
+    relax::algorithms::MatchingProblem p(inc, pri);
+    relax::sched::SimMultiQueue s(k, seed + 200 + r);
+    total += static_cast<double>(run_sequential(p, pri, s).failed_deletes);
+  }
+  return total / runs;
+}
+
+double contraction_overhead(std::uint32_t n, std::uint32_t k, int runs,
+                            std::uint64_t seed) {
+  double total = 0;
+  std::vector<std::uint32_t> arr(n);
+  std::iota(arr.begin(), arr.end(), 0u);
+  for (int r = 0; r < runs; ++r) {
+    const auto pri = relax::graph::random_priorities(n, seed + 100 + r);
+    relax::algorithms::ListContractionProblem p(arr, pri);
+    relax::sched::SimMultiQueue s(k, seed + 200 + r);
+    total += static_cast<double>(run_sequential(p, pri, s).failed_deletes);
+  }
+  return total / runs;
+}
+
+double shuffle_overhead(std::uint32_t n, std::uint32_t k, int runs,
+                        std::uint64_t seed) {
+  double total = 0;
+  for (int r = 0; r < runs; ++r) {
+    const auto targets = relax::algorithms::shuffle_targets(n, seed + r);
+    const auto pri = relax::graph::random_priorities(n, seed + 100 + r);
+    const relax::algorithms::PositionIndex index(targets, pri);
+    relax::algorithms::KnuthShuffleProblem p(targets, index);
+    relax::sched::SimMultiQueue s(k, seed + 200 + r);
+    total += static_cast<double>(run_sequential(p, pri, s).failed_deletes);
+  }
+  return total / runs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const relax::util::CommandLine cli(argc, argv);
+  const int runs = static_cast<int>(cli.get_int("runs", 3));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::vector<std::int64_t> ks = cli.get_int_list("ks", {4, 16, 64});
+
+  std::printf(
+      "# Theorem 1: generic-framework extra iterations ~ O(m/n)*poly(k).\n");
+
+  std::printf("\n## greedy coloring on G(n, m)\n");
+  std::printf("%8s %9s %6s |", "n", "m", "m/n");
+  for (const auto k : ks) std::printf(" k=%-9lld", static_cast<long long>(k));
+  std::printf("\n");
+  const std::pair<std::uint32_t, std::uint64_t> grid[] = {
+      {20000, 20000}, {20000, 100000}, {20000, 400000},
+      {80000, 80000}, {80000, 400000}, {80000, 1600000},
+  };
+  for (const auto& [n, m] : grid) {
+    std::printf("%8u %9llu %6.1f |", n, static_cast<unsigned long long>(m),
+                static_cast<double>(m) / n);
+    for (const auto k : ks)
+      std::printf(" %-11.1f", coloring_overhead(
+                                  n, m, static_cast<std::uint32_t>(k), runs,
+                                  seed));
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  std::printf("\n## greedy matching (tasks = edges; dependency graph = line "
+              "graph)\n");
+  std::printf("%8s %9s |", "n", "m");
+  for (const auto k : ks) std::printf(" k=%-9lld", static_cast<long long>(k));
+  std::printf("\n");
+  for (const auto& [n, m] :
+       {std::pair<std::uint32_t, std::uint64_t>{20000, 60000},
+        {20000, 200000},
+        {80000, 240000}}) {
+    std::printf("%8u %9llu |", n, static_cast<unsigned long long>(m));
+    for (const auto k : ks)
+      std::printf(" %-11.1f", matching_overhead(
+                                  n, m, static_cast<std::uint32_t>(k), runs,
+                                  seed));
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  std::printf("\n## list contraction (m = n-1 dependency edges)\n");
+  std::printf("%8s |", "n");
+  for (const auto k : ks) std::printf(" k=%-9lld", static_cast<long long>(k));
+  std::printf("\n");
+  for (const std::uint32_t n : {20000u, 80000u, 320000u}) {
+    std::printf("%8u |", n);
+    for (const auto k : ks)
+      std::printf(" %-11.1f", contraction_overhead(
+                                  n, static_cast<std::uint32_t>(k), runs,
+                                  seed));
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  std::printf("\n## Knuth shuffle (sparse conflict structure)\n");
+  std::printf("%8s |", "n");
+  for (const auto k : ks) std::printf(" k=%-9lld", static_cast<long long>(k));
+  std::printf("\n");
+  for (const std::uint32_t n : {20000u, 80000u, 320000u}) {
+    std::printf("%8u |", n);
+    for (const auto k : ks)
+      std::printf(" %-11.1f", shuffle_overhead(
+                                  n, static_cast<std::uint32_t>(k), runs,
+                                  seed));
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Monte-Carlo permutation sampling with a parallel, *reproducible* Knuth
+// shuffle.
+//
+// Scenario: a simulation needs many independent uniformly random
+// permutations (bootstrap resampling, permutation tests, randomized
+// experiment assignment). The Fisher-Yates swap sequence is inherently
+// sequential — task i must swap after every conflicting earlier task — but
+// its dependency structure is sparse (paper §3.1), so the relaxed framework
+// parallelizes it with only poly(k) wasted work, and the output is exactly
+// the permutation the sequential pass would produce: every run with the
+// same seeds gives the same samples, regardless of thread count.
+//
+// This example draws permutations in parallel and uses them for a small
+// permutation test: does a (synthetically shifted) treatment group differ
+// from control? The p-value is reproducible bit-for-bit across runs.
+//
+// Build & run: ./examples/knuth_shuffle_mc [--n=200000] [--rounds=20]
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "algorithms/knuth_shuffle.h"
+#include "core/parallel_executor.h"
+#include "graph/permutation.h"
+#include "util/cli.h"
+
+namespace {
+
+/// One parallel shuffle: returns the permutation of 0..n-1 fixed by
+/// (target_seed, pi_seed) — identical for every thread count.
+std::vector<std::uint32_t> draw_permutation(std::uint32_t n,
+                                            std::uint64_t target_seed,
+                                            std::uint64_t pi_seed) {
+  const auto targets = relax::algorithms::shuffle_targets(n, target_seed);
+  const auto pri = relax::graph::random_priorities(n, pi_seed);
+  const relax::algorithms::PositionIndex index(targets, pri);
+  relax::algorithms::AtomicKnuthShuffleProblem problem(targets, index);
+  relax::core::run_parallel_relaxed(problem, pri);
+  return problem.array();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const relax::util::CommandLine cli(argc, argv);
+  const auto n = static_cast<std::uint32_t>(cli.get_int("n", 200000));
+  const int rounds = static_cast<int>(cli.get_int("rounds", 20));
+
+  // Synthetic outcome data: first half "treatment" (shifted by +0.5),
+  // second half control. Values are a deterministic function of the index.
+  std::vector<double> outcome(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    outcome[i] = (i * 2654435761u % 1000) / 1000.0 +
+                 (i < n / 2 ? 0.5 : 0.0);
+  }
+  const auto group_diff = [&](const std::vector<std::uint32_t>& assign) {
+    // Mean(outcome of indices assigned to first half) - mean(second half).
+    double a = 0, b = 0;
+    for (std::uint32_t i = 0; i < n; ++i)
+      (assign[i] < n / 2 ? a : b) += outcome[i];
+    return a / (n / 2) - b / (n - n / 2);
+  };
+
+  std::vector<std::uint32_t> identity(n);
+  std::iota(identity.begin(), identity.end(), 0u);
+  const double observed = group_diff(identity);
+
+  int extreme = 0;
+  for (int r = 0; r < rounds; ++r) {
+    const auto perm = draw_permutation(n, /*target_seed=*/100 + r,
+                                       /*pi_seed=*/200 + r);
+    if (group_diff(perm) >= observed) ++extreme;
+  }
+  std::printf("observed treatment effect: %.4f\n", observed);
+  std::printf("permutation rounds: %d, as-extreme: %d\n", rounds, extreme);
+  std::printf("p-value estimate: %.3f (reproducible across thread counts)\n",
+              (extreme + 1.0) / (rounds + 1.0));
+  return 0;
+}

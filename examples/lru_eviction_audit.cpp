@@ -1,0 +1,73 @@
+// Deterministic parallel bulk eviction from an intrusive doubly-linked
+// list, with a replayable audit trace (List Contraction, paper §2.3).
+//
+// Scenario: a cache keeps entries on an intrusive LRU list. A maintenance
+// pass must evict a large batch of entries. Unlinking is the textbook
+// two-pointer swing — exactly the paper's List Contraction task — and
+// neighboring unlinks conflict, so naive parallel eviction is racy and
+// non-reproducible. The relaxed framework evicts in parallel while
+// producing, for every thread count and scheduler, the *same* audit trace
+// {(prev, next) at unlink time} as a sequential pass in priority order:
+// an auditor can replay the sequential algorithm and verify the log
+// bit-for-bit.
+//
+// The dependency structure has only n-1 edges, so by Theorem 1 the wasted
+// work is O(poly(k)) — independent of the batch size.
+//
+// Build & run: ./examples/lru_eviction_audit [--n=1000000] [--threads=0]
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "algorithms/list_contraction.h"
+#include "core/parallel_executor.h"
+#include "graph/permutation.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  const relax::util::CommandLine cli(argc, argv);
+  const auto n = static_cast<std::uint32_t>(cli.get_int("n", 1000000));
+  const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
+
+  // The LRU list: cache entries in (shuffled) recency order. Node ids are
+  // cache slots; arrangement[i] is the slot at list position i.
+  relax::util::Rng rng(7);
+  std::vector<std::uint32_t> lru_order =
+      relax::util::random_permutation(n, rng);
+
+  // Eviction priorities (e.g. by staleness score). The permutation fixes
+  // the audit trace completely.
+  const auto pri = relax::graph::random_priorities(n, 11);
+
+  relax::core::ParallelOptions opts;
+  opts.num_threads = threads;
+  relax::algorithms::AtomicListContractionProblem problem(lru_order, pri);
+  const auto stats = relax::core::run_parallel_relaxed(problem, pri, opts);
+
+  std::printf("evicted %u entries in %.3fs (%.1f M evictions/s)\n", n,
+              stats.seconds, n / stats.seconds / 1e6);
+  std::printf("wasted scheduler queries: %llu (%.3f%% of n)\n",
+              static_cast<unsigned long long>(stats.failed_deletes),
+              100.0 * static_cast<double>(stats.failed_deletes) / n);
+
+  // The audit: replay sequentially and compare traces.
+  const auto replay =
+      relax::algorithms::sequential_list_contraction(lru_order, pri);
+  const bool match = problem.trace() == replay;
+  std::printf("audit replay: %s\n",
+              match ? "MATCH (deterministic trace)" : "MISMATCH");
+
+  // Show the first few audit records.
+  for (std::uint32_t i = 0; i < 3 && i < n; ++i) {
+    const auto slot = pri.order[i];
+    const auto& [prev, next] = problem.trace()[slot];
+    std::printf("  audit[%u]: evict slot %u (between %d and %d)\n", i, slot,
+                prev == relax::algorithms::kNilNode ? -1
+                                                    : static_cast<int>(prev),
+                next == relax::algorithms::kNilNode
+                    ? -1
+                    : static_cast<int>(next));
+  }
+  return match ? 0 : 1;
+}

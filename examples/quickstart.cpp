@@ -1,0 +1,50 @@
+// Quickstart: compute a greedy Maximal Independent Set with the relaxed
+// scheduling framework in ~30 lines.
+//
+//   1. Build (or load) a graph.
+//   2. Pick a random priority permutation pi — this fixes the output.
+//   3. Run the problem adapter through a parallel relaxed executor.
+//
+// The result is deterministic: identical to the sequential greedy MIS under
+// pi, regardless of thread count, scheduler relaxation, or timing.
+//
+// Build & run:  ./examples/quickstart [--n=100000] [--m=1000000]
+#include <cstdio>
+
+#include "algorithms/mis.h"
+#include "core/parallel_executor.h"
+#include "graph/generators.h"
+#include "graph/permutation.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  const relax::util::CommandLine cli(argc, argv);
+  const auto n = static_cast<std::uint32_t>(cli.get_int("n", 100000));
+  const auto m = static_cast<std::uint64_t>(cli.get_int("m", 1000000));
+
+  // 1. A random graph (swap in graph::read_edge_list for your own data).
+  const auto g = relax::graph::gnm(n, m, /*seed=*/1);
+
+  // 2. The priority permutation: fixes which MIS the greedy algorithm finds.
+  const auto pri = relax::graph::random_priorities(n, /*seed=*/2);
+
+  // 3. Run Algorithm 4 over a concurrent MultiQueue with default options
+  //    (all hardware threads, 4 sub-queues per thread).
+  relax::algorithms::AtomicMisProblem problem(g, pri);
+  const auto stats = relax::core::run_parallel_relaxed(problem, pri);
+
+  const auto mis = problem.result();
+  std::uint64_t size = 0;
+  for (const auto f : mis) size += f;
+
+  std::printf("graph: %u vertices, %llu edges\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  std::printf("MIS size: %llu\n", static_cast<unsigned long long>(size));
+  std::printf("valid: %s\n",
+              relax::algorithms::verify_mis(g, mis) ? "yes" : "NO");
+  std::printf("time: %.3fs, scheduler queries: %llu (wasted: %llu)\n",
+              stats.seconds,
+              static_cast<unsigned long long>(stats.iterations),
+              static_cast<unsigned long long>(stats.failed_deletes));
+  return 0;
+}

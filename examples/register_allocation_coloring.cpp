@@ -1,0 +1,84 @@
+// Scenario: register allocation by interference-graph coloring.
+//
+// A compiler models variables as intervals of "live ranges"; two variables
+// interfere when their ranges overlap and must live in different registers.
+// Greedy coloring in a fixed priority order is the classic linear-scan
+// flavour — and because the framework is deterministic, the parallel run
+// assigns *exactly* the registers the sequential compiler pass would,
+// making the parallelization a drop-in replacement (same binary output).
+//
+// We synthesize a program of `vars` live ranges over a virtual timeline,
+// build the interference graph, color it with the relaxed framework, and
+// report the register count and how it compares to the interval-graph
+// optimum (max overlap = clique number = chromatic number for intervals).
+//
+// Usage: register_allocation_coloring [--vars=200000] [--span=400]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "algorithms/coloring.h"
+#include "core/parallel_executor.h"
+#include "graph/graph.h"
+#include "graph/permutation.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  const relax::util::CommandLine cli(argc, argv);
+  const auto vars = static_cast<std::uint32_t>(cli.get_int("vars", 200000));
+  const auto span = static_cast<std::uint32_t>(cli.get_int("span", 400));
+
+  // Synthesize live ranges: start uniform over a timeline 16x the variable
+  // count; length geometric-ish up to `span`.
+  relax::util::Rng rng(7);
+  const std::uint64_t timeline = static_cast<std::uint64_t>(vars) * 16;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges(vars);
+  for (auto& [lo, hi] : ranges) {
+    lo = relax::util::bounded(rng, timeline);
+    hi = lo + 1 + relax::util::bounded(rng, span);
+  }
+
+  // Interference graph via sweep line over range endpoints.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> events;
+  events.reserve(vars);
+  for (std::uint32_t v = 0; v < vars; ++v) events.push_back({ranges[v].first, v});
+  std::sort(events.begin(), events.end());
+  std::vector<relax::graph::Edge> edges;
+  std::vector<std::uint32_t> active;
+  std::uint32_t max_pressure = 0;
+  for (const auto& [start, v] : events) {
+    std::erase_if(active, [&](std::uint32_t u) {
+      return ranges[u].second <= start;
+    });
+    for (const std::uint32_t u : active) edges.push_back({u, v});
+    active.push_back(v);
+    max_pressure = std::max(
+        max_pressure, static_cast<std::uint32_t>(active.size()));
+  }
+  const auto g = relax::graph::Graph::from_edges(vars, edges);
+  std::printf("interference graph: %u vars, %llu conflicts, peak register "
+              "pressure %u\n",
+              vars, static_cast<unsigned long long>(g.num_edges()),
+              max_pressure);
+
+  const auto pri = relax::graph::random_priorities(vars, 3);
+  relax::algorithms::AtomicColoringProblem problem(g, pri);
+  const auto stats = relax::core::run_parallel_relaxed(problem, pri);
+  const auto colors = problem.colors();
+  const std::uint32_t registers =
+      *std::max_element(colors.begin(), colors.end()) + 1;
+
+  std::printf("parallel deterministic coloring: %.3fs, %llu wasted steps\n",
+              stats.seconds,
+              static_cast<unsigned long long>(stats.failed_deletes));
+  std::printf("registers used: %u (lower bound from pressure: %u)\n",
+              registers, max_pressure);
+  std::printf("proper coloring: %s\n",
+              relax::algorithms::verify_coloring(g, colors) ? "yes" : "NO");
+  std::printf("matches sequential pass exactly: %s\n",
+              colors == relax::algorithms::sequential_greedy_coloring(g, pri)
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

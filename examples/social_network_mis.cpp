@@ -1,0 +1,67 @@
+// Scenario: selecting a maximal set of mutually non-adjacent users in a
+// social network — e.g. seeding an A/B test where no two treated users may
+// be friends (interference-free experiment design).
+//
+// Social graphs are power-law: a few hubs with enormous degree. This is
+// the regime where the paper's Theorem 2 matters — the relaxation cost of
+// MIS does not depend on the skewed structure — and where the relaxed
+// scheduler's scalability advantage over an exact queue shows up, because
+// dequeue cost is not amortized by per-task work on low-degree vertices.
+//
+// The example runs sequential, exact-parallel and relaxed-parallel MIS on a
+// Barabasi-Albert graph, checks all three agree, and reports timings.
+//
+// Usage: social_network_mis [--users=2000000] [--friends=8] [--threads=0]
+#include <cstdio>
+
+#include "algorithms/mis.h"
+#include "core/parallel_executor.h"
+#include "graph/generators.h"
+#include "graph/permutation.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  const relax::util::CommandLine cli(argc, argv);
+  const auto users = static_cast<std::uint32_t>(
+      cli.get_int("users", 2000000));
+  const auto friends =
+      static_cast<std::uint32_t>(cli.get_int("friends", 8));
+  relax::core::ParallelOptions opts;
+  opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
+
+  std::printf("building a power-law social network (%u users, ~%u initial "
+              "friendships each)...\n", users, friends);
+  const auto g = relax::graph::barabasi_albert(users, friends, 1);
+  std::printf("  -> %llu friendships, max degree %u\n",
+              static_cast<unsigned long long>(g.num_edges()), g.max_degree());
+
+  const auto pri = relax::graph::random_priorities(users, 2);
+
+  relax::util::Timer timer;
+  const auto reference = relax::algorithms::sequential_greedy_mis(g, pri);
+  const double seq_time = timer.seconds();
+  std::uint64_t mis_size = 0;
+  for (const auto f : reference) mis_size += f;
+  std::printf("sequential greedy:        %.3fs (seed set: %llu users)\n",
+              seq_time, static_cast<unsigned long long>(mis_size));
+
+  {
+    relax::algorithms::AtomicMisProblem problem(g, pri);
+    const auto stats = relax::core::run_parallel_exact(problem, pri, opts);
+    std::printf("parallel exact scheduler: %.3fs (%.1fx) — output %s\n",
+                stats.seconds, seq_time / stats.seconds,
+                problem.result() == reference ? "identical" : "MISMATCH");
+  }
+  {
+    relax::algorithms::AtomicMisProblem problem(g, pri);
+    const auto stats = relax::core::run_parallel_relaxed(problem, pri, opts);
+    std::printf("parallel relaxed (MultiQueue): %.3fs (%.1fx) — output %s, "
+                "wasted steps %llu (%.2f%% of tasks)\n",
+                stats.seconds, seq_time / stats.seconds,
+                problem.result() == reference ? "identical" : "MISMATCH",
+                static_cast<unsigned long long>(stats.failed_deletes),
+                100.0 * static_cast<double>(stats.failed_deletes) / users);
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "algorithms/coloring.h"
+
+#include <algorithm>
+
+namespace relax::algorithms {
+namespace {
+
+/// Smallest color not present among the marked scratch entries [0, limit).
+/// Resets the marks it used.
+std::uint32_t smallest_free_color(std::vector<std::uint8_t>& scratch,
+                                  std::span<const std::uint32_t> used) {
+  for (const std::uint32_t c : used)
+    if (c < scratch.size()) scratch[c] = 1;
+  std::uint32_t color = 0;
+  while (color < scratch.size() && scratch[color]) ++color;
+  for (const std::uint32_t c : used)
+    if (c < scratch.size()) scratch[c] = 0;
+  return color;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> sequential_greedy_coloring(
+    const graph::Graph& g, const graph::Priorities& pri) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<std::uint32_t> colors(n, ColoringProblem::kUncolored);
+  std::vector<std::uint8_t> scratch(g.max_degree() + 2, 0);
+  std::vector<std::uint32_t> used;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const graph::Vertex v = pri.order[i];
+    used.clear();
+    for (const graph::Vertex u : g.neighbors(v))
+      if (colors[u] != ColoringProblem::kUncolored) used.push_back(colors[u]);
+    colors[v] = smallest_free_color(scratch, used);
+  }
+  return colors;
+}
+
+bool verify_coloring(const graph::Graph& g,
+                     std::span<const std::uint32_t> colors) {
+  if (colors.size() != g.num_vertices()) return false;
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (colors[v] == ColoringProblem::kUncolored) return false;
+    for (const graph::Vertex u : g.neighbors(v))
+      if (colors[u] == colors[v]) return false;
+  }
+  return true;
+}
+
+ColoringProblem::ColoringProblem(const graph::Graph& g,
+                                 const graph::Priorities& pri)
+    : g_(&g),
+      pri_(&pri),
+      colors_(g.num_vertices(), kUncolored),
+      scratch_(g.max_degree() + 2, 0) {}
+
+core::Outcome ColoringProblem::try_process(core::Task v) {
+  const std::uint32_t label_v = pri_->labels[v];
+  for (const graph::Vertex u : g_->neighbors(v)) {
+    ++edge_accesses_;
+    if (pri_->labels[u] < label_v && colors_[u] == kUncolored)
+      return core::Outcome::kNotReady;
+  }
+  std::vector<std::uint32_t> used;
+  for (const graph::Vertex u : g_->neighbors(v)) {
+    ++edge_accesses_;
+    if (pri_->labels[u] < label_v) used.push_back(colors_[u]);
+  }
+  colors_[v] = smallest_free_color(scratch_, used);
+  return core::Outcome::kProcessed;
+}
+
+AtomicColoringProblem::AtomicColoringProblem(const graph::Graph& g,
+                                             const graph::Priorities& pri)
+    : g_(&g),
+      pri_(&pri),
+      colors_(g.num_vertices(), ColoringProblem::kUncolored),
+      done_(g.num_vertices()) {
+  for (auto& d : done_) d.store(0, std::memory_order_relaxed);
+}
+
+core::Outcome AtomicColoringProblem::try_process(core::Task v) {
+  const std::uint32_t label_v = pri_->labels[v];
+  for (const graph::Vertex u : g_->neighbors(v)) {
+    if (pri_->labels[u] < label_v &&
+        done_[u].load(std::memory_order_acquire) == 0)
+      return core::Outcome::kNotReady;
+  }
+  // All predecessors colored; their colors are visible (release/acquire).
+  std::vector<std::uint8_t> scratch(g_->degree(v) + 2, 0);
+  std::vector<std::uint32_t> used;
+  for (const graph::Vertex u : g_->neighbors(v))
+    if (pri_->labels[u] < label_v) used.push_back(colors_[u]);
+  for (const std::uint32_t c : used)
+    if (c < scratch.size()) scratch[c] = 1;
+  std::uint32_t color = 0;
+  while (color < scratch.size() && scratch[color]) ++color;
+  colors_[v] = color;
+  done_[v].store(1, std::memory_order_release);
+  return core::Outcome::kProcessed;
+}
+
+std::vector<std::uint32_t> AtomicColoringProblem::colors() const {
+  return colors_;
+}
+
+}  // namespace relax::algorithms

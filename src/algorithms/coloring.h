@@ -1,0 +1,82 @@
+// Greedy Vertex Coloring (paper §2.3, Algorithm 3).
+//
+// Process(v) assigns v the smallest color not used by any smaller-labelled
+// neighbor. The dependency graph is the input graph with edges oriented by
+// the labels, so the generic framework (Algorithm 2) applies directly;
+// Theorem 1 bounds the relaxation cost by O(m/n)·poly(k), and the clique
+// instance realizes the Θ(nk) tightness example discussed after Theorem 1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/problem.h"
+#include "graph/graph.h"
+#include "graph/permutation.h"
+
+namespace relax::algorithms {
+
+/// Reference greedy coloring in label order. Returns color per vertex.
+std::vector<std::uint32_t> sequential_greedy_coloring(
+    const graph::Graph& g, const graph::Priorities& pri);
+
+/// True iff colors is a proper coloring of g (no edge monochromatic).
+bool verify_coloring(const graph::Graph& g,
+                     std::span<const std::uint32_t> colors);
+
+/// Sequential Algorithm 2 adapter.
+class ColoringProblem {
+ public:
+  static constexpr std::uint32_t kUncolored = ~0u;
+
+  ColoringProblem(const graph::Graph& g, const graph::Priorities& pri);
+
+  [[nodiscard]] std::uint32_t num_tasks() const noexcept {
+    return g_->num_vertices();
+  }
+
+  core::Outcome try_process(core::Task v);
+
+  [[nodiscard]] const std::vector<std::uint32_t>& colors() const noexcept {
+    return colors_;
+  }
+
+  /// Total neighbor visits across all try_process calls (paper §5's
+  /// alternative "edge accesses" cost metric; see MisProblem).
+  [[nodiscard]] std::uint64_t edge_accesses() const noexcept {
+    return edge_accesses_;
+  }
+
+ private:
+  const graph::Graph* g_;
+  const graph::Priorities* pri_;
+  std::uint64_t edge_accesses_ = 0;
+  std::vector<std::uint32_t> colors_;
+  std::vector<std::uint8_t> scratch_;  // color-used marks, reset per call
+};
+
+/// Thread-safe adapter: a vertex is ready when every smaller-labelled
+/// neighbor is colored. colors_[u] is written before the release store of
+/// done_[u], so a reader that observes done_[u] sees the final color.
+class AtomicColoringProblem {
+ public:
+  AtomicColoringProblem(const graph::Graph& g, const graph::Priorities& pri);
+
+  [[nodiscard]] std::uint32_t num_tasks() const noexcept {
+    return g_->num_vertices();
+  }
+
+  core::Outcome try_process(core::Task v);
+
+  [[nodiscard]] std::vector<std::uint32_t> colors() const;
+
+ private:
+  const graph::Graph* g_;
+  const graph::Priorities* pri_;
+  std::vector<std::uint32_t> colors_;
+  std::vector<std::atomic<std::uint8_t>> done_;
+};
+
+}  // namespace relax::algorithms

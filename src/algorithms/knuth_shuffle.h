@@ -1,0 +1,128 @@
+// Knuth (Fisher-Yates) Shuffle as an iterative task DAG (paper §1, §3.1;
+// analyzed in Shun et al. [25]).
+//
+// Task i performs swap(a[i], a[t[i]]) where the targets t[i] in [0, i] are
+// fixed up-front from a seed. Task i touches positions {i, t[i]}; two tasks
+// conflict iff they touch a common position. Per the framework contract
+// (paper §2.2) conflicts resolve in *label* order: the dependency DAG
+// orients every conflict edge from the smaller-labelled task to the larger,
+// so the minimum-labelled unprocessed task is always dependency-free and
+// exact execution (Algorithm 1) never blocks. The per-position dependency
+// chains have only O(n) edges in total, so by Theorem 1 the relaxation cost
+// is O(poly(k)) — the shuffle is one of the paper's flagship "sparse
+// dependency" examples.
+//
+// The output is the array obtained by applying the swaps in ascending label
+// order; it is a deterministic function of (targets, pi), identical for
+// every scheduler and every relaxation factor k. Driving the framework with
+// identity priorities recovers the textbook sequential Fisher-Yates pass
+// (i = 0..n-1), and a uniformly random pi applied to uniform targets still
+// yields a uniformly random permutation (each swap sequence is a bijection
+// of the starting array).
+//
+// Readiness: task i is ready iff it is the smallest-labelled unprocessed
+// task in the (label-sorted) task lists of both of its positions. We keep
+// per-position head cursors that advance monotonically past processed
+// tasks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/problem.h"
+#include "graph/permutation.h"
+
+namespace relax::algorithms {
+
+/// Fixed swap targets: t[i] uniform in [0, i]. Deterministic in seed.
+std::vector<std::uint32_t> shuffle_targets(std::uint32_t n,
+                                           std::uint64_t seed);
+
+/// Reference shuffle applying swaps in ascending task-id order (the
+/// textbook Fisher-Yates pass). Returns the shuffled array (initialized to
+/// the identity). Equals the framework output under identity priorities.
+std::vector<std::uint32_t> sequential_knuth_shuffle(
+    std::span<const std::uint32_t> targets);
+
+/// Reference shuffle applying swaps in ascending *label* order — the
+/// framework's sequential baseline (Algorithm 1) for arbitrary pi.
+std::vector<std::uint32_t> sequential_knuth_shuffle(
+    std::span<const std::uint32_t> targets, const graph::Priorities& pri);
+
+/// Shared position->tasks index used by both adapters. Task lists are
+/// sorted by label so readiness checks resolve conflicts in priority order.
+class PositionIndex {
+ public:
+  PositionIndex(std::span<const std::uint32_t> targets,
+                const graph::Priorities& pri);
+
+  /// Ids of tasks touching position p, in ascending label order.
+  [[nodiscard]] std::span<const std::uint32_t> tasks_at(
+      std::uint32_t p) const noexcept {
+    return {tasks_.data() + offsets_[p], tasks_.data() + offsets_[p + 1]};
+  }
+  [[nodiscard]] std::uint32_t num_positions() const noexcept {
+    return static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> tasks_;
+};
+
+/// Sequential Algorithm 2 adapter. The output equals
+/// sequential_knuth_shuffle(targets, pri) for every scheduler and k.
+class KnuthShuffleProblem {
+ public:
+  KnuthShuffleProblem(std::span<const std::uint32_t> targets,
+                      const PositionIndex& index);
+
+  [[nodiscard]] std::uint32_t num_tasks() const noexcept {
+    return static_cast<std::uint32_t>(targets_.size());
+  }
+
+  core::Outcome try_process(core::Task i);
+
+  [[nodiscard]] const std::vector<std::uint32_t>& array() const noexcept {
+    return array_;
+  }
+
+ private:
+  [[nodiscard]] bool is_min_unprocessed(core::Task i, std::uint32_t pos);
+
+  std::span<const std::uint32_t> targets_;
+  const PositionIndex* index_;
+  std::vector<std::uint32_t> array_;
+  std::vector<std::uint8_t> processed_;
+  std::vector<std::uint32_t> head_;  // per-position cursor into tasks_at
+};
+
+/// Thread-safe adapter. Readiness gives the processing thread exclusive
+/// ownership of both touched positions, so the swap itself needs no
+/// synchronization beyond the release fence of the processed flag.
+class AtomicKnuthShuffleProblem {
+ public:
+  AtomicKnuthShuffleProblem(std::span<const std::uint32_t> targets,
+                            const PositionIndex& index);
+
+  [[nodiscard]] std::uint32_t num_tasks() const noexcept {
+    return static_cast<std::uint32_t>(targets_.size());
+  }
+
+  core::Outcome try_process(core::Task i);
+
+  [[nodiscard]] std::vector<std::uint32_t> array() const;
+
+ private:
+  [[nodiscard]] bool is_min_unprocessed(core::Task i, std::uint32_t pos);
+
+  std::span<const std::uint32_t> targets_;
+  const PositionIndex* index_;
+  std::vector<std::uint32_t> array_;
+  std::vector<std::atomic<std::uint8_t>> processed_;
+  std::vector<std::atomic<std::uint32_t>> head_;
+};
+
+}  // namespace relax::algorithms

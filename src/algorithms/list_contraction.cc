@@ -1,0 +1,125 @@
+#include "algorithms/list_contraction.h"
+
+#include <algorithm>
+#include <array>
+
+namespace relax::algorithms {
+namespace {
+
+/// Builds prev/next arrays from a list arrangement.
+template <typename Store>
+void build_links(std::span<const std::uint32_t> arrangement, Store& prev,
+                 Store& next) {
+  const std::size_t n = arrangement.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t v = arrangement[i];
+    const std::uint32_t p = i > 0 ? arrangement[i - 1] : kNilNode;
+    const std::uint32_t s = i + 1 < n ? arrangement[i + 1] : kNilNode;
+    if constexpr (requires { prev[v].store(p); }) {
+      prev[v].store(p, std::memory_order_relaxed);
+      next[v].store(s, std::memory_order_relaxed);
+    } else {
+      prev[v] = p;
+      next[v] = s;
+    }
+  }
+}
+
+}  // namespace
+
+ContractionTrace sequential_list_contraction(
+    std::span<const std::uint32_t> arrangement,
+    const graph::Priorities& pri) {
+  const std::size_t n = arrangement.size();
+  std::vector<std::uint32_t> prev(n), next(n);
+  build_links(arrangement, prev, next);
+  ContractionTrace trace(n, {kNilNode, kNilNode});
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t v = pri.order[i];
+    const std::uint32_t p = prev[v];
+    const std::uint32_t s = next[v];
+    trace[v] = {p, s};
+    if (p != kNilNode) next[p] = s;
+    if (s != kNilNode) prev[s] = p;
+  }
+  return trace;
+}
+
+ListContractionProblem::ListContractionProblem(
+    std::span<const std::uint32_t> arrangement, const graph::Priorities& pri)
+    : pri_(&pri),
+      prev_(arrangement.size()),
+      next_(arrangement.size()),
+      trace_(arrangement.size(), {kNilNode, kNilNode}) {
+  build_links(arrangement, prev_, next_);
+}
+
+core::Outcome ListContractionProblem::try_process(core::Task v) {
+  const std::uint32_t label_v = pri_->labels[v];
+  const std::uint32_t p = prev_[v];
+  const std::uint32_t s = next_[v];
+  // Current neighbors are uncontracted by construction; a smaller label
+  // means an unprocessed predecessor.
+  if (p != kNilNode && pri_->labels[p] < label_v)
+    return core::Outcome::kNotReady;
+  if (s != kNilNode && pri_->labels[s] < label_v)
+    return core::Outcome::kNotReady;
+  trace_[v] = {p, s};
+  if (p != kNilNode) next_[p] = s;
+  if (s != kNilNode) prev_[s] = p;
+  return core::Outcome::kProcessed;
+}
+
+AtomicListContractionProblem::AtomicListContractionProblem(
+    std::span<const std::uint32_t> arrangement, const graph::Priorities& pri)
+    : pri_(&pri),
+      prev_(arrangement.size()),
+      next_(arrangement.size()),
+      locks_(arrangement.size()),
+      trace_(arrangement.size(), {kNilNode, kNilNode}) {
+  build_links(arrangement, prev_, next_);
+}
+
+core::Outcome AtomicListContractionProblem::try_process(core::Task v) {
+  const std::uint32_t label_v = pri_->labels[v];
+  const std::uint32_t p = prev_[v].load(std::memory_order_acquire);
+  const std::uint32_t s = next_[v].load(std::memory_order_acquire);
+  if (p != kNilNode && pri_->labels[p] < label_v)
+    return core::Outcome::kNotReady;
+  if (s != kNilNode && pri_->labels[s] < label_v)
+    return core::Outcome::kNotReady;
+
+  // Lock {p, v, s} in ascending node-id order (global order, no deadlock).
+  std::array<std::uint32_t, 3> ids{p, v, s};
+  std::sort(ids.begin(), ids.end());
+  std::uint32_t locked[3];
+  int num_locked = 0;
+  std::uint32_t last = kNilNode;
+  for (const std::uint32_t id : ids) {
+    if (id == kNilNode || id == last) continue;
+    locks_[id].lock();
+    locked[num_locked++] = id;
+    last = id;
+  }
+  auto unlock_all = [&] {
+    for (int i = num_locked - 1; i >= 0; --i) locks_[locked[i]].unlock();
+  };
+
+  // Re-validate under the locks: the neighborhood must be unchanged.
+  if (prev_[v].load(std::memory_order_relaxed) != p ||
+      next_[v].load(std::memory_order_relaxed) != s) {
+    unlock_all();
+    return core::Outcome::kNotReady;
+  }
+  trace_[v] = {p, s};
+  if (p != kNilNode) next_[p].store(s, std::memory_order_release);
+  if (s != kNilNode) prev_[s].store(p, std::memory_order_release);
+  // Detach v's own pointers so a stale re-pop cannot misread them (v is
+  // never popped again — kProcessed retires it — but keep the state tidy).
+  prev_[v].store(kNilNode, std::memory_order_release);
+  next_[v].store(kNilNode, std::memory_order_release);
+  unlock_all();
+  return core::Outcome::kProcessed;
+}
+
+}  // namespace relax::algorithms

@@ -1,0 +1,88 @@
+// List Contraction (paper §2.3).
+//
+// Input: a doubly-linked list over n nodes. Contracting node v swings two
+// pointers (prev[v].next = next[v]; next[v].prev = prev[v]), removing v.
+// The dependency graph links nodes adjacent in the list; the predecessor
+// query checks whether the *current* prev/next of v has a smaller label
+// (current neighbors are by construction uncontracted). Contracting only
+// local label-minima yields, for every schedule, the same per-node
+// contraction trace {(prev, next) at contraction time} as the sequential
+// label-order execution — the determinism property tests assert trace
+// equality. The dependency structure has m = n - 1 edges, so Theorem 1
+// gives O(poly(k)) expected extra iterations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/problem.h"
+#include "graph/permutation.h"
+#include "util/spinlock.h"
+
+namespace relax::algorithms {
+
+inline constexpr std::uint32_t kNilNode = ~0u;
+
+/// Per-node contraction record: the (prev, next) pair observed when the
+/// node was contracted. kNilNode marks a list end.
+using ContractionTrace = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// Reference sequential contraction in label order over the list
+/// arrangement (arrangement[i] = node at list position i).
+ContractionTrace sequential_list_contraction(
+    std::span<const std::uint32_t> arrangement, const graph::Priorities& pri);
+
+/// Sequential Algorithm 2 adapter.
+class ListContractionProblem {
+ public:
+  ListContractionProblem(std::span<const std::uint32_t> arrangement,
+                         const graph::Priorities& pri);
+
+  [[nodiscard]] std::uint32_t num_tasks() const noexcept {
+    return static_cast<std::uint32_t>(trace_.size());
+  }
+
+  core::Outcome try_process(core::Task v);
+
+  [[nodiscard]] const ContractionTrace& trace() const noexcept {
+    return trace_;
+  }
+
+ private:
+  const graph::Priorities* pri_;
+  std::vector<std::uint32_t> prev_;
+  std::vector<std::uint32_t> next_;
+  ContractionTrace trace_;
+};
+
+/// Thread-safe adapter. Contraction takes per-node spinlocks on {prev, v,
+/// next} in node-id order (global order => deadlock-free) and re-validates
+/// the neighborhood under the locks; any interleaved change aborts to
+/// kNotReady and the task is re-inserted.
+class AtomicListContractionProblem {
+ public:
+  AtomicListContractionProblem(std::span<const std::uint32_t> arrangement,
+                               const graph::Priorities& pri);
+
+  [[nodiscard]] std::uint32_t num_tasks() const noexcept {
+    return static_cast<std::uint32_t>(trace_.size());
+  }
+
+  core::Outcome try_process(core::Task v);
+
+  [[nodiscard]] const ContractionTrace& trace() const noexcept {
+    return trace_;
+  }
+
+ private:
+  const graph::Priorities* pri_;
+  std::vector<std::atomic<std::uint32_t>> prev_;
+  std::vector<std::atomic<std::uint32_t>> next_;
+  std::vector<util::Spinlock> locks_;
+  ContractionTrace trace_;  // slots written exclusively by the contractor
+};
+
+}  // namespace relax::algorithms

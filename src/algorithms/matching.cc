@@ -1,0 +1,157 @@
+#include "algorithms/matching.h"
+
+namespace relax::algorithms {
+
+EdgeIncidence::EdgeIncidence(const graph::Graph& g)
+    : edges_(g.edge_list()), offsets_(g.num_vertices() + 1, 0) {
+  for (const auto& [a, b] : edges_) {
+    ++offsets_[a + 1];
+    ++offsets_[b + 1];
+  }
+  for (std::size_t v = 1; v < offsets_.size(); ++v)
+    offsets_[v] += offsets_[v - 1];
+  ids_.resize(offsets_.back());
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::uint32_t e = 0; e < edges_.size(); ++e) {
+    ids_[cursor[edges_[e].first]++] = e;
+    ids_[cursor[edges_[e].second]++] = e;
+  }
+}
+
+std::vector<std::uint8_t> sequential_greedy_matching(
+    const EdgeIncidence& inc, const graph::Priorities& pri) {
+  const std::uint32_t m = inc.num_edges();
+  std::vector<std::uint8_t> matched_edge(m, 0);
+  std::vector<std::uint8_t> matched_vertex;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const std::uint32_t e = pri.order[i];
+    const auto [a, b] = inc.edges()[e];
+    if (matched_vertex.size() <= std::max(a, b))
+      matched_vertex.resize(std::max(a, b) + 1, 0);
+    if (matched_vertex[a] || matched_vertex[b]) continue;
+    matched_edge[e] = 1;
+    matched_vertex[a] = matched_vertex[b] = 1;
+  }
+  return matched_edge;
+}
+
+bool verify_matching(const EdgeIncidence& inc,
+                     std::span<const std::uint8_t> matched) {
+  if (matched.size() != inc.num_edges()) return false;
+  // Validity: no vertex covered twice.
+  std::vector<std::uint8_t> covered;
+  for (std::uint32_t e = 0; e < inc.num_edges(); ++e) {
+    if (!matched[e]) continue;
+    const auto [a, b] = inc.edges()[e];
+    if (covered.size() <= std::max(a, b))
+      covered.resize(std::max(a, b) + 1, 0);
+    if (covered[a] || covered[b]) return false;
+    covered[a] = covered[b] = 1;
+  }
+  // Maximality: every unmatched edge has a covered endpoint.
+  for (std::uint32_t e = 0; e < inc.num_edges(); ++e) {
+    if (matched[e]) continue;
+    const auto [a, b] = inc.edges()[e];
+    const bool a_cov = a < covered.size() && covered[a];
+    const bool b_cov = b < covered.size() && covered[b];
+    if (!a_cov && !b_cov) return false;
+  }
+  return true;
+}
+
+MatchingProblem::MatchingProblem(const EdgeIncidence& inc,
+                                 const graph::Priorities& pri)
+    : inc_(&inc), pri_(&pri), state_(inc.num_edges(), State::kLive) {}
+
+bool MatchingProblem::has_live_predecessor(core::Task e,
+                                           graph::Vertex endpoint) const {
+  const std::uint32_t label_e = pri_->labels[e];
+  for (const std::uint32_t f : inc_->incident(endpoint)) {
+    if (f != e && pri_->labels[f] < label_e && state_[f] == State::kLive)
+      return true;
+  }
+  return false;
+}
+
+core::Outcome MatchingProblem::try_process(core::Task e) {
+  if (state_[e] == State::kDead) return core::Outcome::kRetired;
+  const auto [a, b] = inc_->edges()[e];
+  // A smaller-labelled matched incident edge kills e (dead-edge shortcut,
+  // the matching analogue of Algorithm 4's dead marking). The kill sweep of
+  // the matched edge already flipped e to kDead, handled above; a LIVE
+  // smaller incident edge blocks e.
+  if (has_live_predecessor(e, a) || has_live_predecessor(e, b))
+    return core::Outcome::kNotReady;
+  state_[e] = State::kMatched;
+  for (const graph::Vertex endpoint : {a, b}) {
+    for (const std::uint32_t f : inc_->incident(endpoint)) {
+      if (state_[f] == State::kLive) state_[f] = State::kDead;
+    }
+  }
+  return core::Outcome::kProcessed;
+}
+
+std::vector<std::uint8_t> MatchingProblem::result() const {
+  std::vector<std::uint8_t> matched(state_.size(), 0);
+  for (std::size_t e = 0; e < state_.size(); ++e)
+    matched[e] = state_[e] == State::kMatched ? 1 : 0;
+  return matched;
+}
+
+AtomicMatchingProblem::AtomicMatchingProblem(const EdgeIncidence& inc,
+                                             const graph::Priorities& pri)
+    : inc_(&inc), pri_(&pri), state_(inc.num_edges()) {
+  for (auto& s : state_) s.store(kLive, std::memory_order_relaxed);
+}
+
+core::Outcome AtomicMatchingProblem::scan_endpoint(core::Task e,
+                                                   graph::Vertex endpoint,
+                                                   std::uint32_t label_e,
+                                                   bool& blocked) {
+  for (const std::uint32_t f : inc_->incident(endpoint)) {
+    if (f == e || pri_->labels[f] >= label_e) continue;
+    const std::uint8_t sf = state_[f].load(std::memory_order_acquire);
+    if (sf == kMatched) {
+      // Smaller incident edge is matched: e dies (one CAS winner retires).
+      std::uint8_t expected = kLive;
+      state_[e].compare_exchange_strong(expected, kDead,
+                                        std::memory_order_acq_rel);
+      return core::Outcome::kRetired;
+    }
+    if (sf == kLive) blocked = true;
+  }
+  return core::Outcome::kProcessed;  // placeholder meaning "no kill found"
+}
+
+core::Outcome AtomicMatchingProblem::try_process(core::Task e) {
+  if (state_[e].load(std::memory_order_acquire) == kDead)
+    return core::Outcome::kRetired;
+  const std::uint32_t label_e = pri_->labels[e];
+  const auto [a, b] = inc_->edges()[e];
+  bool blocked = false;
+  if (scan_endpoint(e, a, label_e, blocked) == core::Outcome::kRetired)
+    return core::Outcome::kRetired;
+  if (scan_endpoint(e, b, label_e, blocked) == core::Outcome::kRetired)
+    return core::Outcome::kRetired;
+  if (blocked) return core::Outcome::kNotReady;
+  // Every smaller-labelled incident edge is DEAD: e enters the matching.
+  state_[e].store(kMatched, std::memory_order_release);
+  for (const graph::Vertex endpoint : {a, b}) {
+    for (const std::uint32_t f : inc_->incident(endpoint)) {
+      if (f == e) continue;
+      std::uint8_t expected = kLive;
+      state_[f].compare_exchange_strong(expected, kDead,
+                                        std::memory_order_acq_rel);
+    }
+  }
+  return core::Outcome::kProcessed;
+}
+
+std::vector<std::uint8_t> AtomicMatchingProblem::result() const {
+  std::vector<std::uint8_t> matched(state_.size(), 0);
+  for (std::size_t e = 0; e < state_.size(); ++e)
+    matched[e] = state_[e].load(std::memory_order_relaxed) == kMatched ? 1 : 0;
+  return matched;
+}
+
+}  // namespace relax::algorithms

@@ -1,0 +1,113 @@
+// Greedy Maximal Matching (paper §2.4).
+//
+// Greedy matching under an edge permutation pi adds edge e = (a, b) iff
+// neither endpoint is matched by a smaller-labelled edge. The paper treats
+// matching as MIS on the line graph L(G); we provide both:
+//
+//   * MatchingProblem / AtomicMatchingProblem operate *implicitly* on
+//     L(G) — tasks are edge ids, predecessor queries walk the incident
+//     edges of the two endpoints — so L(G) (which can be quadratically
+//     large) is never materialized. Dead-edge retirement works exactly as
+//     in Algorithm 4: once an endpoint is matched by a smaller edge, the
+//     edge retires.
+//   * graph::line_graph + MisProblem gives the explicit reduction, used by
+//     tests to cross-validate the implicit adapters.
+//
+// Edge tasks are indexed by the order of graph::Graph::edge_list().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/problem.h"
+#include "graph/graph.h"
+#include "graph/permutation.h"
+
+namespace relax::algorithms {
+
+/// Incidence structure: for each vertex, the ids of its incident edges.
+/// Shared by the sequential and atomic matching adapters.
+class EdgeIncidence {
+ public:
+  explicit EdgeIncidence(const graph::Graph& g);
+
+  [[nodiscard]] std::span<const std::uint32_t> incident(
+      graph::Vertex v) const noexcept {
+    return {ids_.data() + offsets_[v], ids_.data() + offsets_[v + 1]};
+  }
+  [[nodiscard]] const std::vector<graph::Edge>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] std::uint32_t num_edges() const noexcept {
+    return static_cast<std::uint32_t>(edges_.size());
+  }
+
+ private:
+  std::vector<graph::Edge> edges_;
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint32_t> ids_;
+};
+
+/// Reference greedy matching in edge-label order. Returns per-edge flags.
+std::vector<std::uint8_t> sequential_greedy_matching(
+    const EdgeIncidence& inc, const graph::Priorities& pri);
+
+/// True iff `matched` is a valid maximal matching of the edge set.
+bool verify_matching(const EdgeIncidence& inc,
+                     std::span<const std::uint8_t> matched);
+
+/// Sequential adapter (Algorithm 4 on the implicit line graph).
+class MatchingProblem {
+ public:
+  MatchingProblem(const EdgeIncidence& inc, const graph::Priorities& pri);
+
+  [[nodiscard]] std::uint32_t num_tasks() const noexcept {
+    return inc_->num_edges();
+  }
+
+  core::Outcome try_process(core::Task e);
+
+  [[nodiscard]] std::vector<std::uint8_t> result() const;
+
+ private:
+  enum class State : std::uint8_t { kLive, kMatched, kDead };
+
+  [[nodiscard]] bool has_live_predecessor(core::Task e,
+                                          graph::Vertex endpoint) const;
+
+  const EdgeIncidence* inc_;
+  const graph::Priorities* pri_;
+  std::vector<State> state_;
+};
+
+/// Thread-safe adapter; same state machine as AtomicMisProblem but on edge
+/// tasks with the implicit line-graph adjacency.
+class AtomicMatchingProblem {
+ public:
+  AtomicMatchingProblem(const EdgeIncidence& inc,
+                        const graph::Priorities& pri);
+
+  [[nodiscard]] std::uint32_t num_tasks() const noexcept {
+    return inc_->num_edges();
+  }
+
+  core::Outcome try_process(core::Task e);
+
+  [[nodiscard]] std::vector<std::uint8_t> result() const;
+
+ private:
+  static constexpr std::uint8_t kLive = 0;
+  static constexpr std::uint8_t kMatched = 1;
+  static constexpr std::uint8_t kDead = 2;
+
+  core::Outcome scan_endpoint(core::Task e, graph::Vertex endpoint,
+                              std::uint32_t label_e, bool& blocked);
+
+  const EdgeIncidence* inc_;
+  const graph::Priorities* pri_;
+  std::vector<std::atomic<std::uint8_t>> state_;
+};
+
+}  // namespace relax::algorithms

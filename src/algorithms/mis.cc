@@ -1,0 +1,123 @@
+#include "algorithms/mis.h"
+
+namespace relax::algorithms {
+
+std::vector<std::uint8_t> sequential_greedy_mis(
+    const graph::Graph& g, const graph::Priorities& pri) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<std::uint8_t> in_mis(n, 0);
+  std::vector<std::uint8_t> dead(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const graph::Vertex v = pri.order[i];
+    if (dead[v]) continue;
+    in_mis[v] = 1;
+    for (const graph::Vertex u : g.neighbors(v)) dead[u] = 1;
+  }
+  return in_mis;
+}
+
+std::vector<std::uint8_t> sequential_greedy_mis_scan(
+    const graph::Graph& g, const graph::Priorities& pri) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<std::uint8_t> in_mis(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const graph::Vertex v = pri.order[i];
+    bool blocked = false;
+    for (const graph::Vertex u : g.neighbors(v)) {
+      if (in_mis[u]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) in_mis[v] = 1;
+  }
+  return in_mis;
+}
+
+bool verify_mis(const graph::Graph& g, std::span<const std::uint8_t> in_mis) {
+  if (in_mis.size() != g.num_vertices()) return false;
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    bool has_mis_neighbor = false;
+    for (const graph::Vertex u : g.neighbors(v)) {
+      if (in_mis[u]) has_mis_neighbor = true;
+      if (in_mis[u] && in_mis[v]) return false;  // not independent
+    }
+    if (!in_mis[v] && !has_mis_neighbor) return false;  // not maximal
+  }
+  return true;
+}
+
+MisProblem::MisProblem(const graph::Graph& g, const graph::Priorities& pri)
+    : g_(&g), pri_(&pri), state_(g.num_vertices(), State::kLive) {}
+
+core::Outcome MisProblem::try_process(core::Task v) {
+  if (state_[v] == State::kDead) return core::Outcome::kRetired;
+  const std::uint32_t label_v = pri_->labels[v];
+  for (const graph::Vertex u : g_->neighbors(v)) {
+    ++edge_accesses_;
+    if (pri_->labels[u] < label_v && state_[u] == State::kLive)
+      return core::Outcome::kNotReady;  // live predecessor
+  }
+  state_[v] = State::kInMis;
+  for (const graph::Vertex u : g_->neighbors(v)) {
+    ++edge_accesses_;
+    if (state_[u] == State::kLive) state_[u] = State::kDead;
+  }
+  return core::Outcome::kProcessed;
+}
+
+std::vector<std::uint8_t> MisProblem::result() const {
+  std::vector<std::uint8_t> in_mis(state_.size(), 0);
+  for (std::size_t v = 0; v < state_.size(); ++v)
+    in_mis[v] = state_[v] == State::kInMis ? 1 : 0;
+  return in_mis;
+}
+
+AtomicMisProblem::AtomicMisProblem(const graph::Graph& g,
+                                   const graph::Priorities& pri)
+    : g_(&g), pri_(&pri), state_(g.num_vertices()) {
+  for (auto& s : state_) s.store(kLive, std::memory_order_relaxed);
+}
+
+core::Outcome AtomicMisProblem::try_process(core::Task v) {
+  if (state_[v].load(std::memory_order_acquire) == kDead)
+    return core::Outcome::kRetired;
+  const std::uint32_t label_v = pri_->labels[v];
+  for (const graph::Vertex u : g_->neighbors(v)) {
+    if (pri_->labels[u] >= label_v) continue;
+    const std::uint8_t su = state_[u].load(std::memory_order_acquire);
+    if (su == kLive) return core::Outcome::kNotReady;
+    if (su == kInMis) {
+      // A smaller-labelled neighbor is in the MIS: v dies. The neighbor's
+      // own kill sweep may also target v — CAS arbitrates; exactly one
+      // transition wins, so retirement is counted once (kill sweeps do not
+      // retire, only pop outcomes do).
+      std::uint8_t expected = kLive;
+      state_[v].compare_exchange_strong(expected, kDead,
+                                        std::memory_order_acq_rel);
+      return core::Outcome::kRetired;
+    }
+  }
+  // All smaller-labelled neighbors are DEAD: v joins the MIS. v is the only
+  // thread that can decide v here (it holds the unique queue entry for v;
+  // any concurrent kill requires an IN_MIS smaller neighbor, which we just
+  // excluded — neighbors currently LIVE can only enter the MIS after v is
+  // decided, because v is LIVE and smaller-labelled from their viewpoint
+  // only if label_v < label_u, in which case they are blocked on v).
+  state_[v].store(kInMis, std::memory_order_release);
+  for (const graph::Vertex u : g_->neighbors(v)) {
+    std::uint8_t expected = kLive;
+    state_[u].compare_exchange_strong(expected, kDead,
+                                      std::memory_order_acq_rel);
+  }
+  return core::Outcome::kProcessed;
+}
+
+std::vector<std::uint8_t> AtomicMisProblem::result() const {
+  std::vector<std::uint8_t> in_mis(state_.size(), 0);
+  for (std::size_t v = 0; v < state_.size(); ++v)
+    in_mis[v] = state_[v].load(std::memory_order_relaxed) == kInMis ? 1 : 0;
+  return in_mis;
+}
+
+}  // namespace relax::algorithms

@@ -1,0 +1,139 @@
+#include "algorithms/sssp.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sched/concurrent_multiqueue.h"
+#include "sched/dary_heap.h"
+#include "util/rng.h"
+#include "util/spinlock.h"
+#include "util/thread_pin.h"
+#include "util/timer.h"
+
+namespace relax::algorithms {
+
+std::vector<std::uint32_t> synthetic_edge_weights(const graph::Graph& g,
+                                                  std::uint64_t seed,
+                                                  std::uint32_t max_w) {
+  std::vector<std::uint32_t> weights(g.num_arcs());
+  for (graph::Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto offset = g.arc_offset(u);
+    const auto nb = g.neighbors(u);
+    for (std::size_t j = 0; j < nb.size(); ++j) {
+      const graph::Vertex v = nb[j];
+      const std::uint64_t a = std::min(u, v), b = std::max(u, v);
+      // Symmetric per-edge hash -> both arc directions agree.
+      util::SplitMix64 h(seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                         (b * 0xc2b2ae3d27d4eb4fULL));
+      weights[offset + j] = static_cast<std::uint32_t>(h() % max_w) + 1;
+    }
+  }
+  return weights;
+}
+
+std::vector<std::uint32_t> dijkstra(const graph::Graph& g,
+                                    const std::vector<std::uint32_t>& weights,
+                                    graph::Vertex source) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  sched::DaryHeap<std::uint64_t> heap;  // (dist << 32) | vertex
+  dist[source] = 0;
+  heap.push(static_cast<std::uint64_t>(source));
+  while (!heap.empty()) {
+    const std::uint64_t key = heap.pop();
+    const auto d = static_cast<std::uint32_t>(key >> 32);
+    const auto v = static_cast<graph::Vertex>(key & 0xffffffffu);
+    if (d > dist[v]) continue;  // stale entry (lazy deletion)
+    const auto offset = g.arc_offset(v);
+    const auto nb = g.neighbors(v);
+    for (std::size_t j = 0; j < nb.size(); ++j) {
+      const graph::Vertex u = nb[j];
+      const std::uint32_t nd = d + weights[offset + j];
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        heap.push((static_cast<std::uint64_t>(nd) << 32) | u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> parallel_relaxed_sssp(
+    const graph::Graph& g, const std::vector<std::uint32_t>& weights,
+    graph::Vertex source, unsigned num_threads, unsigned queue_factor,
+    std::uint64_t seed, SsspStats* stats_out) {
+  const unsigned threads =
+      num_threads == 0 ? util::hardware_threads() : num_threads;
+  std::vector<std::atomic<std::uint32_t>> dist(g.num_vertices());
+  for (auto& d : dist) d.store(kUnreachable, std::memory_order_relaxed);
+  dist[source].store(0, std::memory_order_relaxed);
+
+  sched::BasicConcurrentMultiQueue<std::uint64_t> queue(
+      queue_factor * threads, seed);
+  queue.insert(static_cast<std::uint64_t>(source));
+
+  // Termination: pending = queued-but-unprocessed entries. Incremented
+  // before each insert, decremented after a pop is fully handled; zero
+  // means no thread can generate more work.
+  std::atomic<std::int64_t> pending{1};
+  std::vector<SsspStats> per_thread(threads);
+  util::Timer timer;
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        util::pin_thread_to_cpu(t);
+        auto handle = queue.get_handle();
+        // Stack-local; written back once (no false sharing between workers).
+        SsspStats stats;
+        while (pending.load(std::memory_order_acquire) > 0) {
+          const auto key = handle.approx_get_min();
+          if (!key) {
+            util::cpu_relax();
+            continue;
+          }
+          ++stats.pops;
+          const auto d = static_cast<std::uint32_t>(*key >> 32);
+          const auto v = static_cast<graph::Vertex>(*key & 0xffffffffu);
+          if (d > dist[v].load(std::memory_order_acquire)) {
+            ++stats.stale_pops;
+          } else {
+            const auto offset = g.arc_offset(v);
+            const auto nb = g.neighbors(v);
+            for (std::size_t j = 0; j < nb.size(); ++j) {
+              const graph::Vertex u = nb[j];
+              const std::uint32_t nd = d + weights[offset + j];
+              std::uint32_t cur = dist[u].load(std::memory_order_relaxed);
+              while (nd < cur) {
+                if (dist[u].compare_exchange_weak(
+                        cur, nd, std::memory_order_acq_rel)) {
+                  ++stats.relaxations;
+                  pending.fetch_add(1, std::memory_order_acq_rel);
+                  handle.insert((static_cast<std::uint64_t>(nd) << 32) | u);
+                  break;
+                }
+              }
+            }
+          }
+          pending.fetch_sub(1, std::memory_order_acq_rel);
+        }
+        per_thread[t] = stats;
+      });
+    }
+  }
+  if (stats_out != nullptr) {
+    for (const auto& s : per_thread) {
+      stats_out->pops += s.pops;
+      stats_out->stale_pops += s.stale_pops;
+      stats_out->relaxations += s.relaxations;
+    }
+    stats_out->seconds = timer.seconds();
+  }
+  std::vector<std::uint32_t> out(g.num_vertices());
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    out[v] = dist[v].load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace relax::algorithms

@@ -1,0 +1,51 @@
+// Single-Source Shortest Paths via a relaxed scheduler.
+//
+// Dijkstra's algorithm is the paper's canonical *motivating* example for
+// relaxed scheduling (§1): popping vertices out of order never breaks
+// correctness because tentative distances converge monotonically to the
+// true distances; the price is wasted work on stale pops. SSSP is NOT in
+// the paper's deterministic framework class (the priority order must follow
+// distances, so pi cannot be a uniformly random permutation — §2.2), which
+// is why it lives here as a standalone algorithm and example rather than a
+// Problem adapter.
+//
+// Edge weights are synthesized deterministically from (edge, seed) since
+// graph::Graph is unweighted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace relax::algorithms {
+
+inline constexpr std::uint32_t kUnreachable = ~0u;
+
+/// Per-arc weights aligned with the CSR arc array; symmetric (both
+/// directions of an undirected edge carry the same weight in [1, max_w]).
+std::vector<std::uint32_t> synthetic_edge_weights(const graph::Graph& g,
+                                                  std::uint64_t seed,
+                                                  std::uint32_t max_w = 100);
+
+/// Reference Dijkstra (exact binary-heap scheduler). Returns distances.
+std::vector<std::uint32_t> dijkstra(const graph::Graph& g,
+                                    const std::vector<std::uint32_t>& weights,
+                                    graph::Vertex source);
+
+struct SsspStats {
+  std::uint64_t pops = 0;
+  std::uint64_t stale_pops = 0;  // wasted work due to relaxation/concurrency
+  std::uint64_t relaxations = 0;
+  double seconds = 0.0;
+};
+
+/// Multi-threaded label-correcting SSSP over a relaxed concurrent
+/// MultiQueue ((distance, vertex) packed into 64-bit keys). Produces exact
+/// distances (monotone convergence); stats report the relaxation overhead.
+std::vector<std::uint32_t> parallel_relaxed_sssp(
+    const graph::Graph& g, const std::vector<std::uint32_t>& weights,
+    graph::Vertex source, unsigned num_threads, unsigned queue_factor,
+    std::uint64_t seed, SsspStats* stats = nullptr);
+
+}  // namespace relax::algorithms

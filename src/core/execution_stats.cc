@@ -1,0 +1,15 @@
+#include "core/execution_stats.h"
+
+#include <sstream>
+
+namespace relax::core {
+
+std::string ExecutionStats::to_string() const {
+  std::ostringstream os;
+  os << "iterations=" << iterations << " processed=" << processed
+     << " failed_deletes=" << failed_deletes << " dead_skips=" << dead_skips
+     << " empty_polls=" << empty_polls << " seconds=" << seconds;
+  return os.str();
+}
+
+}  // namespace relax::core

@@ -1,0 +1,39 @@
+// Work accounting in the paper's cost model: one "iteration" per scheduler
+// query; extra iterations beyond n are failed deletes (re-insertions) plus,
+// for Algorithm 4, pops of dead vertices. Table 1 reports failed deletes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace relax::core {
+
+struct ExecutionStats {
+  std::uint64_t iterations = 0;      // scheduler pops that returned a task
+  std::uint64_t processed = 0;       // successful steps
+  std::uint64_t failed_deletes = 0;  // kNotReady -> re-insert (wasted steps)
+  std::uint64_t dead_skips = 0;      // kRetired pops (Algorithm 4 dead hits)
+  std::uint64_t empty_polls = 0;     // pops that returned nullopt (parallel)
+  double seconds = 0.0;              // wall time of the execution loop
+
+  /// Iterations beyond the unavoidable n (the paper's "cost of relaxation"
+  /// equals failed_deletes; dead skips are part of the n for Algorithm 4
+  /// because every vertex is popped-decided exactly once).
+  [[nodiscard]] std::uint64_t extra_iterations() const noexcept {
+    return failed_deletes;
+  }
+
+  ExecutionStats& operator+=(const ExecutionStats& o) noexcept {
+    iterations += o.iterations;
+    processed += o.processed;
+    failed_deletes += o.failed_deletes;
+    dead_skips += o.dead_skips;
+    empty_polls += o.empty_polls;
+    seconds += o.seconds;  // caller overrides with wall time when merging
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace relax::core

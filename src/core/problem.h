@@ -1,0 +1,42 @@
+// The problem-adapter interface consumed by the execution framework.
+//
+// A *problem* exposes the iterative algorithm's tasks to the scheduler
+// framework (paper §2.2). Tasks are dense uint32 ids; the priority
+// permutation pi lives outside the problem (graph::Priorities). The single
+// entry point is try_process:
+//
+//   kProcessed  the task had no unprocessed higher-priority dependency and
+//               was executed (paper: "successful step");
+//   kNotReady   the task has an unprocessed predecessor; the framework
+//               re-inserts it with its original priority (paper: "failed
+//               delete" / "wasted step");
+//   kRetired    the task no longer needs processing and must not be
+//               re-inserted — e.g. an MIS vertex already marked dead
+//               (Algorithm 4's "if v_t marked dead then continue").
+//
+// Sequential problems may keep plain state; problems passed to the parallel
+// executor must make try_process linearizable (atomic status arrays — see
+// algorithms/*_parallel adapters) such that the decided outcome for every
+// task equals the sequential execution under the same pi, for any schedule.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace relax::core {
+
+using Task = std::uint32_t;
+
+enum class Outcome : std::uint8_t {
+  kProcessed,
+  kNotReady,
+  kRetired,
+};
+
+template <typename P>
+concept Problem = requires(P p, Task t) {
+  { p.num_tasks() } -> std::convertible_to<std::uint32_t>;
+  { p.try_process(t) } -> std::same_as<Outcome>;
+};
+
+}  // namespace relax::core

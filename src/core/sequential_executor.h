@@ -1,0 +1,57 @@
+// Sequential execution engines (paper Algorithms 1, 2 and 4).
+//
+// run_sequential drives a Problem through any SequentialScheduler:
+//
+//   * with ExactHeapScheduler it is Algorithm 1 — the reference execution
+//     (in an exact run try_process never returns kNotReady, because tasks
+//     arrive in strict priority order and all predecessors are processed);
+//   * with a relaxed scheduler and a generic Problem it is Algorithm 2;
+//   * with a relaxed scheduler and the MIS problem adapter (which returns
+//     kRetired for dead vertices) it is Algorithm 4.
+//
+// The determinism guarantee of the framework — output identical to
+// Algorithm 1 regardless of scheduler and k — is a consequence of problems
+// only processing dependency-free tasks; tests/determinism_test.cc checks
+// it exhaustively.
+#pragma once
+
+#include "core/execution_stats.h"
+#include "core/problem.h"
+#include "graph/permutation.h"
+#include "sched/scheduler.h"
+#include "util/timer.h"
+
+namespace relax::core {
+
+/// Loads all tasks into `scheduler` (in pi order) and runs the framework
+/// loop until the scheduler drains. Returns work statistics; algorithm
+/// output lives inside the problem adapter.
+template <Problem P, sched::SequentialScheduler S>
+ExecutionStats run_sequential(P& problem, const graph::Priorities& pri,
+                              S& scheduler) {
+  ExecutionStats stats;
+  util::Timer timer;
+  const std::uint32_t n = problem.num_tasks();
+  for (std::uint32_t label = 0; label < n; ++label) scheduler.insert(label);
+
+  while (auto label = scheduler.approx_get_min()) {
+    ++stats.iterations;
+    const Task task = pri.order[*label];
+    switch (problem.try_process(task)) {
+      case Outcome::kProcessed:
+        ++stats.processed;
+        break;
+      case Outcome::kNotReady:
+        ++stats.failed_deletes;
+        scheduler.insert(*label);  // paper: Q.insert(v_t, pi(v_t))
+        break;
+      case Outcome::kRetired:
+        ++stats.dead_skips;
+        break;
+    }
+  }
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace relax::core

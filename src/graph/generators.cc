@@ -1,0 +1,223 @@
+#include "graph/generators.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "util/parallel_for.h"
+#include "util/rng.h"
+
+namespace relax::graph {
+namespace {
+
+/// Deterministic per-chunk RNG: the sample set depends only on (seed, chunk
+/// index), not on the thread count, because chunks are fixed-size.
+constexpr std::uint64_t kChunkSize = 1 << 16;
+
+std::uint64_t pair_key(Vertex u, Vertex v) noexcept {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph gnm(Vertex n, EdgeId m, std::uint64_t seed, unsigned threads) {
+  if (n < 2) return Graph::from_edges(n, {});
+  std::vector<Edge> edges(m);
+  const std::uint64_t chunks = (m + kChunkSize - 1) / kChunkSize;
+  util::parallel_for(0, chunks, threads, [&](std::uint64_t chunk) {
+    util::Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (chunk + 1)));
+    const std::uint64_t lo = chunk * kChunkSize;
+    const std::uint64_t hi = std::min<std::uint64_t>(m, lo + kChunkSize);
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      Vertex u = static_cast<Vertex>(util::bounded(rng, n));
+      Vertex v = static_cast<Vertex>(util::bounded(rng, n - 1));
+      if (v >= u) ++v;  // uniform over ordered pairs with u != v
+      edges[i] = {u, v};
+    }
+  });
+  return Graph::from_edges(n, edges, threads);
+}
+
+Graph gnm_exact(Vertex n, EdgeId m, std::uint64_t seed) {
+  const EdgeId max_edges =
+      static_cast<EdgeId>(n) * (n - 1) / 2;
+  if (m > max_edges)
+    throw std::invalid_argument("gnm_exact: m exceeds n*(n-1)/2");
+  util::Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  // Dense case fallback: enumerate and sample without replacement.
+  if (m * 3 > max_edges * 2) {
+    std::vector<Edge> all;
+    all.reserve(max_edges);
+    for (Vertex u = 0; u < n; ++u)
+      for (Vertex v = u + 1; v < n; ++v) all.emplace_back(u, v);
+    util::shuffle(std::span<Edge>(all), rng);
+    all.resize(m);
+    return Graph::from_edges(n, all);
+  }
+  while (edges.size() < m) {
+    Vertex u = static_cast<Vertex>(util::bounded(rng, n));
+    Vertex v = static_cast<Vertex>(util::bounded(rng, n - 1));
+    if (v >= u) ++v;
+    const Vertex a = std::min(u, v), b = std::max(u, v);
+    if (seen.insert(pair_key(a, b)).second) edges.emplace_back(a, b);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph gnp(Vertex n, double p, std::uint64_t seed, unsigned threads) {
+  if (p <= 0.0 || n < 2) return Graph::from_edges(n, {});
+  if (p >= 1.0) return clique(n);
+  // Geometric skipping (Batagelj & Brandes 2005) over the lower-triangular
+  // enumeration, parallelized by row ranges.
+  const double log1mp = std::log1p(-p);
+  std::vector<std::vector<Edge>> partial(
+      threads == 0 ? util::hardware_threads() : threads);
+  util::parallel_chunks_indexed(1, n, static_cast<unsigned>(partial.size()),
+                                [&](unsigned slot, std::uint64_t lo,
+                                    std::uint64_t hi) {
+    auto& out = partial[slot];
+    for (std::uint64_t v = lo; v < hi; ++v) {
+      // Per-row RNG keeps the sample set independent of the thread count.
+      util::Rng rng(seed ^ (0xda942042e4dd58b5ULL * (v + 1)));
+      // Enumerate edges (v, 0..v-1) with geometric gaps.
+      std::uint64_t u = 0;
+      for (;;) {
+        const double r = util::uniform_double(rng);
+        // Geometric gap: floor(log(1-r)/log(1-p)) absent edges before the
+        // next present one. Compare in double before casting — converting
+        // an out-of-range value to uint64 is undefined behaviour.
+        const double skip = std::floor(std::log1p(-r) / log1mp);
+        if (skip >= static_cast<double>(v - u)) break;
+        u += static_cast<std::uint64_t>(skip);
+        out.emplace_back(static_cast<Vertex>(v), static_cast<Vertex>(u));
+        ++u;
+      }
+    }
+  });
+  std::size_t total = 0;
+  for (const auto& part : partial) total += part.size();
+  std::vector<Edge> edges;
+  edges.reserve(total);
+  for (auto& part : partial)
+    edges.insert(edges.end(), part.begin(), part.end());
+  return Graph::from_edges(n, edges, threads);
+}
+
+Graph rmat(Vertex n_pow2, EdgeId m, double a, double b, double c,
+           std::uint64_t seed, unsigned threads) {
+  if ((n_pow2 & (n_pow2 - 1)) != 0 || n_pow2 == 0)
+    throw std::invalid_argument("rmat: n must be a power of two");
+  int levels = 0;
+  while ((1u << levels) < n_pow2) ++levels;
+  std::vector<Edge> edges(m);
+  const std::uint64_t chunks = (m + kChunkSize - 1) / kChunkSize;
+  util::parallel_for(0, chunks, threads, [&](std::uint64_t chunk) {
+    util::Rng rng(seed ^ (0xbf58476d1ce4e5b9ULL * (chunk + 1)));
+    const std::uint64_t lo = chunk * kChunkSize;
+    const std::uint64_t hi = std::min<std::uint64_t>(m, lo + kChunkSize);
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      Vertex u = 0, v = 0;
+      for (int level = 0; level < levels; ++level) {
+        const double r = util::uniform_double(rng);
+        u <<= 1;
+        v <<= 1;
+        if (r < a) {
+          // top-left quadrant: no bits set
+        } else if (r < a + b) {
+          v |= 1;
+        } else if (r < a + b + c) {
+          u |= 1;
+        } else {
+          u |= 1;
+          v |= 1;
+        }
+      }
+      edges[i] = {u, v};
+    }
+  });
+  return Graph::from_edges(n_pow2, edges, threads);
+}
+
+Graph barabasi_albert(Vertex n, std::uint32_t attach, std::uint64_t seed) {
+  if (n == 0) return {};
+  attach = std::max<std::uint32_t>(attach, 1);
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * attach);
+  // Repeated-endpoints trick: sampling a uniform element of the endpoint
+  // multiset is exactly degree-proportional sampling.
+  std::vector<Vertex> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * attach * 2);
+  const Vertex seed_size = std::min<Vertex>(n, attach + 1);
+  for (Vertex v = 1; v < seed_size; ++v) {
+    edges.emplace_back(v, v - 1);
+    endpoints.push_back(v);
+    endpoints.push_back(v - 1);
+  }
+  for (Vertex v = seed_size; v < n; ++v) {
+    for (std::uint32_t j = 0; j < attach; ++j) {
+      const Vertex target =
+          endpoints[util::bounded(rng, endpoints.size())];
+      edges.emplace_back(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph path(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 1; v < n; ++v) edges.emplace_back(v - 1, v);
+  return Graph::from_edges(n, edges);
+}
+
+Graph cycle(Vertex n) {
+  assert(n >= 3);
+  std::vector<Edge> edges;
+  for (Vertex v = 1; v < n; ++v) edges.emplace_back(v - 1, v);
+  edges.emplace_back(n - 1, 0);
+  return Graph::from_edges(n, edges);
+}
+
+Graph grid(Vertex rows, Vertex cols) {
+  std::vector<Edge> edges;
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph clique(Vertex n) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  return Graph::from_edges(n, edges);
+}
+
+Graph star(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete_bipartite(Vertex a, Vertex b) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(a) * b);
+  for (Vertex u = 0; u < a; ++u)
+    for (Vertex v = 0; v < b; ++v) edges.emplace_back(u, a + v);
+  return Graph::from_edges(a + b, edges);
+}
+
+}  // namespace relax::graph

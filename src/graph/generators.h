@@ -1,0 +1,68 @@
+// Random and structured graph generators for the experiment workloads.
+//
+// The paper evaluates on uniform random graphs: Table 1 uses fixed (n, m)
+// pairs, Figure 2 uses G(n, p) classes of fixed density. We provide:
+//
+//   * gnm(n, m)        — m uniform edge samples (duplicates removed during
+//                        CSR construction; for sparse graphs the edge-count
+//                        deficit is vanishingly small). Parallel.
+//   * gnm_exact(n, m)  — exactly m distinct edges via rejection hashing;
+//                        intended for test-sized graphs.
+//   * gnp(n, p)        — G(n,p) via geometric edge skipping, O(n + m).
+//   * rmat(...)        — Recursive-MATrix power-law generator (Chakrabarti,
+//                        Zhan, Faloutsos 2004), for skewed-degree examples.
+//   * barabasi_albert  — preferential attachment, for the social-network
+//                        example application.
+//   * structured graphs: path, cycle, grid, clique, star, bipartite —
+//                        used by tests and the tightness benchmarks (the
+//                        paper's Θ(nk) clique-coloring example).
+//
+// All generators are deterministic in (parameters, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace relax::graph {
+
+/// ~m uniform random undirected edges on n vertices (multi-sampled;
+/// duplicate and self-loop samples are dropped, so the realized edge count
+/// is slightly below m for dense settings). Generation is parallel and
+/// deterministic in (n, m, seed, threads is irrelevant to the sample set).
+Graph gnm(Vertex n, EdgeId m, std::uint64_t seed, unsigned threads = 0);
+
+/// Exactly m distinct uniform edges (rejection sampling with a hash set).
+/// Requires m <= n*(n-1)/2. Sequential; use for n up to ~10^5.
+Graph gnm_exact(Vertex n, EdgeId m, std::uint64_t seed);
+
+/// Erdos-Renyi G(n, p) via geometric skipping over the edge enumeration.
+Graph gnp(Vertex n, double p, std::uint64_t seed, unsigned threads = 0);
+
+/// R-MAT generator with partition probabilities (a, b, c); d = 1-a-b-c.
+Graph rmat(Vertex n_pow2, EdgeId m, double a, double b, double c,
+           std::uint64_t seed, unsigned threads = 0);
+
+/// Barabasi-Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices chosen proportionally to degree.
+Graph barabasi_albert(Vertex n, std::uint32_t attach, std::uint64_t seed);
+
+/// Simple path 0-1-2-...-(n-1).
+Graph path(Vertex n);
+
+/// Cycle on n vertices (n >= 3).
+Graph cycle(Vertex n);
+
+/// rows x cols 2D grid, 4-neighborhood.
+Graph grid(Vertex rows, Vertex cols);
+
+/// Complete graph K_n.
+Graph clique(Vertex n);
+
+/// Star: vertex 0 adjacent to 1..n-1.
+Graph star(Vertex n);
+
+/// Complete bipartite K_{a,b}: parts {0..a-1} and {a..a+b-1}.
+Graph complete_bipartite(Vertex a, Vertex b);
+
+}  // namespace relax::graph

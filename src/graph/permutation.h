@@ -1,0 +1,62 @@
+// Priority permutations over tasks.
+//
+// The framework (paper §2.2) assigns each task a label l(u) in 0..n-1 via a
+// permutation pi chosen uniformly at random; smaller label = higher priority.
+// We keep both directions:
+//
+//   labels[v]   = position of task v in pi   (the task's priority)
+//   order[i]    = task at position i         (pi itself)
+//
+// Theorems 1 and 2 require pi uniform; the generator is deterministic in the
+// seed so experiments are replayable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace relax::graph {
+
+struct Priorities {
+  std::vector<std::uint32_t> labels;  // labels[task] = priority (0 = first)
+  std::vector<std::uint32_t> order;   // order[priority] = task
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(labels.size());
+  }
+};
+
+/// Uniformly random priorities over n tasks.
+inline Priorities random_priorities(std::uint32_t n, std::uint64_t seed) {
+  Priorities p;
+  util::Rng rng(seed);
+  p.order = util::random_permutation(n, rng);
+  p.labels.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) p.labels[p.order[i]] = i;
+  return p;
+}
+
+/// Identity priorities (task id == priority); used by tests.
+inline Priorities identity_priorities(std::uint32_t n) {
+  Priorities p;
+  p.labels.resize(n);
+  p.order.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    p.labels[i] = i;
+    p.order[i] = i;
+  }
+  return p;
+}
+
+/// Builds Priorities from an explicit order (order[i] = task at position i).
+inline Priorities priorities_from_order(std::span<const std::uint32_t> order) {
+  Priorities p;
+  p.order.assign(order.begin(), order.end());
+  p.labels.resize(order.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) p.labels[order[i]] = i;
+  return p;
+}
+
+}  // namespace relax::graph

@@ -1,0 +1,255 @@
+// Concurrent MultiQueue (Rihani, Sanders, Dementiev, SPAA'15), the relaxed
+// scheduler used for the paper's concurrent MIS experiments (§4).
+//
+// Layout: q = queue_factor * num_threads sub-queues (the paper uses factor
+// 4), each a cache-line-padded {spinlock, two-part priority queue (sorted
+// bulk-load array + 8-ary overflow min-heap), atomic top cache}.
+//
+//   Insert(p):        lock a uniformly random sub-queue (retrying with a new
+//                     victim on contention), push, refresh the top cache.
+//   ApproxGetMin():   sample two distinct sub-queues, compare their atomic
+//                     top caches without locking, lock the apparent smaller
+//                     one, re-verify, pop. On contention or a lost race,
+//                     resample.
+//
+// The top cache makes the two-choice comparison lock-free; staleness only
+// perturbs the choice distribution, never correctness (the popped element is
+// re-read under the lock). Alistarh et al. [2] prove the two-choice process
+// is (O(q), O(q log q))-relaxed; concurrent executions preserve the bounds
+// under the analytic assumptions of [1].
+//
+// Emptiness: approx_get_min falls back to a full top-cache scan after
+// `probe_limit` consecutive empty samples and returns nullopt only when the
+// scan sees every sub-queue empty. With concurrent re-insertions in flight
+// this is necessarily heuristic — executors must use their own termination
+// criterion (retirement counting; see core/parallel_executor.h) and treat
+// nullopt as "retry or check termination".
+//
+// Scalability note: there is deliberately *no* global element counter — a
+// shared atomic touched by every insert/pop serializes the whole scheduler
+// through one cache line and flattens the Figure 2 thread sweep. Counts are
+// striped per sub-queue (updated under that queue's lock, whose line the
+// owner already holds exclusively); size() sums the stripes and is racy
+// under concurrency, exact when quiescent.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "sched/dary_heap.h"
+#include "sched/scheduler.h"
+#include "util/padded.h"
+#include "util/rng.h"
+#include "util/spinlock.h"
+
+namespace relax::sched {
+
+/// Key type must be an unsigned integer; the maximum value is reserved as
+/// the "empty" sentinel for the lock-free top cache. The framework uses
+/// Key = Priority (dense labels); SSSP packs (distance << 32 | vertex) into
+/// 64-bit keys.
+template <typename Key = Priority>
+class BasicConcurrentMultiQueue {
+  static_assert(std::is_unsigned_v<Key>);
+
+ public:
+  static constexpr Key kEmptyTop = std::numeric_limits<Key>::max();
+
+  /// num_queues should be queue_factor * num_threads; seed derives
+  /// per-thread RNG streams deterministically. choices selects the number
+  /// of sampled sub-queues per pop: 2 is the classic power-of-two-choices
+  /// MultiQueue; 1 degrades to uniform single sampling (no rank bound —
+  /// exposed for the ablation bench).
+  explicit BasicConcurrentMultiQueue(std::uint32_t num_queues,
+                                     std::uint64_t seed = 1,
+                                     unsigned choices = 2)
+      : queues_(std::max<std::uint32_t>(num_queues, 2)),
+        seed_(seed),
+        choices_(choices < 1 ? 1 : choices) {}
+
+  BasicConcurrentMultiQueue(const BasicConcurrentMultiQueue&) = delete;
+  BasicConcurrentMultiQueue& operator=(const BasicConcurrentMultiQueue&) =
+      delete;
+
+  /// Thread-local handle. Each thread must obtain its own (cheap, just an
+  /// RNG stream + pointer); handles may not be shared across threads.
+  class Handle {
+   public:
+    void insert(Key p) { mq_->insert(p, rng_); }
+    std::optional<Key> approx_get_min() { return mq_->approx_get_min(rng_); }
+
+   private:
+    friend class BasicConcurrentMultiQueue;
+    Handle(BasicConcurrentMultiQueue* mq, std::uint64_t stream)
+        : mq_(mq), rng_(stream) {}
+    BasicConcurrentMultiQueue* mq_;
+    util::Rng rng_;
+  };
+
+  [[nodiscard]] Handle get_handle() {
+    const std::uint64_t id =
+        next_handle_.fetch_add(1, std::memory_order_relaxed);
+    return Handle(this, seed_ ^ (0x9e3779b97f4a7c15ULL * (id + 1)));
+  }
+
+  /// Pre-loads `keys` round-robin across the sub-queues into their sorted
+  /// base arrays (single-threaded; call before spawning workers). Pops from
+  /// the base are O(1) cursor advances; use this for the framework's
+  /// initial task load instead of n heap pushes.
+  void bulk_load(std::span<const Key> keys) {
+    const std::size_t q = queues_.size();
+    for (auto& padded : queues_) {
+      padded->base.reserve(keys.size() / q + 1);
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      queues_[i % q]->base.push_back(keys[i]);
+    for (auto& padded : queues_) {
+      auto& sq = *padded;
+      std::sort(sq.base.begin() + static_cast<std::ptrdiff_t>(sq.cursor),
+                sq.base.end());
+      sq.refresh_top();
+    }
+  }
+
+  /// Single-threaded convenience interface (satisfies SequentialScheduler
+  /// modulo seeding); used by tests. Not for concurrent use — use handles.
+  void insert(Key p) {
+    util::Rng rng(seed_ ^ sequential_ops_++);
+    insert(p, rng);
+  }
+  std::optional<Key> approx_get_min() {
+    util::Rng rng(seed_ ^ sequential_ops_++);
+    return approx_get_min(rng);
+  }
+
+  /// Sum of the per-sub-queue stripes: exact when quiescent, a snapshot
+  /// under concurrency.
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t total = 0;
+    for (const auto& q : queues_)
+      total += q->count.load(std::memory_order_acquire);
+    return total;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] std::uint32_t num_queues() const noexcept {
+    return static_cast<std::uint32_t>(queues_.size());
+  }
+
+ private:
+  struct SubQueue {
+    util::Spinlock lock;
+    std::atomic<Key> top{kEmptyTop};
+    std::atomic<std::size_t> count{0};  // updated under lock: same line
+    // Two-part priority queue. `base` holds the bulk-loaded initial task
+    // set, sorted, consumed front-to-back by `cursor`: pops from it are
+    // O(1) and stream sequentially through memory instead of sifting a
+    // multi-megabyte heap (heap pops on cold memory dominate per-op cost
+    // and are what makes a naive 1-thread MultiQueue several times slower
+    // than the sequential baseline — the paper reports the two should be
+    // close). `heap` (8-ary: each sift level is one cache line of
+    // children) takes dynamic inserts — for framework executions only the
+    // poly(k) re-insertions, so it stays small and hot.
+    std::vector<Key> base;
+    std::size_t cursor = 0;
+    DaryHeap<Key, 8> heap;
+
+    [[nodiscard]] Key current_min() const noexcept {
+      const Key b = cursor < base.size() ? base[cursor] : kEmptyTop;
+      const Key h = heap.empty() ? kEmptyTop : heap.top();
+      return b < h ? b : h;
+    }
+
+    /// Pre: current_min() != kEmptyTop. Under lock.
+    Key pop_min() noexcept {
+      const Key b = cursor < base.size() ? base[cursor] : kEmptyTop;
+      const Key h = heap.empty() ? kEmptyTop : heap.top();
+      if (b <= h) {
+        ++cursor;
+        return b;
+      }
+      return heap.pop();
+    }
+
+    void refresh_top() noexcept {
+      top.store(current_min(), std::memory_order_release);
+      count.store(base.size() - cursor + heap.size(),
+                  std::memory_order_release);
+    }
+  };
+
+  void insert(Key p, util::Rng& rng) {
+    for (;;) {
+      auto& sq = *queues_[util::bounded(rng, queues_.size())];
+      if (!sq.lock.try_lock()) continue;  // pick a fresh victim instead
+      std::lock_guard<util::Spinlock> guard(sq.lock, std::adopt_lock);
+      sq.heap.push(p);
+      sq.refresh_top();
+      return;
+    }
+  }
+
+  std::optional<Key> approx_get_min(util::Rng& rng) {
+    int empty_probes = 0;
+    for (;;) {
+      if (empty_probes >= kProbeLimit) {
+        // Random sampling keeps missing: scan every top cache once. Only
+        // report empty when the whole scan agrees; otherwise aim straight
+        // at a non-empty sub-queue (may race and come back here).
+        std::size_t found = queues_.size();
+        for (std::size_t i = 0; i < queues_.size(); ++i) {
+          if (queues_[i]->top.load(std::memory_order_acquire) != kEmptyTop) {
+            found = i;
+            break;
+          }
+        }
+        if (found == queues_.size()) return std::nullopt;
+        empty_probes = 0;
+        if (const auto p = try_pop(*queues_[found])) return p;
+        continue;
+      }
+      const std::size_t q = queues_.size();
+      std::size_t a = util::bounded(rng, q);
+      std::size_t b = a;
+      if (choices_ >= 2) {
+        b = util::bounded(rng, q - 1);
+        if (b >= a) ++b;
+      }
+      const Key ta = queues_[a]->top.load(std::memory_order_acquire);
+      const Key tb = queues_[b]->top.load(std::memory_order_acquire);
+      if (ta == kEmptyTop && tb == kEmptyTop) {
+        ++empty_probes;
+        continue;
+      }
+      if (const auto p = try_pop(*queues_[tb < ta ? b : a])) return p;
+    }
+  }
+
+  std::optional<Key> try_pop(SubQueue& sq) {
+    if (!sq.lock.try_lock()) return std::nullopt;
+    std::lock_guard<util::Spinlock> guard(sq.lock, std::adopt_lock);
+    if (sq.current_min() == kEmptyTop) return std::nullopt;
+    const Key p = sq.pop_min();
+    sq.refresh_top();
+    return p;
+  }
+
+  static constexpr int kProbeLimit = 16;
+
+  std::vector<util::Padded<SubQueue>> queues_;
+  std::uint64_t seed_;
+  unsigned choices_ = 2;
+  std::atomic<std::uint64_t> next_handle_{0};
+  std::uint64_t sequential_ops_ = 0;
+};
+
+/// The framework's scheduler: dense-label keys.
+using ConcurrentMultiQueue = BasicConcurrentMultiQueue<Priority>;
+
+}  // namespace relax::sched

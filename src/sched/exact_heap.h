@@ -1,0 +1,38 @@
+// Exact sequential scheduler: a plain min-heap, i.e. the k = 1 case.
+// Algorithm 1 of the paper instantiated with this scheduler is the
+// reference sequential execution every relaxed run must reproduce.
+#pragma once
+
+#include <optional>
+
+#include "sched/dary_heap.h"
+#include "sched/scheduler.h"
+
+namespace relax::sched {
+
+class ExactHeapScheduler {
+ public:
+  ExactHeapScheduler() = default;
+  /// seed parameter accepted for interface uniformity with the relaxed
+  /// schedulers; an exact heap has no randomness.
+  explicit ExactHeapScheduler(std::uint64_t /*seed*/) {}
+
+  void insert(Priority p) { heap_.push(p); }
+
+  std::optional<Priority> approx_get_min() {
+    if (heap_.empty()) return std::nullopt;
+    return heap_.pop();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+ private:
+  DaryHeap<Priority> heap_;
+};
+
+static_assert(SequentialScheduler<ExactHeapScheduler>);
+
+}  // namespace relax::sched

@@ -1,0 +1,93 @@
+// Deterministic k-bounded scheduler, modelled on the shared-buffer /
+// k-LSM family (Wimmer et al., reference [26] of the paper).
+//
+// Invariant: `window_` always holds the min(k, size) smallest present
+// priorities, in ascending order (inserts displace the window back into the
+// side heap; pops refill from the heap). ApproxGetMin normally serves the
+// *back* of the window — the largest of the k smallest — which makes the
+// relaxation adversarially maximal; every k-th pop instead serves the
+// *front* (the exact minimum), a deterministic fairness valve.
+//
+// Guarantees (deterministic, not probabilistic):
+//   * Rank bound: every returned element comes from the maintained window,
+//     so its rank among present elements is < k at every step, under any
+//     insert/pop interleaving.
+//   * Fairness / progress: every k-th pop returns the exact current
+//     minimum. In framework executions (paper §2.2) the minimum-labelled
+//     unprocessed task is always dependency-free, so at least one task
+//     retires per k pops and the executor terminates. An element of rank r
+//     suffers at most k·r + k inversions before service (each front-service
+//     strictly shrinks the set of smaller elements).
+//
+// An earlier variant without the fairness valve livelocks on adversarial
+// inputs such as greedy coloring on a clique: the single ready task is the
+// window minimum, while the served back keeps cycling between pop and
+// re-insert. The periodic front-service removes that cycle while keeping
+// the worst-case-within-window service that makes experiment overheads
+// conservative.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sched/dary_heap.h"
+#include "sched/scheduler.h"
+
+namespace relax::sched {
+
+class KBoundedScheduler {
+ public:
+  explicit KBoundedScheduler(std::uint32_t k)
+      : k_(std::max<std::uint32_t>(k, 1)) {}
+  /// (seed ignored; this scheduler is deterministic.)
+  KBoundedScheduler(std::uint32_t k, std::uint64_t /*seed*/)
+      : KBoundedScheduler(k) {}
+
+  void insert(Priority p) {
+    if (window_.size() < k_) {
+      insert_into_window(p);
+    } else if (p < window_.back()) {
+      heap_.push(window_.back());
+      window_.pop_back();
+      insert_into_window(p);
+    } else {
+      heap_.push(p);
+    }
+  }
+
+  std::optional<Priority> approx_get_min() {
+    if (window_.empty()) return std::nullopt;
+    ++tick_;
+    Priority p;
+    if (tick_ % k_ == 0) {
+      p = window_.front();  // fairness valve: exact minimum
+      window_.erase(window_.begin());
+    } else {
+      p = window_.back();  // adversarial: largest of the k smallest
+      window_.pop_back();
+    }
+    if (!heap_.empty()) window_.push_back(heap_.pop());
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return window_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return window_.size() + heap_.size();
+  }
+
+ private:
+  void insert_into_window(Priority p) {
+    window_.insert(std::lower_bound(window_.begin(), window_.end(), p), p);
+  }
+
+  std::uint32_t k_;
+  std::uint64_t tick_ = 0;
+  DaryHeap<Priority> heap_;
+  std::vector<Priority> window_;  // ascending; size <= k_
+};
+
+static_assert(SequentialScheduler<KBoundedScheduler>);
+
+}  // namespace relax::sched

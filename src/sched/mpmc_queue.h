@@ -1,0 +1,113 @@
+// Bounded lock-free MPMC FIFO queue (Vyukov's bounded queue design:
+// per-cell sequence numbers, fetch-and-add style ticket acquisition).
+//
+// This is our stand-in for the "Wait-free queue as fast as fetch-and-add"
+// of Yang & Mellor-Crummey [27], which the paper uses as the *exact*
+// concurrent scheduler: tasks are loaded in priority order and dequeued
+// FIFO, so the queue delivers exact priority order with one FAA-dominated
+// operation per dequeue. Our executor pre-loads all n tasks and never
+// enqueues afterwards (stragglers backoff-wait instead of re-inserting,
+// exactly as described in §4 of the paper), so the bounded capacity is
+// simply n and the fast path is a single fetch_add plus one cell handoff.
+//
+// The structure is nonetheless a complete general-purpose MPMC queue
+// (concurrent enqueue + dequeue, wrap-around), tested independently.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/padded.h"
+#include "util/spinlock.h"  // for cpu_relax
+
+namespace relax::sched {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity is rounded up to a power of two (required for index masking).
+  explicit MpmcQueue(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Non-blocking enqueue; returns false when the queue is full.
+  bool try_enqueue(T value) {
+    std::size_t pos = enqueue_pos_->load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_->compare_exchange_weak(pos, pos + 1,
+                                                std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_->load(std::memory_order_relaxed);
+      }
+    }
+    Cell& cell = cells_[pos & mask_];
+    cell.value = std::move(value);
+    cell.sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking dequeue; nullopt when the queue is empty.
+  std::optional<T> try_dequeue() {
+    std::size_t pos = dequeue_pos_->load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_->compare_exchange_weak(pos, pos + 1,
+                                                std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_pos_->load(std::memory_order_relaxed);
+      }
+    }
+    Cell& cell = cells_[pos & mask_];
+    T out = std::move(cell.value);
+    cell.sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Approximate size (racy snapshot; exact when quiescent).
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    const std::size_t e = enqueue_pos_->load(std::memory_order_acquire);
+    const std::size_t d = dequeue_pos_->load(std::memory_order_acquire);
+    return e > d ? e - d : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  util::Padded<std::atomic<std::size_t>> enqueue_pos_{0};
+  util::Padded<std::atomic<std::size_t>> dequeue_pos_{0};
+};
+
+}  // namespace relax::sched

@@ -1,0 +1,101 @@
+// Order-statistics set over a dense priority universe [0, capacity).
+//
+// Backed by a Fenwick (binary indexed) tree of presence bits:
+//   insert / erase              O(log U)
+//   rank_of(p)  (# present < p) O(log U)
+//   select(r)   (r-th smallest) O(log U)   -- single top-down descent
+//   min()                       O(log U)
+//
+// Uses: the canonical top-k uniform scheduler (select a uniformly random
+// rank among the top k), the spray-walk scheduler, and the exact mirror
+// inside RelaxationMonitor that measures empirical rank error.
+//
+// Priorities may be inserted at most once at a time (multiset semantics are
+// unnecessary: labels are unique, and a re-inserted task reuses its label
+// only after it was removed).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace relax::sched {
+
+class OrderStatSet {
+ public:
+  explicit OrderStatSet(std::uint32_t capacity)
+      : capacity_(capacity), tree_(capacity + 1, 0) {}
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] bool contains(std::uint32_t p) const noexcept {
+    assert(p < capacity_);
+    return present_at(p);
+  }
+
+  void insert(std::uint32_t p) {
+    assert(p < capacity_);
+    assert(!contains(p));
+    update(p, +1);
+    ++size_;
+  }
+
+  void erase(std::uint32_t p) {
+    assert(contains(p));
+    update(p, -1);
+    --size_;
+  }
+
+  /// Number of present priorities strictly smaller than p.
+  [[nodiscard]] std::uint32_t rank_of(std::uint32_t p) const noexcept {
+    std::uint32_t i = p;  // prefix sum over [0, p)
+    std::uint32_t sum = 0;
+    while (i > 0) {
+      sum += tree_[i];
+      i &= i - 1;
+    }
+    return sum;
+  }
+
+  /// r-th smallest present priority, r in [0, size()).
+  [[nodiscard]] std::uint32_t select(std::uint32_t r) const noexcept {
+    assert(r < size_);
+    std::uint32_t pos = 0;
+    std::uint32_t remaining = r + 1;
+    // Highest power of two <= capacity_.
+    std::uint32_t step = 1;
+    while ((step << 1) <= capacity_) step <<= 1;
+    for (; step > 0; step >>= 1) {
+      const std::uint32_t next = pos + step;
+      if (next <= capacity_ && tree_[next] < remaining) {
+        remaining -= tree_[next];
+        pos = next;
+      }
+    }
+    return pos;  // pos is the 0-based priority (tree is 1-indexed)
+  }
+
+  /// Smallest present priority. Precondition: !empty().
+  [[nodiscard]] std::uint32_t min() const noexcept { return select(0); }
+
+ private:
+  [[nodiscard]] bool present_at(std::uint32_t p) const noexcept {
+    // present(p) == rank_of(p+1) - rank_of(p); cheaper: walk the implicit
+    // interval tree. Simpler and still O(log U):
+    return rank_of(p + 1) - rank_of(p) != 0;
+  }
+
+  void update(std::uint32_t p, int delta) noexcept {
+    for (std::uint32_t i = p + 1; i <= capacity_; i += i & (0 - i))
+      tree_[i] = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(tree_[i]) + delta);
+  }
+
+  std::uint32_t capacity_;
+  std::uint32_t size_ = 0;
+  std::vector<std::uint32_t> tree_;
+};
+
+}  // namespace relax::sched

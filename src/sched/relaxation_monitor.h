@@ -1,0 +1,86 @@
+// Empirical measurement of a scheduler's relaxation quality (Definition 1).
+//
+// Wraps any SequentialScheduler and maintains an exact order-statistics
+// mirror of its contents. On every pop it records:
+//
+//   * rank error: the popped element's 0-based rank among present elements
+//     (0 == exact behaviour). Definition 1 demands Pr[rank >= l] <=
+//     exp(-l/k).
+//   * inversions: for a deterministic 1-in-`sample_stride` subset of
+//     priorities, the number of lower-priority pops that occur while the
+//     tracked element is present (Definition 1: Pr[inv >= l] <=
+//     exp(-l/phi)). Sampling keeps per-pop overhead O(#tracked).
+//
+// The monitor itself satisfies SequentialScheduler, so it can be dropped
+// into the execution framework to measure in-situ relaxation during real
+// algorithm runs — which is exactly how bench/scheduler_quality produces
+// the Definition 1 validation tables.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/order_stat_set.h"
+#include "sched/scheduler.h"
+#include "util/stats.h"
+
+namespace relax::sched {
+
+template <SequentialScheduler Inner>
+class RelaxationMonitor {
+ public:
+  /// capacity: priority universe size. sample_stride: track inversions for
+  /// priorities p with p % sample_stride == 0 (1 = track everything).
+  RelaxationMonitor(Inner inner, std::uint32_t capacity,
+                    std::uint32_t sample_stride = 1)
+      : inner_(std::move(inner)),
+        mirror_(capacity),
+        stride_(sample_stride == 0 ? 1 : sample_stride) {}
+
+  void insert(Priority p) {
+    mirror_.insert(p);
+    if (p % stride_ == 0) tracked_.emplace(p, 0);
+    inner_.insert(p);
+  }
+
+  std::optional<Priority> approx_get_min() {
+    auto popped = inner_.approx_get_min();
+    if (!popped) return popped;
+    const Priority p = *popped;
+    rank_hist_.add(mirror_.rank_of(p));
+    mirror_.erase(p);
+    for (auto& [tp, inv] : tracked_) {
+      if (tp < p) ++inv;
+    }
+    if (const auto it = tracked_.find(p); it != tracked_.end()) {
+      inversion_hist_.add(it->second);
+      tracked_.erase(it);
+    }
+    return popped;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return inner_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return inner_.size(); }
+
+  [[nodiscard]] const util::ExponentialHistogram& rank_histogram() const {
+    return rank_hist_;
+  }
+  [[nodiscard]] const util::ExponentialHistogram& inversion_histogram()
+      const {
+    return inversion_hist_;
+  }
+
+  [[nodiscard]] Inner& inner() noexcept { return inner_; }
+
+ private:
+  Inner inner_;
+  OrderStatSet mirror_;
+  std::uint32_t stride_;
+  std::unordered_map<Priority, std::uint64_t> tracked_;
+  util::ExponentialHistogram rank_hist_;
+  util::ExponentialHistogram inversion_hist_;
+};
+
+}  // namespace relax::sched

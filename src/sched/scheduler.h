@@ -1,0 +1,48 @@
+// Scheduler interfaces (paper §2.1).
+//
+// A scheduler holds task *priorities*. Priorities in this library are dense
+// 32-bit labels assigned by a permutation pi: label 0 is the highest
+// priority. Because labels are unique per task and re-insertions reuse the
+// original label (paper: Q.insert(v_t, pi(v_t))), the scheduler only needs
+// to store the label itself; callers map labels back to tasks through
+// graph::Priorities::order.
+//
+// Sequential schedulers implement:
+//   insert(label)              -- paper's Insert(<task, priority>)
+//   approx_get_min()           -- paper's ApproxGetMin(); nullopt == bottom
+//   empty(), size()
+//
+// A (k, phi)-relaxed scheduler (Definition 1) additionally promises
+// exponential tail bounds on the rank of returned elements (rank bound k)
+// and on per-element priority inversions (fairness bound phi). The bounds
+// are not enforceable by the type system; tests/sched_quality_test.cc and
+// bench/scheduler_quality measure them empirically via RelaxationMonitor.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+
+namespace relax::sched {
+
+using Priority = std::uint32_t;
+
+template <typename S>
+concept SequentialScheduler = requires(S s, Priority p) {
+  { s.insert(p) } -> std::same_as<void>;
+  { s.approx_get_min() } -> std::same_as<std::optional<Priority>>;
+  { s.empty() } -> std::convertible_to<bool>;
+  { s.size() } -> std::convertible_to<std::size_t>;
+};
+
+/// Concurrent schedulers use the same vocabulary but must be safe to call
+/// from many threads. approx_get_min() returning nullopt means "observed
+/// empty at some point during the call" — with in-flight re-insertions the
+/// caller must use its own termination criterion (see core/parallel docs).
+template <typename S>
+concept ConcurrentScheduler = requires(S s, Priority p) {
+  { s.insert(p) } -> std::same_as<void>;
+  { s.approx_get_min() } -> std::same_as<std::optional<Priority>>;
+};
+
+}  // namespace relax::sched

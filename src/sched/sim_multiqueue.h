@@ -1,0 +1,74 @@
+// Sequential simulation of the MultiQueue (Rihani, Sanders, Dementiev,
+// SPAA'15): q independent min-heaps; Insert pushes to a uniformly random
+// heap; ApproxGetMin samples two distinct heaps uniformly at random and pops
+// the smaller of their minima (the classic power-of-two-choices rule).
+//
+// Alistarh et al. (PODC'17, reference [2] of the paper) prove this scheme
+// is (O(q), O(q log q))-relaxed. Table 1 of the paper is generated with
+// exactly this simulation, with the relaxation factor k equal to the number
+// of queues q.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sched/dary_heap.h"
+#include "sched/scheduler.h"
+#include "util/rng.h"
+
+namespace relax::sched {
+
+class SimMultiQueue {
+ public:
+  SimMultiQueue(std::uint32_t num_queues, std::uint64_t seed)
+      : queues_(std::max<std::uint32_t>(num_queues, 1)), rng_(seed) {}
+
+  void insert(Priority p) {
+    queues_[util::bounded(rng_, queues_.size())].push(p);
+    ++size_;
+  }
+
+  std::optional<Priority> approx_get_min() {
+    if (size_ == 0) return std::nullopt;
+    const std::size_t q = queues_.size();
+    std::size_t a = util::bounded(rng_, q);
+    std::size_t b = q > 1 ? util::bounded(rng_, q - 1) : a;
+    if (q > 1 && b >= a) ++b;  // uniform over distinct pairs
+    // Power of two choices; fall back to a linear scan if both are empty
+    // (size_ > 0 guarantees some queue is non-empty).
+    const std::size_t chosen = pick_nonempty_smaller(a, b);
+    --size_;
+    return queues_[chosen].pop();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::uint32_t num_queues() const noexcept {
+    return static_cast<std::uint32_t>(queues_.size());
+  }
+
+ private:
+  std::size_t pick_nonempty_smaller(std::size_t a, std::size_t b) noexcept {
+    const bool ea = queues_[a].empty();
+    const bool eb = queues_[b].empty();
+    if (!ea && !eb)
+      return queues_[a].top() <= queues_[b].top() ? a : b;
+    if (!ea) return a;
+    if (!eb) return b;
+    // Both sampled queues empty: retry with fresh samples (cheap, and keeps
+    // the two-choice distribution conditioned on non-emptiness).
+    for (;;) {
+      const std::size_t c = util::bounded(rng_, queues_.size());
+      if (!queues_[c].empty()) return c;
+    }
+  }
+
+  std::vector<DaryHeap<Priority>> queues_;
+  std::size_t size_ = 0;
+  util::Rng rng_;
+};
+
+static_assert(SequentialScheduler<SimMultiQueue>);
+
+}  // namespace relax::sched

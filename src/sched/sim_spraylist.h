@@ -1,0 +1,76 @@
+// Sequential simulation of the SprayList (Alistarh, Kopinsky, Li, Shavit,
+// PPoPP'15). The SprayList performs a random descent ("spray") over a skip
+// list: starting from a height-h tower it repeatedly jumps a uniformly
+// random number of forward steps at each level before descending. The
+// landing rank is a sum of independent uniform jumps, concentrated around
+// its mean with exponential tails — which is what makes the SprayList a
+// (O(p polylog p), O(p polylog p))-relaxed scheduler.
+//
+// We simulate the spray over an order-statistics set: rank = sum over
+// `height` levels of Uniform[0, width]. height defaults to ceil(log2 p)+1
+// and width to max(1, p/..) per the paper's parameterization; we expose the
+// spray parameters directly and provide make_sim_spraylist(p) with the
+// published defaults.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <optional>
+
+#include "sched/order_stat_set.h"
+#include "sched/scheduler.h"
+#include "util/rng.h"
+
+namespace relax::sched {
+
+class SimSprayList {
+ public:
+  /// capacity = priority universe size; a spray jumps `height` times, each a
+  /// uniform step count in [0, width].
+  SimSprayList(std::uint32_t capacity, std::uint32_t height,
+               std::uint32_t width, std::uint64_t seed)
+      : set_(capacity),
+        height_(std::max<std::uint32_t>(height, 1)),
+        width_(width),
+        rng_(seed) {}
+
+  void insert(Priority p) { set_.insert(p); }
+
+  std::optional<Priority> approx_get_min() {
+    if (set_.empty()) return std::nullopt;
+    std::uint64_t rank = 0;
+    for (std::uint32_t level = 0; level < height_; ++level)
+      rank += util::bounded(rng_, static_cast<std::uint64_t>(width_) + 1);
+    rank = std::min<std::uint64_t>(rank, set_.size() - 1);
+    const Priority p = set_.select(static_cast<std::uint32_t>(rank));
+    set_.erase(p);
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return set_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return set_.size(); }
+
+  /// Expected spray reach (max attainable rank + 1).
+  [[nodiscard]] std::uint64_t reach() const noexcept {
+    return static_cast<std::uint64_t>(height_) * width_ + 1;
+  }
+
+ private:
+  OrderStatSet set_;
+  std::uint32_t height_;
+  std::uint32_t width_;
+  util::Rng rng_;
+};
+
+/// Spray parameters for p simulated threads, following the SprayList paper:
+/// height ~ log p, per-level jump width ~ p, giving reach O(p log p).
+inline SimSprayList make_sim_spraylist(std::uint32_t capacity,
+                                       std::uint32_t p, std::uint64_t seed) {
+  const std::uint32_t height = std::bit_width(std::max<std::uint32_t>(p, 2));
+  return SimSprayList(capacity, height, std::max<std::uint32_t>(p, 1), seed);
+}
+
+static_assert(SequentialScheduler<SimSprayList>);
+
+}  // namespace relax::sched

@@ -1,0 +1,191 @@
+#include "sched/spraylist.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace relax::sched {
+namespace {
+
+constexpr Priority kHeadKey = 0;  // head compares below every key by rule
+constexpr Priority kTailKey = std::numeric_limits<Priority>::max();
+
+}  // namespace
+
+SprayList::SprayList(unsigned p, std::uint64_t seed)
+    : seed_(seed), seq_rng_(seed ^ 0x5bd1e995u) {
+  p = std::max(p, 1u);
+  spray_height_ = std::bit_width(p);  // floor(log2 p) + 1
+  spray_width_ = std::max<std::uint64_t>(
+      1, (2ull * p + spray_height_ - 1) / spray_height_);
+  head_ = allocate(kHeadKey, kMaxLevel);
+  tail_ = allocate(kTailKey, kMaxLevel);
+  for (int level = 0; level <= kMaxLevel; ++level)
+    head_->next[level].store(tail_, std::memory_order_relaxed);
+  head_->fully_linked.store(true, std::memory_order_release);
+  tail_->fully_linked.store(true, std::memory_order_release);
+}
+
+SprayList::~SprayList() = default;  // registry frees every node
+
+SprayList::Node* SprayList::allocate(Priority key, int level) {
+  auto node = std::make_unique<Node>(key, level);
+  Node* raw = node.get();
+  std::lock_guard<util::Spinlock> guard(registry_lock_);
+  registry_.push_back(std::move(node));
+  return raw;
+}
+
+int SprayList::random_level(util::Rng& rng) {
+  // Geometric with ratio 1/2, capped.
+  const std::uint64_t r = rng();
+  const int level = std::countr_one(r & ((1ull << kMaxLevel) - 1));
+  return std::min(level, kMaxLevel);
+}
+
+int SprayList::find(Priority key, Node** preds, Node** succs) {
+  int found_level = -1;
+  Node* pred = head_;
+  for (int level = kMaxLevel; level >= 0; --level) {
+    Node* curr = pred->next[level].load(std::memory_order_acquire);
+    // head/tail sentinels: head is below all keys, tail above all.
+    while (curr != tail_ && curr->key < key) {
+      pred = curr;
+      curr = pred->next[level].load(std::memory_order_acquire);
+    }
+    if (found_level == -1 && curr != tail_ && curr->key == key)
+      found_level = level;
+    preds[level] = pred;
+    succs[level] = curr;
+  }
+  return found_level;
+}
+
+void SprayList::insert(Priority key, util::Rng& rng) {
+  const int top_level = random_level(rng);
+  Node* preds[kMaxLevel + 1];
+  Node* succs[kMaxLevel + 1];
+  for (;;) {
+    // The framework may re-insert a key that is still physically present in
+    // marked form; duplicates are therefore allowed (the spray skips marked
+    // nodes). We do not need the "wait for fully_linked twin" path of exact
+    // sets: equal keys simply sit adjacent.
+    find(key, preds, succs);
+
+    // Lock predecessors bottom-up and validate.
+    Node* locked[kMaxLevel + 1];
+    int num_locked = 0;
+    bool valid = true;
+    Node* last_locked = nullptr;
+    for (int level = 0; valid && level <= top_level; ++level) {
+      Node* pred = preds[level];
+      Node* succ = succs[level];
+      if (pred != last_locked) {  // avoid re-locking the same node
+        pred->lock.lock();
+        locked[num_locked++] = pred;
+        last_locked = pred;
+      }
+      valid = !pred->marked.load(std::memory_order_acquire) &&
+              pred->next[level].load(std::memory_order_acquire) == succ;
+    }
+    if (!valid) {
+      for (int i = num_locked - 1; i >= 0; --i) locked[i]->lock.unlock();
+      continue;  // retry
+    }
+    Node* node = allocate(key, top_level);
+    for (int level = 0; level <= top_level; ++level)
+      node->next[level].store(succs[level], std::memory_order_relaxed);
+    for (int level = 0; level <= top_level; ++level)
+      preds[level]->next[level].store(node, std::memory_order_release);
+    node->fully_linked.store(true, std::memory_order_release);
+    for (int i = num_locked - 1; i >= 0; --i) locked[i]->lock.unlock();
+    size_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+}
+
+void SprayList::unlink(Node* victim) {
+  // Lazy-skiplist remove, phase 2. The caller won the mark CAS, so it has
+  // exclusive unlink duty. We hold victim's lock throughout: in-flight
+  // inserts using victim as a predecessor serialize before us (they hold
+  // victim's lock while linking) or abort (they validate !pred->marked).
+  //
+  // Lock discipline: every lock acquisition in this file targets a node
+  // strictly *earlier* in list order than the locks already held (insert
+  // locks preds bottom-up, which is non-increasing list position; unlink
+  // holds victim and takes one predecessor at a time). Acquisition order is
+  // therefore globally consistent and deadlock-free.
+  std::lock_guard<util::Spinlock> victim_guard(victim->lock);
+  for (int level = victim->top_level; level >= 0; --level) {
+    for (;;) {
+      // Locate the node whose next[level] is victim (pointer identity —
+      // duplicates of the same key may precede it).
+      Node* pred = head_;
+      Node* curr = pred->next[level].load(std::memory_order_acquire);
+      while (curr != victim && curr != tail_ && curr->key <= victim->key) {
+        pred = curr;
+        curr = pred->next[level].load(std::memory_order_acquire);
+      }
+      if (curr != victim) break;  // not (or no longer) linked at this level
+      pred->lock.lock();
+      // The pred must be unmarked: a marked pred may already be unlinked
+      // (its own remover redirects its *predecessor's* pointer, never its
+      // outgoing ones), and redirecting a dead node's pointer would leave
+      // the victim permanently linked — a resurrection that livelocks every
+      // later insert validating against the marked-but-linked victim.
+      const bool ok =
+          !pred->marked.load(std::memory_order_acquire) &&
+          pred->next[level].load(std::memory_order_acquire) == victim;
+      if (ok) {
+        pred->next[level].store(
+            victim->next[level].load(std::memory_order_acquire),
+            std::memory_order_release);
+      }
+      pred->lock.unlock();
+      if (ok) break;
+      // Predecessor changed under us: retry this level.
+    }
+  }
+}
+
+std::optional<Priority> SprayList::spray(util::Rng& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (size_.load(std::memory_order_acquire) <= 0) return std::nullopt;
+    // Randomized descent.
+    Node* curr = head_;
+    const int start_level =
+        std::min<int>(static_cast<int>(spray_height_) - 1, kMaxLevel);
+    for (int level = start_level; level >= 0; --level) {
+      std::uint64_t jumps = util::bounded(rng, spray_width_ + 1);
+      while (jumps > 0) {
+        Node* nxt = curr->next[level].load(std::memory_order_acquire);
+        if (nxt == tail_ || nxt == nullptr) break;
+        curr = nxt;
+        --jumps;
+      }
+    }
+    // Walk forward from the landing point to the first claimable node.
+    Node* cand =
+        curr == head_ ? curr->next[0].load(std::memory_order_acquire) : curr;
+    while (cand != tail_) {
+      if (cand != head_ &&
+          cand->fully_linked.load(std::memory_order_acquire) &&
+          !cand->marked.load(std::memory_order_acquire)) {
+        bool expected = false;
+        if (cand->marked.compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+          size_.fetch_sub(1, std::memory_order_release);
+          const Priority key = cand->key;
+          unlink(cand);
+          return key;
+        }
+      }
+      cand = cand->next[0].load(std::memory_order_acquire);
+    }
+    // Fell off the end: retry (the list may still hold elements closer to
+    // the head than our landing point, or be momentarily contended).
+  }
+  return std::nullopt;
+}
+
+}  // namespace relax::sched

@@ -1,0 +1,53 @@
+// Canonical k-relaxed scheduler (paper §2.1): ApproxGetMin returns a
+// uniformly random element among the top-k present priorities.
+//
+// This is the analytic model the paper suggests keeping in mind ("it may
+// help to think of a queue which returns a uniformly random element of the
+// top-k at each step as the canonical k-relaxed Q"). It satisfies both
+// Definition 1 bounds: rank error is capped at k deterministically, and an
+// element at rank 1 survives each step with probability at most (k-1)/k,
+// giving Pr[inv >= l] <= ((k-1)/k)^l <= exp(-l/k).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "sched/order_stat_set.h"
+#include "sched/scheduler.h"
+#include "util/rng.h"
+
+namespace relax::sched {
+
+class TopKUniformScheduler {
+ public:
+  /// capacity = priority universe size (number of tasks).
+  TopKUniformScheduler(std::uint32_t capacity, std::uint32_t k,
+                       std::uint64_t seed)
+      : set_(capacity), k_(std::max<std::uint32_t>(k, 1)), rng_(seed) {}
+
+  void insert(Priority p) { set_.insert(p); }
+
+  std::optional<Priority> approx_get_min() {
+    if (set_.empty()) return std::nullopt;
+    const std::uint32_t window = std::min<std::uint32_t>(k_, set_.size());
+    const auto r =
+        static_cast<std::uint32_t>(util::bounded(rng_, window));
+    const Priority p = set_.select(r);
+    set_.erase(p);
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return set_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return set_.size(); }
+  [[nodiscard]] std::uint32_t relaxation() const noexcept { return k_; }
+
+ private:
+  OrderStatSet set_;
+  std::uint32_t k_;
+  util::Rng rng_;
+};
+
+static_assert(SequentialScheduler<TopKUniformScheduler>);
+
+}  // namespace relax::sched

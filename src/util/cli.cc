@@ -1,0 +1,78 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace relax::util {
+
+CommandLine::CommandLine(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::optional<std::string> CommandLine::raw(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool CommandLine::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::string CommandLine::get_string(const std::string& name,
+                                    const std::string& def) const {
+  return raw(name).value_or(def);
+}
+
+std::int64_t CommandLine::get_int(const std::string& name,
+                                  std::int64_t def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double CommandLine::get_double(const std::string& name, double def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool CommandLine::get_bool(const std::string& name, bool def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+std::vector<std::int64_t> CommandLine::get_int_list(
+    const std::string& name, std::vector<std::int64_t> def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  std::vector<std::int64_t> out;
+  std::size_t pos = 0;
+  while (pos < v->size()) {
+    auto comma = v->find(',', pos);
+    if (comma == std::string::npos) comma = v->size();
+    out.push_back(std::strtoll(v->substr(pos, comma - pos).c_str(), nullptr,
+                               10));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace relax::util

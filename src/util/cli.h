@@ -1,0 +1,49 @@
+// Tiny command-line flag parser for benches and examples.
+//
+// Supports --name=value and --name value forms, typed lookups with defaults,
+// and --help text assembled from registered flags. Deliberately minimal — no
+// external dependency, no global state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace relax::util {
+
+class CommandLine {
+ public:
+  /// Parses argv. Unknown flags are kept (so binaries can share parsers);
+  /// positional arguments are collected in order.
+  CommandLine(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+  /// Comma-separated integer list, e.g. --ks=4,8,16.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name, std::vector<std::int64_t> def) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program_name() const { return program_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> raw(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace relax::util

@@ -1,0 +1,76 @@
+// Fork-join parallel loop over an index range, used by graph construction
+// and generators. Spawns std::jthreads per call; call sites are coarse
+// (graph-sized) so thread-creation cost is negligible. Not a work-stealing
+// runtime on purpose — the paper's point is that the *scheduler data
+// structure* provides the parallelism for the algorithms themselves.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pin.h"
+
+namespace relax::util {
+
+/// Invokes fn(begin, end) on roughly equal chunks of [begin, end) across
+/// `threads` workers (0 = hardware concurrency). fn must be thread-safe.
+template <typename Fn>
+void parallel_chunks(std::uint64_t begin, std::uint64_t end, unsigned threads,
+                     Fn&& fn) {
+  const std::uint64_t total = end > begin ? end - begin : 0;
+  if (threads == 0) threads = hardware_threads();
+  threads = static_cast<unsigned>(
+      std::min<std::uint64_t>(threads, std::max<std::uint64_t>(total, 1)));
+  if (threads <= 1 || total < 4096) {
+    fn(begin, end);
+    return;
+  }
+  std::vector<std::jthread> workers;
+  workers.reserve(threads);
+  const std::uint64_t chunk = (total + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::uint64_t lo = begin + static_cast<std::uint64_t>(t) * chunk;
+    const std::uint64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    workers.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+}
+
+/// Like parallel_chunks, but fn also receives the worker index:
+/// fn(worker, lo, hi). Always uses exactly `threads` slots (workers with an
+/// empty range are not invoked). Returns the number of slots.
+template <typename Fn>
+unsigned parallel_chunks_indexed(std::uint64_t begin, std::uint64_t end,
+                                 unsigned threads, Fn&& fn) {
+  const std::uint64_t total = end > begin ? end - begin : 0;
+  if (threads == 0) threads = hardware_threads();
+  threads = static_cast<unsigned>(
+      std::min<std::uint64_t>(threads, std::max<std::uint64_t>(total, 1)));
+  if (threads <= 1) {
+    fn(0u, begin, end);
+    return 1;
+  }
+  std::vector<std::jthread> workers;
+  workers.reserve(threads);
+  const std::uint64_t chunk = (total + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::uint64_t lo = begin + static_cast<std::uint64_t>(t) * chunk;
+    const std::uint64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    workers.emplace_back([&fn, t, lo, hi] { fn(t, lo, hi); });
+  }
+  return threads;
+}
+
+/// Element-wise parallel for: fn(i) for i in [begin, end).
+template <typename Fn>
+void parallel_for(std::uint64_t begin, std::uint64_t end, unsigned threads,
+                  Fn&& fn) {
+  parallel_chunks(begin, end, threads, [&fn](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace relax::util

@@ -1,0 +1,165 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every randomized component of the library (graph generators, permutations,
+// relaxed schedulers) takes an explicit seed so that experiments and tests are
+// reproducible. We provide:
+//
+//   * SplitMix64  — tiny stateless-ish stream generator, used for seeding.
+//   * Xoshiro256StarStar — the main engine (satisfies
+//     std::uniform_random_bit_generator), 2^256-1 period, excellent speed.
+//
+// plus convenience helpers for bounded integers (Lemire's unbiased multiply-
+// shift rejection method) and Fisher-Yates shuffling.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace relax::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into larger state.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation re-expressed). Main engine for all randomized components.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64, as recommended by the
+  /// authors. A zero seed is fine (SplitMix64 output is never all-zero four
+  /// times in a row).
+  explicit constexpr Xoshiro256StarStar(std::uint64_t seed = 1) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm();
+  }
+
+  constexpr std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls to operator(); used to derive independent
+  /// per-thread streams from one seed.
+  constexpr void long_jump() noexcept {
+    constexpr std::uint64_t kJump[] = {0x76e15d3efefdcbbfULL,
+                                       0xc5004e441c522fb3ULL,
+                                       0x77710069854ee241ULL,
+                                       0x39109bb02acbe635ULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::uint64_t jump : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (jump & (1ULL << b)) {
+          s0 ^= s_[0];
+          s1 ^= s_[1];
+          s2 ^= s_[2];
+          s3 ^= s_[3];
+        }
+        (void)(*this)();
+      }
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Default engine alias used across the library.
+using Rng = Xoshiro256StarStar;
+
+/// Unbiased uniform integer in [0, bound). bound must be > 0.
+/// Lemire's multiply-shift with rejection (no modulo in the common path).
+template <typename Engine>
+constexpr std::uint64_t bounded(Engine& rng, std::uint64_t bound) noexcept {
+  using u128 = unsigned __int128;
+  std::uint64_t x = rng();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = rng();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+/// Uniform integer in the inclusive range [lo, hi].
+template <typename Engine>
+constexpr std::uint64_t uniform_in(Engine& rng, std::uint64_t lo,
+                                   std::uint64_t hi) noexcept {
+  return lo + bounded(rng, hi - lo + 1);
+}
+
+/// Uniform double in [0, 1) with 53 bits of randomness.
+template <typename Engine>
+constexpr double uniform_double(Engine& rng) noexcept {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// In-place Fisher-Yates shuffle.
+template <typename Engine, typename T>
+void shuffle(std::span<T> data, Engine& rng) {
+  for (std::size_t i = data.size(); i > 1; --i) {
+    const std::size_t j = bounded(rng, i);
+    using std::swap;
+    swap(data[i - 1], data[j]);
+  }
+}
+
+/// Identity permutation 0..n-1 shuffled uniformly at random.
+template <typename Engine>
+std::vector<std::uint32_t> random_permutation(std::uint32_t n, Engine& rng) {
+  std::vector<std::uint32_t> pi(n);
+  for (std::uint32_t i = 0; i < n; ++i) pi[i] = i;
+  shuffle(std::span<std::uint32_t>(pi), rng);
+  return pi;
+}
+
+}  // namespace relax::util

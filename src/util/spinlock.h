@@ -1,0 +1,53 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// Used by the concurrent MultiQueue: critical sections are a handful of heap
+// operations, so a futex-based mutex would pay syscall overhead for nothing.
+// Satisfies the Lockable named requirement (usable with std::lock_guard).
+#pragma once
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace relax::util {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class Spinlock {
+ public:
+  Spinlock() noexcept = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    int spins = 1;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Test-and-test-and-set: spin on a plain load to keep the line shared.
+      while (flag_.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < spins; ++i) cpu_relax();
+        if (spins < 1024) spins <<= 1;
+      }
+    }
+  }
+
+  [[nodiscard]] bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace relax::util

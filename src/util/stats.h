@@ -1,0 +1,96 @@
+// Small statistics toolkit: online mean/variance (Welford), min/max,
+// fixed-bucket and exponential histograms, and run-summary helpers used by
+// the benchmark harnesses to report paper-style numbers (avg over trials,
+// error bars as min/max).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace relax::util {
+
+/// Welford online accumulator: numerically stable mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over non-negative integer values with power-of-two buckets:
+/// bucket b counts values v with 2^b <= v+1 < 2^(b+1) (so value 0 lands in
+/// bucket 0). Used to validate the exponential tail bounds of Definition 1.
+class ExponentialHistogram {
+ public:
+  void add(std::uint64_t value) noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+  /// Fraction of samples with value >= threshold (exact, via raw tail sums
+  /// maintained per bucket boundary; conservative within the boundary
+  /// bucket).
+  [[nodiscard]] double tail_fraction_at_least(std::uint64_t threshold) const;
+  /// Maximum value ever added.
+  [[nodiscard]] std::uint64_t max_value() const noexcept { return max_; }
+  void merge(const ExponentialHistogram& other);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::vector<std::uint64_t> raw_;  // sampled raw values (capped reservoir)
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Simple dense histogram for small integer domains (e.g. color counts).
+class DenseHistogram {
+ public:
+  void add(std::size_t value);
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t at(std::size_t value) const noexcept {
+    return value < counts_.size() ? counts_[value] : 0;
+  }
+  [[nodiscard]] std::size_t max_value() const noexcept {
+    return counts_.empty() ? 0 : counts_.size() - 1;
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Percentile from an unsorted sample (copies + sorts; for bench reporting).
+[[nodiscard]] double percentile(std::vector<double> sample, double p);
+
+}  // namespace relax::util

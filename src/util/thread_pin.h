@@ -1,0 +1,16 @@
+// Thread-affinity helper. The paper pins threads to fill sockets one at a
+// time; on our single-socket container we pin thread i to logical CPU i,
+// which avoids migrations and stabilizes the thread-sweep benchmarks.
+#pragma once
+
+namespace relax::util {
+
+/// Pins the calling thread to the given logical CPU (modulo the number of
+/// CPUs available). Returns true on success; failure is harmless and the
+/// benchmarks proceed unpinned.
+bool pin_thread_to_cpu(unsigned cpu) noexcept;
+
+/// Number of logical CPUs usable by this process.
+unsigned hardware_threads() noexcept;
+
+}  // namespace relax::util

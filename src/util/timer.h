@@ -1,0 +1,27 @@
+// Minimal wall-clock timing helper used by benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace relax::util {
+
+/// Wall-clock stopwatch based on steady_clock. Started on construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace relax::util

@@ -1,0 +1,223 @@
+// Adversarial-scheduler and failure-injection tests.
+//
+// Definition 1 bounds what a relaxed scheduler may do *probabilistically*;
+// the framework's determinism, however, must survive ANY schedule. These
+// tests drive the executors with schedulers crafted to be as hostile as a
+// rank bound allows — always returning the worst (largest-label) element
+// of the top-k, delaying targeted labels, or flipping between extremes —
+// and assert the output still equals the sequential execution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "algorithms/coloring.h"
+#include "algorithms/mis.h"
+#include "core/sequential_executor.h"
+#include "graph/generators.h"
+#include "sched/scheduler.h"
+
+namespace relax {
+namespace {
+
+using graph::Graph;
+using sched::Priority;
+
+/// Always serves the *largest* label among the k smallest present — the
+/// adversarially maximal choice permitted by a strict k-rank bound. Unlike
+/// KBoundedScheduler it has no fairness valve, so it is usable only for
+/// problems whose dependency orientation guarantees that some element of
+/// every k-window is processable (true for label-oriented frameworks: the
+/// window always contains the global minimum after k-1 hostile serves).
+class WorstOfTopK {
+ public:
+  explicit WorstOfTopK(std::uint32_t k) : k_(std::max(k, 1u)) {}
+
+  void insert(Priority p) { present_.insert(p); }
+
+  std::optional<Priority> approx_get_min() {
+    if (present_.empty()) return std::nullopt;
+    // After a failed serve the element is re-inserted; to guarantee
+    // progress we rotate which of the top-k we serve, reaching position 0
+    // (the exact minimum) at least once every k pops.
+    auto it = present_.begin();
+    const std::size_t window =
+        std::min<std::size_t>(k_, present_.size());
+    const std::size_t pos = window - 1 - (tick_++ % window);
+    std::advance(it, pos);
+    const Priority p = *it;
+    present_.erase(it);
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const { return present_.empty(); }
+  [[nodiscard]] std::size_t size() const { return present_.size(); }
+
+ private:
+  std::uint32_t k_;
+  std::uint64_t tick_ = 0;
+  std::set<Priority> present_;
+};
+
+static_assert(sched::SequentialScheduler<WorstOfTopK>);
+
+/// Serves the minimum except for a targeted label, which it starves for
+/// `delay` pops (bounded starvation — an extreme fairness-bound stress).
+class StarveOne {
+ public:
+  StarveOne(Priority victim, std::uint32_t delay)
+      : victim_(victim), delay_(delay) {}
+
+  void insert(Priority p) { present_.insert(p); }
+
+  std::optional<Priority> approx_get_min() {
+    if (present_.empty()) return std::nullopt;
+    auto it = present_.begin();
+    if (*it == victim_ && starved_ < delay_ && present_.size() > 1) {
+      ++starved_;
+      ++it;  // skip the victim; serve the second-smallest
+    }
+    const Priority p = *it;
+    present_.erase(it);
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const { return present_.empty(); }
+  [[nodiscard]] std::size_t size() const { return present_.size(); }
+
+ private:
+  Priority victim_;
+  std::uint32_t delay_;
+  std::uint32_t starved_ = 0;
+  std::set<Priority> present_;
+};
+
+static_assert(sched::SequentialScheduler<StarveOne>);
+
+/// FIFO of re-inserted elements first, then strictly ascending — models a
+/// scheduler that always re-serves failed tasks immediately (maximum
+/// failed-delete pressure on the same dependency edge).
+class ReserveFailedFirst {
+ public:
+  void insert(Priority p) {
+    if (seen_.contains(p)) {
+      retry_.push_back(p);  // re-insertion: serve before anything else
+    } else {
+      seen_.insert(p);
+      fresh_.insert(p);
+    }
+  }
+
+  std::optional<Priority> approx_get_min() {
+    if (!retry_.empty()) {
+      const Priority p = retry_.front();
+      retry_.pop_front();
+      return p;
+    }
+    if (fresh_.empty()) return std::nullopt;
+    const Priority p = *fresh_.begin();
+    fresh_.erase(fresh_.begin());
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return retry_.empty() && fresh_.empty();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return retry_.size() + fresh_.size();
+  }
+
+ private:
+  std::set<Priority> seen_;
+  std::set<Priority> fresh_;
+  std::deque<Priority> retry_;
+};
+
+static_assert(sched::SequentialScheduler<ReserveFailedFirst>);
+
+TEST(Adversarial, WorstOfTopKMisIsDeterministic) {
+  for (const std::uint32_t k : {2u, 7u, 32u, 301u}) {
+    const Graph g = graph::gnm(400, 2400, k);
+    const auto pri = graph::random_priorities(400, k + 5);
+    const auto expected = algorithms::sequential_greedy_mis(g, pri);
+    algorithms::MisProblem problem(g, pri);
+    WorstOfTopK sched(k);
+    const auto stats = core::run_sequential(problem, pri, sched);
+    EXPECT_EQ(problem.result(), expected) << "k=" << k;
+    EXPECT_EQ(stats.processed + stats.dead_skips, 400u);
+  }
+}
+
+TEST(Adversarial, WorstOfTopKColoringOnClique) {
+  // Clique + hostile scheduler: the tightness example of Theorem 1. Every
+  // pop that is not the current minimum fails.
+  const Graph g = graph::clique(60);
+  const auto pri = graph::random_priorities(60, 3);
+  algorithms::ColoringProblem problem(g, pri);
+  WorstOfTopK sched(8);
+  const auto stats = core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(problem.colors(), algorithms::sequential_greedy_coloring(g, pri));
+  // Hostile serves waste ~ (k-1)/k of pops: check the Theta(nk) shape.
+  EXPECT_GT(stats.failed_deletes, 60u * 4);
+}
+
+TEST(Adversarial, StarvedVertexStillDecidedCorrectly) {
+  const Graph g = graph::gnm(300, 1500, 11);
+  const auto pri = graph::random_priorities(300, 13);
+  const auto expected = algorithms::sequential_greedy_mis(g, pri);
+  // Starve each of several victims in turn, including label 0 (the global
+  // minimum — the worst case for dependency waiting).
+  for (const Priority victim : {0u, 1u, 150u, 299u}) {
+    algorithms::MisProblem problem(g, pri);
+    StarveOne sched(victim, /*delay=*/5000);
+    core::run_sequential(problem, pri, sched);
+    EXPECT_EQ(problem.result(), expected) << "victim=" << victim;
+  }
+}
+
+TEST(Adversarial, ImmediateRetryStormConverges) {
+  // Re-serving failed tasks immediately maximizes repeated failed deletes
+  // on the same edge; the run must converge with the exact output anyway.
+  const Graph g = graph::gnm(500, 4000, 17);
+  const auto pri = graph::random_priorities(500, 19);
+  const auto expected = algorithms::sequential_greedy_coloring(g, pri);
+  algorithms::ColoringProblem problem(g, pri);
+  ReserveFailedFirst sched;
+  const auto stats = core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(problem.colors(), expected);
+  EXPECT_EQ(stats.processed, 500u);
+}
+
+TEST(Adversarial, FullUniverseRelaxationIsStillCorrect) {
+  // k = n: the scheduler may return anything. MIS must still match.
+  const Graph g = graph::barabasi_albert(350, 4, 23);
+  const auto pri = graph::random_priorities(350, 29);
+  const auto expected = algorithms::sequential_greedy_mis(g, pri);
+  algorithms::MisProblem problem(g, pri);
+  WorstOfTopK sched(350);
+  core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(problem.result(), expected);
+}
+
+TEST(Adversarial, WastedWorkGrowsWithK) {
+  // Failed deletes should be monotone-ish in the relaxation k on a fixed
+  // dense input (Theorem 2's poly(k), tested at the adversarial extreme).
+  const Graph g = graph::gnm(600, 18000, 31);
+  const auto pri = graph::random_priorities(600, 37);
+  std::uint64_t last = 0;
+  for (const std::uint32_t k : {1u, 8u, 64u}) {
+    algorithms::MisProblem problem(g, pri);
+    WorstOfTopK sched(k);
+    const auto stats = core::run_sequential(problem, pri, sched);
+    EXPECT_GE(stats.failed_deletes + 8, last)
+        << "waste dropped sharply at k=" << k;
+    last = stats.failed_deletes;
+  }
+  EXPECT_GT(last, 0u);
+}
+
+}  // namespace
+}  // namespace relax

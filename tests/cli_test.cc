@@ -1,0 +1,78 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace relax::util {
+namespace {
+
+CommandLine make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CommandLine(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CommandLine, EqualsForm) {
+  const auto cl = make({"--n=100", "--name=foo"});
+  EXPECT_EQ(cl.get_int("n", 0), 100);
+  EXPECT_EQ(cl.get_string("name", ""), "foo");
+}
+
+TEST(CommandLine, SpaceForm) {
+  const auto cl = make({"--n", "42"});
+  EXPECT_EQ(cl.get_int("n", 0), 42);
+}
+
+TEST(CommandLine, BareBooleanFlag) {
+  const auto cl = make({"--verbose"});
+  EXPECT_TRUE(cl.get_bool("verbose", false));
+  EXPECT_FALSE(cl.get_bool("quiet", false));
+}
+
+TEST(CommandLine, BooleanSpellings) {
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=on"}).get_bool("x", false));
+  EXPECT_FALSE(make({"--x=no"}).get_bool("x", true));
+}
+
+TEST(CommandLine, DefaultsWhenMissing) {
+  const auto cl = make({});
+  EXPECT_EQ(cl.get_int("n", 7), 7);
+  EXPECT_EQ(cl.get_string("s", "d"), "d");
+  EXPECT_DOUBLE_EQ(cl.get_double("p", 0.5), 0.5);
+}
+
+TEST(CommandLine, IntList) {
+  const auto cl = make({"--ks=4,8,16,32"});
+  const auto ks = cl.get_int_list("ks", {});
+  ASSERT_EQ(ks.size(), 4u);
+  EXPECT_EQ(ks[0], 4);
+  EXPECT_EQ(ks[3], 32);
+}
+
+TEST(CommandLine, IntListDefault) {
+  const auto cl = make({});
+  const auto ks = cl.get_int_list("ks", {1, 2});
+  ASSERT_EQ(ks.size(), 2u);
+}
+
+TEST(CommandLine, Positional) {
+  const auto cl = make({"file1", "--n=3", "file2"});
+  ASSERT_EQ(cl.positional().size(), 2u);
+  EXPECT_EQ(cl.positional()[0], "file1");
+  EXPECT_EQ(cl.positional()[1], "file2");
+}
+
+TEST(CommandLine, DoubleParsing) {
+  const auto cl = make({"--p=0.125"});
+  EXPECT_DOUBLE_EQ(cl.get_double("p", 0), 0.125);
+}
+
+TEST(CommandLine, HasDetectsPresence) {
+  const auto cl = make({"--a=1"});
+  EXPECT_TRUE(cl.has("a"));
+  EXPECT_FALSE(cl.has("b"));
+}
+
+}  // namespace
+}  // namespace relax::util

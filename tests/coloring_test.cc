@@ -1,0 +1,106 @@
+#include "algorithms/coloring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/sequential_executor.h"
+#include "graph/generators.h"
+#include "sched/exact_heap.h"
+#include "sched/sim_multiqueue.h"
+#include "sched/topk_uniform.h"
+
+namespace relax::algorithms {
+namespace {
+
+using graph::Graph;
+
+TEST(SequentialColoring, PathUsesTwoColors) {
+  const Graph g = graph::path(10);
+  const auto pri = graph::identity_priorities(10);
+  const auto colors = sequential_greedy_coloring(g, pri);
+  EXPECT_TRUE(verify_coloring(g, colors));
+  EXPECT_EQ(*std::max_element(colors.begin(), colors.end()), 1u);
+}
+
+TEST(SequentialColoring, CliqueUsesNColors) {
+  const Graph g = graph::clique(7);
+  const auto pri = graph::random_priorities(7, 3);
+  const auto colors = sequential_greedy_coloring(g, pri);
+  EXPECT_TRUE(verify_coloring(g, colors));
+  EXPECT_EQ(*std::max_element(colors.begin(), colors.end()), 6u);
+}
+
+TEST(SequentialColoring, CompleteBipartiteUsesTwoColors) {
+  const Graph g = graph::complete_bipartite(5, 7);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto pri = graph::random_priorities(12, seed);
+    const auto colors = sequential_greedy_coloring(g, pri);
+    EXPECT_TRUE(verify_coloring(g, colors));
+    EXPECT_LE(*std::max_element(colors.begin(), colors.end()), 1u);
+  }
+}
+
+TEST(SequentialColoring, AtMostMaxDegreePlusOne) {
+  const Graph g = graph::gnm(300, 2000, 7);
+  const auto pri = graph::random_priorities(300, 11);
+  const auto colors = sequential_greedy_coloring(g, pri);
+  EXPECT_TRUE(verify_coloring(g, colors));
+  EXPECT_LE(*std::max_element(colors.begin(), colors.end()),
+            g.max_degree());
+}
+
+TEST(VerifyColoring, RejectsMonochromaticEdge) {
+  const Graph g = graph::path(3);
+  EXPECT_FALSE(verify_coloring(g, std::vector<std::uint32_t>{0, 0, 1}));
+}
+
+TEST(VerifyColoring, RejectsUncolored) {
+  const Graph g = graph::path(2);
+  EXPECT_FALSE(verify_coloring(
+      g, std::vector<std::uint32_t>{0, ColoringProblem::kUncolored}));
+}
+
+TEST(ColoringProblem, ExactMatchesBaseline) {
+  const Graph g = graph::gnm(500, 3000, 13);
+  const auto pri = graph::random_priorities(500, 17);
+  ColoringProblem problem(g, pri);
+  sched::ExactHeapScheduler sched;
+  const auto stats = core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(stats.failed_deletes, 0u);
+  EXPECT_EQ(problem.colors(), sequential_greedy_coloring(g, pri));
+}
+
+TEST(ColoringProblem, RelaxedIsDeterministic) {
+  const Graph g = graph::gnm(400, 4000, 19);
+  const auto pri = graph::random_priorities(400, 23);
+  const auto expected = sequential_greedy_coloring(g, pri);
+  for (const std::uint32_t k : {4u, 32u}) {
+    ColoringProblem problem(g, pri);
+    sched::TopKUniformScheduler sched(400, k, 29);
+    core::run_sequential(problem, pri, sched);
+    EXPECT_EQ(problem.colors(), expected) << "k=" << k;
+  }
+}
+
+TEST(ColoringProblem, NeverRetires) {
+  const Graph g = graph::gnm(300, 1500, 31);
+  const auto pri = graph::random_priorities(300, 37);
+  ColoringProblem problem(g, pri);
+  sched::SimMultiQueue sched(8, 41);
+  const auto stats = core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(stats.dead_skips, 0u);
+  EXPECT_EQ(stats.processed, 300u);
+}
+
+TEST(AtomicColoringProblem, SequentialUseMatchesBaseline) {
+  const Graph g = graph::gnm(300, 2500, 43);
+  const auto pri = graph::random_priorities(300, 47);
+  AtomicColoringProblem problem(g, pri);
+  sched::SimMultiQueue sched(8, 53);
+  core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(problem.colors(), sequential_greedy_coloring(g, pri));
+}
+
+}  // namespace
+}  // namespace relax::algorithms

@@ -1,0 +1,201 @@
+#include "sched/concurrent_multiqueue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sched/order_stat_set.h"
+#include "util/rng.h"
+
+namespace relax::sched {
+namespace {
+
+TEST(ConcurrentMultiQueue, SingleThreadDrainsAll) {
+  ConcurrentMultiQueue q(8, 1);
+  for (Priority p = 0; p < 1000; ++p) q.insert(p);
+  EXPECT_EQ(q.size(), 1000u);
+  std::vector<char> seen(1000, 0);
+  std::uint32_t n = 0;
+  while (auto p = q.approx_get_min()) {
+    ASSERT_FALSE(seen[*p]);
+    seen[*p] = 1;
+    ++n;
+  }
+  EXPECT_EQ(n, 1000u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ConcurrentMultiQueue, EmptyReturnsNullopt) {
+  ConcurrentMultiQueue q(4, 1);
+  EXPECT_FALSE(q.approx_get_min().has_value());
+}
+
+TEST(ConcurrentMultiQueue, MinimumQueueCountEnforced) {
+  ConcurrentMultiQueue q(0, 1);
+  EXPECT_GE(q.num_queues(), 2u);
+}
+
+TEST(ConcurrentMultiQueue, RoughPriorityBias) {
+  // Two-choice over q heaps: the first pops should be strongly biased
+  // toward small priorities. Pop a tenth of the universe and check the
+  // mean popped value is far below the universe mean.
+  ConcurrentMultiQueue q(8, 3);
+  constexpr std::uint32_t kN = 10000;
+  for (Priority p = 0; p < kN; ++p) q.insert(p);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto p = q.approx_get_min();
+    ASSERT_TRUE(p.has_value());
+    sum += *p;
+  }
+  EXPECT_LT(sum / 1000.0, kN * 0.2);  // exact would be ~500; universe mean 5000
+}
+
+TEST(ConcurrentMultiQueue, ConcurrentExactlyOnce) {
+  constexpr std::uint32_t kN = 100000;
+  constexpr unsigned kThreads = 8;
+  ConcurrentMultiQueue q(4 * kThreads, 5);
+  std::vector<std::atomic<int>> got(kN);
+  for (auto& g : got) g.store(0);
+  std::atomic<std::uint32_t> produced{0};
+  std::atomic<std::uint32_t> consumed{0};
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        auto handle = q.get_handle();
+        // Each thread produces a slice and consumes until global drain.
+        for (;;) {
+          const auto i = produced.fetch_add(1);
+          if (i >= kN) break;
+          handle.insert(i);
+        }
+        while (consumed.load() < kN) {
+          const auto p = handle.approx_get_min();
+          if (!p) continue;
+          got[*p].fetch_add(1);
+          consumed.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(consumed.load(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(got[i].load(), 1);
+}
+
+TEST(ConcurrentMultiQueue, ConcurrentReinsertionSafe) {
+  // Threads pop and re-insert half the time; ensure nothing is lost.
+  constexpr std::uint32_t kN = 20000;
+  ConcurrentMultiQueue q(16, 7);
+  for (Priority p = 0; p < kN; ++p) q.insert(p);
+  std::atomic<std::uint32_t> retired{0};
+  std::vector<std::atomic<int>> done(kN);
+  for (auto& d : done) d.store(0);
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        util::Rng rng(t + 100);
+        auto handle = q.get_handle();
+        while (retired.load() < kN) {
+          const auto p = handle.approx_get_min();
+          if (!p) continue;
+          if (done[*p].load() == 0 && util::bounded(rng, 2) == 0) {
+            handle.insert(*p);  // simulate a failed delete
+          } else {
+            ASSERT_EQ(done[*p].fetch_add(1), 0);
+            retired.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(done[i].load(), 1);
+}
+
+TEST(ConcurrentMultiQueue, SixtyFourBitKeys) {
+  BasicConcurrentMultiQueue<std::uint64_t> q(4, 1);
+  const std::uint64_t big = (0x12345678ULL << 32) | 0x9abcdef0ULL;
+  q.insert(big);
+  q.insert(1);
+  std::uint64_t seen_big = 0, count = 0;
+  while (auto v = q.approx_get_min()) {
+    if (*v == big) seen_big = 1;
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_TRUE(seen_big);
+}
+
+TEST(ConcurrentMultiQueue, SequentialRankErrorBoundedByQueueSpread) {
+  // Single-threaded: the rank error should concentrate below a small
+  // multiple of the queue count (PODC'17 analysis).
+  constexpr std::uint32_t kQueues = 8, kN = 20000;
+  ConcurrentMultiQueue q(kQueues, 11);
+  OrderStatSet mirror(kN);
+  for (Priority p = 0; p < kN; ++p) {
+    q.insert(p);
+    mirror.insert(p);
+  }
+  std::uint64_t violations = 0;
+  while (auto p = q.approx_get_min()) {
+    if (mirror.rank_of(*p) >= 16 * kQueues) ++violations;
+    mirror.erase(*p);
+  }
+  EXPECT_LT(violations, kN / 100);
+}
+
+
+TEST(ConcurrentMultiQueue, BulkLoadDrainsAllExactlyOnce) {
+  ConcurrentMultiQueue q(8, 7);
+  constexpr std::uint32_t kN = 5000;
+  std::vector<Priority> labels(kN);
+  for (Priority p = 0; p < kN; ++p) labels[p] = p;
+  q.bulk_load(labels);
+  EXPECT_EQ(q.size(), kN);
+  std::vector<char> seen(kN, 0);
+  std::uint32_t n = 0;
+  while (auto p = q.approx_get_min()) {
+    ASSERT_FALSE(seen[*p]);
+    seen[*p] = 1;
+    ++n;
+  }
+  EXPECT_EQ(n, kN);
+}
+
+TEST(ConcurrentMultiQueue, BulkLoadMixesWithDynamicInserts) {
+  // The two-part sub-queue must interleave base-array pops and heap pops in
+  // priority order: bulk-load the evens, insert the odds dynamically, then
+  // check pops are biased-small and complete.
+  ConcurrentMultiQueue q(4, 9);
+  constexpr std::uint32_t kN = 2000;
+  std::vector<Priority> evens;
+  for (Priority p = 0; p < kN; p += 2) evens.push_back(p);
+  q.bulk_load(evens);
+  for (Priority p = 1; p < kN; p += 2) q.insert(p);
+  EXPECT_EQ(q.size(), kN);
+  std::vector<char> seen(kN, 0);
+  std::uint32_t n = 0;
+  while (auto p = q.approx_get_min()) {
+    ASSERT_FALSE(seen[*p]);
+    seen[*p] = 1;
+    ++n;
+  }
+  EXPECT_EQ(n, kN);
+}
+
+TEST(ConcurrentMultiQueue, SingleSubQueuePairPopsExactWithBulkLoad) {
+  // With 2 sub-queues and two-choice sampling, every pop compares both
+  // tops, so the global minimum is always returned: exact behaviour.
+  ConcurrentMultiQueue q(2, 11);
+  std::vector<Priority> labels(500);
+  for (Priority p = 0; p < 500; ++p) labels[p] = p;
+  q.bulk_load(labels);
+  for (Priority expect = 0; expect < 500; ++expect)
+    EXPECT_EQ(q.approx_get_min(), expect);
+}
+
+}  // namespace
+}  // namespace relax::sched

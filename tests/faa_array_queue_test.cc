@@ -1,0 +1,91 @@
+#include "sched/faa_array_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace relax::sched {
+namespace {
+
+TEST(FaaArrayQueue, DispensesInOrder) {
+  std::vector<std::uint32_t> items(100);
+  std::iota(items.begin(), items.end(), 0u);
+  FaaArrayQueue<std::uint32_t> q(std::move(items));
+  for (std::uint32_t expect = 0; expect < 100; ++expect)
+    EXPECT_EQ(q.try_dequeue(), expect);
+  EXPECT_FALSE(q.try_dequeue().has_value());
+  EXPECT_FALSE(q.try_dequeue().has_value());  // stays empty
+}
+
+TEST(FaaArrayQueue, EmptyFromStart) {
+  FaaArrayQueue<std::uint32_t> q;
+  EXPECT_EQ(q.capacity(), 0u);
+  EXPECT_FALSE(q.try_dequeue().has_value());
+}
+
+TEST(FaaArrayQueue, LoadResetsCursor) {
+  FaaArrayQueue<std::uint32_t> q(std::vector<std::uint32_t>{1, 2});
+  EXPECT_EQ(q.try_dequeue(), 1u);
+  q.load({7, 8, 9});
+  EXPECT_EQ(q.size_approx(), 3u);
+  EXPECT_EQ(q.try_dequeue(), 7u);
+  EXPECT_EQ(q.try_dequeue(), 8u);
+  EXPECT_EQ(q.try_dequeue(), 9u);
+  EXPECT_FALSE(q.try_dequeue().has_value());
+}
+
+TEST(FaaArrayQueue, SizeApproxTracksConsumption) {
+  std::vector<std::uint32_t> items(10);
+  std::iota(items.begin(), items.end(), 0u);
+  FaaArrayQueue<std::uint32_t> q(std::move(items));
+  EXPECT_EQ(q.size_approx(), 10u);
+  (void)q.try_dequeue();
+  (void)q.try_dequeue();
+  EXPECT_EQ(q.size_approx(), 8u);
+}
+
+TEST(FaaArrayQueue, ConcurrentExactlyOnceDelivery) {
+  constexpr std::uint32_t kN = 200000;
+  constexpr unsigned kThreads = 8;
+  std::vector<std::uint32_t> items(kN);
+  std::iota(items.begin(), items.end(), 0u);
+  FaaArrayQueue<std::uint32_t> q(std::move(items));
+  std::vector<std::atomic<int>> got(kN);
+  for (auto& g : got) g.store(0);
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        while (auto v = q.try_dequeue()) got[*v].fetch_add(1);
+      });
+    }
+  }
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(got[i].load(), 1);
+}
+
+TEST(FaaArrayQueue, ConcurrentDeliveryPreservesPerThreadOrder) {
+  // Each thread's private sequence of tickets must be strictly increasing —
+  // the property the exact executor relies on for priority order.
+  constexpr std::uint32_t kN = 100000;
+  constexpr unsigned kThreads = 8;
+  std::vector<std::uint32_t> items(kN);
+  std::iota(items.begin(), items.end(), 0u);
+  FaaArrayQueue<std::uint32_t> q(std::move(items));
+  std::vector<std::vector<std::uint32_t>> per_thread(kThreads);
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        while (auto v = q.try_dequeue()) per_thread[t].push_back(*v);
+      });
+    }
+  }
+  for (const auto& seq : per_thread)
+    EXPECT_TRUE(std::is_sorted(seq.begin(), seq.end()));
+}
+
+}  // namespace
+}  // namespace relax::sched

@@ -1,0 +1,154 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace relax::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::from_edges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, VerticesWithoutEdges) {
+  const Graph g = Graph::from_edges(5, {});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Graph, TriangleBasics) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(Graph, DuplicateEdgesRemoved) {
+  const std::vector<Edge> edges{{0, 1}, {1, 0}, {0, 1}, {0, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, SelfLoopsDropped) {
+  const std::vector<Edge> edges{{0, 0}, {1, 1}, {0, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, NeighborsSortedAscending) {
+  const std::vector<Edge> edges{{2, 0}, {2, 3}, {2, 1}, {2, 4}};
+  const Graph g = Graph::from_edges(5, edges);
+  const auto nb = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 4u);
+}
+
+TEST(Graph, EdgeListRoundTrip) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {3, 4}, {0, 4}};
+  const Graph g = Graph::from_edges(5, edges);
+  auto listed = g.edge_list();
+  EXPECT_EQ(listed.size(), 4u);
+  for (const auto& [u, v] : listed) {
+    EXPECT_LT(u, v);  // canonical orientation
+    EXPECT_TRUE(g.has_edge(u, v));
+  }
+  const Graph g2 = Graph::from_edges(5, listed);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g2.degree(v), g.degree(v));
+}
+
+TEST(Graph, HasEdgeNegativeCases) {
+  const Graph g = Graph::from_edges(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Graph, MaxDegree) {
+  const Graph g =
+      Graph::from_edges(5, std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, ArcTargetsMatchNeighbors) {
+  const Graph g =
+      Graph::from_edges(4, std::vector<Edge>{{0, 1}, {0, 2}, {1, 3}});
+  for (Vertex v = 0; v < 4; ++v) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t j = 0; j < nb.size(); ++j)
+      EXPECT_EQ(g.arc_target(g.arc_offset(v) + j), nb[j]);
+  }
+}
+
+TEST(Graph, ParallelConstructionMatchesSequential) {
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < 500; ++u)
+    for (Vertex v = u + 1; v < u + 20 && v < 500; ++v)
+      edges.emplace_back(u, v);
+  const Graph seq = Graph::from_edges(500, edges, 1);
+  const Graph par = Graph::from_edges(500, edges, 8);
+  ASSERT_EQ(seq.num_edges(), par.num_edges());
+  for (Vertex v = 0; v < 500; ++v) {
+    const auto a = seq.neighbors(v);
+    const auto b = par.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(LineGraph, PathBecomesPath) {
+  // Path 0-1-2-3 has edges e0={0,1}, e1={1,2}, e2={2,3}; L(G) is the path
+  // e0-e1-e2.
+  const Graph g =
+      Graph::from_edges(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  std::vector<Edge> index;
+  const Graph lg = line_graph(g, &index);
+  EXPECT_EQ(lg.num_vertices(), 3u);
+  EXPECT_EQ(lg.num_edges(), 2u);
+  ASSERT_EQ(index.size(), 3u);
+}
+
+TEST(LineGraph, TriangleBecomesTriangle) {
+  const Graph g =
+      Graph::from_edges(3, std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}});
+  const Graph lg = line_graph(g);
+  EXPECT_EQ(lg.num_vertices(), 3u);
+  EXPECT_EQ(lg.num_edges(), 3u);
+}
+
+TEST(LineGraph, StarBecomesClique) {
+  // K_{1,4}: all 4 edges share the hub, so L(G) = K_4.
+  const Graph g = Graph::from_edges(
+      5, std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const Graph lg = line_graph(g);
+  EXPECT_EQ(lg.num_vertices(), 4u);
+  EXPECT_EQ(lg.num_edges(), 6u);
+}
+
+TEST(LineGraph, AdjacencyMeansSharedEndpoint) {
+  const Graph g = Graph::from_edges(
+      6, std::vector<Edge>{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {2, 3}});
+  std::vector<Edge> index;
+  const Graph lg = line_graph(g, &index);
+  for (Vertex e = 0; e < lg.num_vertices(); ++e) {
+    for (const Vertex f : lg.neighbors(e)) {
+      const auto [a, b] = index[e];
+      const auto [c, d] = index[f];
+      EXPECT_TRUE(a == c || a == d || b == c || b == d);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace relax::graph

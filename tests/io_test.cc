@@ -1,0 +1,84 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "graph/generators.h"
+
+namespace relax::graph {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const char* name) {
+    return std::string(::testing::TempDir()) + "/" + name;
+  }
+
+  static void expect_same(const Graph& a, const Graph& b) {
+    ASSERT_EQ(a.num_vertices(), b.num_vertices());
+    ASSERT_EQ(a.num_edges(), b.num_edges());
+    for (Vertex v = 0; v < a.num_vertices(); ++v) {
+      const auto na = a.neighbors(v);
+      const auto nb = b.neighbors(v);
+      ASSERT_EQ(na.size(), nb.size());
+      EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+    }
+  }
+};
+
+TEST_F(IoTest, TextRoundTrip) {
+  const Graph g = gnm_exact(100, 300, 7);
+  const auto path = temp_path("g.el");
+  write_edge_list(g, path);
+  expect_same(g, read_edge_list(path));
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, TextRoundTripEmpty) {
+  const Graph g = Graph::from_edges(10, {});
+  const auto path = temp_path("empty.el");
+  write_edge_list(g, path);
+  expect_same(g, read_edge_list(path));
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const Graph g = gnm_exact(200, 1500, 11);
+  const auto path = temp_path("g.bel");
+  write_binary(g, path);
+  expect_same(g, read_binary(path));
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRejectsGarbage) {
+  const auto path = temp_path("garbage.bel");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a graph", f);
+  std::fclose(f);
+  EXPECT_THROW(read_binary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list("/nonexistent/path/g.el"), std::runtime_error);
+  EXPECT_THROW(read_binary("/nonexistent/path/g.bel"), std::runtime_error);
+}
+
+TEST_F(IoTest, TextHandWritten) {
+  const auto path = temp_path("hand.el");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("3 2\n0 1\n1 2\n", f);
+  std::fclose(f);
+  const Graph g = read_edge_list(path);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace relax::graph

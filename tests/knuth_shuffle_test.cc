@@ -1,0 +1,179 @@
+#include "algorithms/knuth_shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/sequential_executor.h"
+#include "sched/exact_heap.h"
+#include "sched/kbounded.h"
+#include "sched/sim_multiqueue.h"
+#include "sched/topk_uniform.h"
+
+namespace relax::algorithms {
+namespace {
+
+TEST(ShuffleTargets, InRangeAndDeterministic) {
+  const auto t1 = shuffle_targets(100, 5);
+  const auto t2 = shuffle_targets(100, 5);
+  EXPECT_EQ(t1, t2);
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_LE(t1[i], i);
+  EXPECT_EQ(t1[0], 0u);
+}
+
+TEST(SequentialShuffle, ProducesPermutation) {
+  const auto targets = shuffle_targets(200, 7);
+  auto a = sequential_knuth_shuffle(targets);
+  std::sort(a.begin(), a.end());
+  for (std::uint32_t i = 0; i < 200; ++i) EXPECT_EQ(a[i], i);
+}
+
+TEST(SequentialShuffle, LabelOrderProducesPermutation) {
+  const auto targets = shuffle_targets(200, 7);
+  const auto pri = graph::random_priorities(200, 9);
+  auto a = sequential_knuth_shuffle(targets, pri);
+  std::sort(a.begin(), a.end());
+  for (std::uint32_t i = 0; i < 200; ++i) EXPECT_EQ(a[i], i);
+}
+
+TEST(SequentialShuffle, IdentityPrioritiesMatchTextbookPass) {
+  const auto targets = shuffle_targets(300, 11);
+  const auto pri = graph::identity_priorities(300);
+  EXPECT_EQ(sequential_knuth_shuffle(targets, pri),
+            sequential_knuth_shuffle(targets));
+}
+
+TEST(SequentialShuffle, UniformOverSmallDomain) {
+  // n = 4 has 24 permutations; with random targets each should appear
+  // with roughly equal frequency (Fisher-Yates correctness).
+  std::map<std::vector<std::uint32_t>, int> counts;
+  constexpr int kTrials = 24000;
+  for (int s = 0; s < kTrials; ++s)
+    ++counts[sequential_knuth_shuffle(shuffle_targets(4, s))];
+  EXPECT_EQ(counts.size(), 24u);
+  for (const auto& [perm, count] : counts) {
+    EXPECT_GT(count, kTrials / 24 * 0.8);
+    EXPECT_LT(count, kTrials / 24 * 1.2);
+  }
+}
+
+TEST(SequentialShuffle, LabelOrderUniformOverSmallDomain) {
+  // Applying the swaps in random label order must still produce uniformly
+  // random permutations: each pass is a composition of transpositions that
+  // is a bijection of seeds to outputs on this domain.
+  std::map<std::vector<std::uint32_t>, int> counts;
+  constexpr int kTrials = 24000;
+  for (int s = 0; s < kTrials; ++s) {
+    const auto targets = shuffle_targets(4, s);
+    const auto pri = graph::random_priorities(4, s + 777);
+    ++counts[sequential_knuth_shuffle(targets, pri)];
+  }
+  EXPECT_EQ(counts.size(), 24u);
+}
+
+TEST(PositionIndex, ListsLabelSortedAndComplete) {
+  const auto targets = shuffle_targets(50, 9);
+  const auto pri = graph::random_priorities(50, 15);
+  const PositionIndex index(targets, pri);
+  std::uint64_t total = 0;
+  for (std::uint32_t p = 0; p < 50; ++p) {
+    const auto tasks = index.tasks_at(p);
+    EXPECT_TRUE(std::is_sorted(tasks.begin(), tasks.end(),
+                               [&](std::uint32_t a, std::uint32_t b) {
+                                 return pri.labels[a] < pri.labels[b];
+                               }));
+    total += tasks.size();
+    for (const auto t : tasks)
+      EXPECT_TRUE(t == p || targets[t] == p);
+  }
+  // Each task appears once per distinct touched position.
+  std::uint64_t expected = 0;
+  for (std::uint32_t i = 0; i < 50; ++i)
+    expected += targets[i] == i ? 1 : 2;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(KnuthShuffleProblem, ExactMatchesLabelOrderBaseline) {
+  const auto targets = shuffle_targets(500, 11);
+  const auto pri = graph::random_priorities(500, 13);
+  const PositionIndex index(targets, pri);
+  KnuthShuffleProblem problem(targets, index);
+  sched::ExactHeapScheduler sched;
+  const auto stats = core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(problem.array(), sequential_knuth_shuffle(targets, pri));
+  // Exact execution never blocks: the min-labelled task is always ready.
+  EXPECT_EQ(stats.failed_deletes, 0u);
+  EXPECT_EQ(stats.iterations, 500u);
+}
+
+TEST(KnuthShuffleProblem, IdentityPrioritiesRecoverTextbookShuffle) {
+  const auto targets = shuffle_targets(400, 3);
+  const auto pri = graph::identity_priorities(400);
+  const PositionIndex index(targets, pri);
+  KnuthShuffleProblem problem(targets, index);
+  sched::SimMultiQueue sched(8, 5);
+  core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(problem.array(), sequential_knuth_shuffle(targets));
+}
+
+TEST(KnuthShuffleProblem, RelaxedIsDeterministic) {
+  const auto targets = shuffle_targets(400, 17);
+  const auto pri = graph::random_priorities(400, 19);
+  const PositionIndex index(targets, pri);
+  const auto expected = sequential_knuth_shuffle(targets, pri);
+  for (const std::uint32_t k : {4u, 64u}) {
+    KnuthShuffleProblem problem(targets, index);
+    sched::TopKUniformScheduler sched(400, k, 23);
+    core::run_sequential(problem, pri, sched);
+    EXPECT_EQ(problem.array(), expected) << "k=" << k;
+  }
+}
+
+TEST(KnuthShuffleProblem, OutputInvariantAcrossSchedulers) {
+  // Whatever scheduler (and scheduler seed) drives the schedule, the output
+  // is the label-order shuffle under pi — the framework's determinism.
+  const auto targets = shuffle_targets(300, 29);
+  const auto pri = graph::random_priorities(300, 31);
+  const PositionIndex index(targets, pri);
+  const auto expected = sequential_knuth_shuffle(targets, pri);
+  for (std::uint64_t sched_seed = 0; sched_seed < 5; ++sched_seed) {
+    KnuthShuffleProblem problem(targets, index);
+    sched::SimMultiQueue sched(8, sched_seed);
+    core::run_sequential(problem, pri, sched);
+    EXPECT_EQ(problem.array(), expected) << "sched_seed=" << sched_seed;
+  }
+}
+
+TEST(KnuthShuffleProblem, KBoundedSchedulerTerminatesAndMatches) {
+  const auto targets = shuffle_targets(300, 43);
+  const auto pri = graph::random_priorities(300, 47);
+  const PositionIndex index(targets, pri);
+  KnuthShuffleProblem problem(targets, index);
+  sched::KBoundedScheduler sched(16);
+  core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(problem.array(), sequential_knuth_shuffle(targets, pri));
+}
+
+TEST(AtomicKnuthShuffleProblem, SequentialUseMatchesBaseline) {
+  const auto targets = shuffle_targets(300, 37);
+  const auto pri = graph::random_priorities(300, 41);
+  const PositionIndex index(targets, pri);
+  AtomicKnuthShuffleProblem problem(targets, index);
+  sched::TopKUniformScheduler sched(300, 16, 43);
+  core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(problem.array(), sequential_knuth_shuffle(targets, pri));
+}
+
+TEST(KnuthShuffleProblem, SelfSwapOnlyTask) {
+  const std::vector<std::uint32_t> targets{0};
+  const auto pri = graph::identity_priorities(1);
+  const PositionIndex index(targets, pri);
+  KnuthShuffleProblem problem(targets, index);
+  sched::ExactHeapScheduler sched;
+  core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(problem.array(), (std::vector<std::uint32_t>{0}));
+}
+
+}  // namespace
+}  // namespace relax::algorithms

@@ -1,0 +1,107 @@
+#include "algorithms/list_contraction.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/sequential_executor.h"
+#include "sched/exact_heap.h"
+#include "sched/sim_multiqueue.h"
+#include "sched/topk_uniform.h"
+#include "util/rng.h"
+
+namespace relax::algorithms {
+namespace {
+
+std::vector<std::uint32_t> identity_arrangement(std::uint32_t n) {
+  std::vector<std::uint32_t> a(n);
+  std::iota(a.begin(), a.end(), 0u);
+  return a;
+}
+
+TEST(SequentialListContraction, TinyListTrace) {
+  // List 0-1-2, contract in order 1, 0, 2.
+  const auto arr = identity_arrangement(3);
+  const auto pri = graph::priorities_from_order(
+      std::vector<std::uint32_t>{1, 0, 2});
+  const auto trace = sequential_list_contraction(arr, pri);
+  // 1 contracts first: neighbors (0, 2).
+  EXPECT_EQ(trace[1], std::make_pair(0u, 2u));
+  // 0 contracts next: list is 0-2, so (nil, 2).
+  EXPECT_EQ(trace[0], std::make_pair(kNilNode, 2u));
+  // 2 is last: alone, (nil, nil).
+  EXPECT_EQ(trace[2], std::make_pair(kNilNode, kNilNode));
+}
+
+TEST(SequentialListContraction, IdentityOrderPeelsFromFront) {
+  const auto arr = identity_arrangement(4);
+  const auto pri = graph::identity_priorities(4);
+  const auto trace = sequential_list_contraction(arr, pri);
+  EXPECT_EQ(trace[0], std::make_pair(kNilNode, 1u));
+  EXPECT_EQ(trace[1], std::make_pair(kNilNode, 2u));
+  EXPECT_EQ(trace[2], std::make_pair(kNilNode, 3u));
+  EXPECT_EQ(trace[3], std::make_pair(kNilNode, kNilNode));
+}
+
+TEST(SequentialListContraction, CustomArrangement) {
+  // Arrangement 2-0-1 (node 2 is the head).
+  const std::vector<std::uint32_t> arr{2, 0, 1};
+  const auto pri = graph::identity_priorities(3);
+  const auto trace = sequential_list_contraction(arr, pri);
+  EXPECT_EQ(trace[0], std::make_pair(2u, 1u));
+}
+
+TEST(ListContractionProblem, ExactMatchesBaseline) {
+  const auto arr = identity_arrangement(500);
+  const auto pri = graph::random_priorities(500, 7);
+  ListContractionProblem problem(arr, pri);
+  sched::ExactHeapScheduler sched;
+  const auto stats = core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(stats.failed_deletes, 0u);
+  EXPECT_EQ(problem.trace(), sequential_list_contraction(arr, pri));
+}
+
+TEST(ListContractionProblem, RelaxedTraceIsDeterministic) {
+  const auto arr = identity_arrangement(400);
+  const auto pri = graph::random_priorities(400, 11);
+  const auto expected = sequential_list_contraction(arr, pri);
+  for (const std::uint32_t k : {2u, 16u, 128u}) {
+    ListContractionProblem problem(arr, pri);
+    sched::TopKUniformScheduler sched(400, k, 13);
+    core::run_sequential(problem, pri, sched);
+    EXPECT_EQ(problem.trace(), expected) << "k=" << k;
+  }
+}
+
+TEST(ListContractionProblem, ShuffledArrangement) {
+  util::Rng rng(17);
+  auto arr = identity_arrangement(300);
+  util::shuffle(std::span<std::uint32_t>(arr), rng);
+  const auto pri = graph::random_priorities(300, 19);
+  const auto expected = sequential_list_contraction(arr, pri);
+  ListContractionProblem problem(arr, pri);
+  sched::SimMultiQueue sched(8, 23);
+  core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(problem.trace(), expected);
+}
+
+TEST(AtomicListContractionProblem, SequentialUseMatchesBaseline) {
+  const auto arr = identity_arrangement(300);
+  const auto pri = graph::random_priorities(300, 29);
+  AtomicListContractionProblem problem(arr, pri);
+  sched::TopKUniformScheduler sched(300, 8, 31);
+  core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(problem.trace(), sequential_list_contraction(arr, pri));
+}
+
+TEST(ListContractionProblem, SingletonList) {
+  const auto arr = identity_arrangement(1);
+  const auto pri = graph::identity_priorities(1);
+  ListContractionProblem problem(arr, pri);
+  sched::ExactHeapScheduler sched;
+  core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(problem.trace()[0], std::make_pair(kNilNode, kNilNode));
+}
+
+}  // namespace
+}  // namespace relax::algorithms

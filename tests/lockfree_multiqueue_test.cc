@@ -1,0 +1,198 @@
+#include "sched/lockfree_multiqueue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "algorithms/mis.h"
+#include "core/parallel_executor.h"
+#include "graph/generators.h"
+#include "sched/order_stat_set.h"
+
+namespace relax::sched {
+namespace {
+
+static_assert(ConcurrentScheduler<LockFreeMultiQueue>);
+static_assert(SequentialScheduler<LockFreeMultiQueue>);
+
+TEST(LockFreeMultiQueue, SingleListIsExact) {
+  // One sub-list degrades to an exact priority queue.
+  LockFreeMultiQueue mq(1, 3);
+  util::Rng rng(1);
+  for (const auto p : util::random_permutation(500, rng)) mq.insert(p);
+  for (Priority expect = 0; expect < 500; ++expect)
+    EXPECT_EQ(mq.approx_get_min(), expect);
+  EXPECT_TRUE(mq.empty());
+}
+
+TEST(LockFreeMultiQueue, DrainsAllExactlyOnce) {
+  LockFreeMultiQueue mq(8, 5);
+  constexpr std::uint32_t kN = 5000;
+  util::Rng rng(2);
+  for (const auto p : util::random_permutation(kN, rng)) mq.insert(p);
+  EXPECT_EQ(mq.size(), kN);
+  std::vector<char> seen(kN, 0);
+  std::uint32_t count = 0;
+  while (auto p = mq.approx_get_min()) {
+    ASSERT_LT(*p, kN);
+    ASSERT_FALSE(seen[*p]) << "duplicate " << *p;
+    seen[*p] = 1;
+    ++count;
+  }
+  EXPECT_EQ(count, kN);
+  EXPECT_TRUE(mq.empty());
+}
+
+TEST(LockFreeMultiQueue, EmptyReturnsNullopt) {
+  LockFreeMultiQueue mq(4, 1);
+  EXPECT_FALSE(mq.approx_get_min().has_value());
+  mq.insert(7);
+  EXPECT_EQ(mq.approx_get_min(), 7u);
+  EXPECT_FALSE(mq.approx_get_min().has_value());
+}
+
+TEST(LockFreeMultiQueue, DuplicateKeysSupported) {
+  LockFreeMultiQueue mq(2, 9);
+  for (int i = 0; i < 5; ++i) mq.insert(42);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(mq.approx_get_min(), 42u);
+  EXPECT_FALSE(mq.approx_get_min().has_value());
+}
+
+TEST(LockFreeMultiQueue, BulkLoadEquivalentToInserts) {
+  constexpr std::uint32_t kN = 4000;
+  LockFreeMultiQueue mq(16, 11);
+  std::vector<Priority> labels(kN);
+  std::iota(labels.begin(), labels.end(), 0u);
+  mq.bulk_load(labels);
+  EXPECT_EQ(mq.size(), kN);
+  std::vector<char> seen(kN, 0);
+  std::uint32_t count = 0;
+  while (auto p = mq.approx_get_min()) {
+    ASSERT_FALSE(seen[*p]);
+    seen[*p] = 1;
+    ++count;
+  }
+  EXPECT_EQ(count, kN);
+}
+
+TEST(LockFreeMultiQueue, TwoChoiceRankStaysNearHead) {
+  constexpr std::uint32_t kQueues = 8, kN = 20000;
+  LockFreeMultiQueue mq(kQueues, 13);
+  OrderStatSet mirror(kN);
+  std::vector<Priority> labels(kN);
+  std::iota(labels.begin(), labels.end(), 0u);
+  mq.bulk_load(labels);
+  for (Priority p = 0; p < kN; ++p) mirror.insert(p);
+  double sum = 0;
+  std::uint64_t beyond = 0;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    const auto p = mq.approx_get_min();
+    ASSERT_TRUE(p.has_value());
+    const auto rank = mirror.rank_of(*p);
+    sum += static_cast<double>(rank);
+    if (rank >= 16 * kQueues) ++beyond;
+    mirror.erase(*p);
+  }
+  // Two-choice process: mean rank O(q), exponential tails (PODC'17).
+  EXPECT_LT(sum / kN, 4.0 * kQueues);
+  EXPECT_LT(static_cast<double>(beyond) / kN, 0.01);
+}
+
+TEST(LockFreeMultiQueue, ConcurrentInsertDrainExactlyOnce) {
+  constexpr std::uint32_t kN = 40000;
+  constexpr unsigned kThreads = 8;
+  LockFreeMultiQueue mq(4 * kThreads, 17);
+  std::vector<std::atomic<int>> got(kN);
+  for (auto& g : got) g.store(0);
+  std::atomic<std::uint32_t> produced{0};
+  std::atomic<std::uint32_t> consumed{0};
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        auto handle = mq.get_handle();
+        for (;;) {
+          const auto i = produced.fetch_add(1);
+          if (i >= kN) break;
+          handle.insert(i);
+        }
+        while (consumed.load() < kN) {
+          const auto p = handle.approx_get_min();
+          if (!p) continue;
+          got[*p].fetch_add(1);
+          consumed.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(consumed.load(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(got[i].load(), 1);
+}
+
+TEST(LockFreeMultiQueue, ConcurrentReinsertionStress) {
+  constexpr std::uint32_t kN = 10000;
+  LockFreeMultiQueue mq(16, 19);
+  std::vector<Priority> labels(kN);
+  std::iota(labels.begin(), labels.end(), 0u);
+  mq.bulk_load(labels);
+  std::atomic<std::uint32_t> retired{0};
+  std::vector<std::atomic<int>> done(kN);
+  for (auto& d : done) d.store(0);
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        util::Rng rng(t + 1);
+        auto handle = mq.get_handle();
+        while (retired.load() < kN) {
+          const auto p = handle.approx_get_min();
+          if (!p) continue;
+          if (done[*p].load() == 0 && util::bounded(rng, 2) == 0) {
+            handle.insert(*p);
+          } else {
+            ASSERT_EQ(done[*p].fetch_add(1), 0);
+            retired.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(done[i].load(), 1);
+}
+
+TEST(LockFreeMultiQueue, DrivesParallelMisDeterministically) {
+  const auto g = graph::gnm(2000, 10000, 23);
+  const auto pri = graph::random_priorities(2000, 29);
+  const auto expected = algorithms::sequential_greedy_mis(g, pri);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    algorithms::AtomicMisProblem problem(g, pri);
+    LockFreeMultiQueue mq(32, seed);
+    core::ParallelOptions opts;
+    opts.num_threads = 8;
+    opts.pin_threads = false;
+    core::run_parallel_relaxed_on(problem, pri, mq, opts);
+    EXPECT_EQ(problem.result(), expected) << "seed=" << seed;
+  }
+}
+
+TEST(LockFreeMultiQueue, SingleChoiceAblationStillCorrect) {
+  LockFreeMultiQueue mq(8, 31, /*choices=*/1);
+  constexpr std::uint32_t kN = 2000;
+  util::Rng rng(3);
+  for (const auto p : util::random_permutation(kN, rng)) mq.insert(p);
+  std::vector<char> seen(kN, 0);
+  std::uint32_t count = 0;
+  while (auto p = mq.approx_get_min()) {
+    ASSERT_FALSE(seen[*p]);
+    seen[*p] = 1;
+    ++count;
+  }
+  EXPECT_EQ(count, kN);
+}
+
+}  // namespace
+}  // namespace relax::sched

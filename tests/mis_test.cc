@@ -1,0 +1,173 @@
+#include "algorithms/mis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sequential_executor.h"
+#include "graph/generators.h"
+#include "sched/exact_heap.h"
+#include "sched/sim_multiqueue.h"
+#include "sched/topk_uniform.h"
+
+namespace relax::algorithms {
+namespace {
+
+using graph::Graph;
+using graph::Priorities;
+
+TEST(SequentialMis, PathIdentityOrder) {
+  // Path 0-1-2-3-4 with identity priorities: greedy takes 0, 2, 4.
+  const Graph g = graph::path(5);
+  const auto pri = graph::identity_priorities(5);
+  const auto mis = sequential_greedy_mis(g, pri);
+  EXPECT_EQ(mis, (std::vector<std::uint8_t>{1, 0, 1, 0, 1}));
+  EXPECT_TRUE(verify_mis(g, mis));
+}
+
+TEST(SequentialMis, StarTakesHubOrLeaves) {
+  const Graph g = graph::star(6);
+  // Hub first -> only hub in MIS.
+  auto pri = graph::identity_priorities(6);
+  auto mis = sequential_greedy_mis(g, pri);
+  EXPECT_EQ(mis[0], 1);
+  for (int v = 1; v < 6; ++v) EXPECT_EQ(mis[v], 0);
+  // Any leaf first -> all leaves in MIS.
+  std::vector<std::uint32_t> order{1, 2, 3, 4, 5, 0};
+  pri = graph::priorities_from_order(order);
+  mis = sequential_greedy_mis(g, pri);
+  EXPECT_EQ(mis[0], 0);
+  for (int v = 1; v < 6; ++v) EXPECT_EQ(mis[v], 1);
+}
+
+TEST(SequentialMis, CliqueHasExactlyOne) {
+  const Graph g = graph::clique(10);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto pri = graph::random_priorities(10, seed);
+    const auto mis = sequential_greedy_mis(g, pri);
+    int count = 0;
+    for (const auto f : mis) count += f;
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(mis[pri.order[0]], 1);  // highest priority vertex wins
+  }
+}
+
+TEST(SequentialMis, ValidOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = graph::gnm(500, 3000, seed);
+    const auto pri = graph::random_priorities(500, seed + 100);
+    EXPECT_TRUE(verify_mis(g, sequential_greedy_mis(g, pri)));
+  }
+}
+
+TEST(VerifyMis, RejectsNonIndependent) {
+  const Graph g = graph::path(3);
+  EXPECT_FALSE(verify_mis(g, std::vector<std::uint8_t>{1, 1, 0}));
+}
+
+TEST(VerifyMis, RejectsNonMaximal) {
+  const Graph g = graph::path(5);
+  // {0, 4} is independent but 2 could be added.
+  EXPECT_FALSE(verify_mis(g, std::vector<std::uint8_t>{1, 0, 0, 0, 1}));
+}
+
+TEST(VerifyMis, RejectsWrongSize) {
+  const Graph g = graph::path(3);
+  EXPECT_FALSE(verify_mis(g, std::vector<std::uint8_t>{1, 0}));
+}
+
+TEST(MisProblem, ExactSchedulerMatchesBaselineWithZeroWaste) {
+  const Graph g = graph::gnm(1000, 5000, 3);
+  const auto pri = graph::random_priorities(1000, 17);
+  MisProblem problem(g, pri);
+  sched::ExactHeapScheduler sched;
+  const auto stats = core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(stats.failed_deletes, 0u);
+  EXPECT_EQ(stats.processed + stats.dead_skips, 1000u);
+  EXPECT_EQ(problem.result(), sequential_greedy_mis(g, pri));
+}
+
+TEST(MisProblem, RelaxedSchedulerIsDeterministic) {
+  const Graph g = graph::gnm(800, 8000, 5);
+  const auto pri = graph::random_priorities(800, 23);
+  const auto expected = sequential_greedy_mis(g, pri);
+  for (const std::uint32_t k : {2u, 8u, 64u}) {
+    MisProblem problem(g, pri);
+    sched::TopKUniformScheduler sched(800, k, 7);
+    const auto stats = core::run_sequential(problem, pri, sched);
+    EXPECT_EQ(problem.result(), expected) << "k=" << k;
+    EXPECT_EQ(stats.processed + stats.dead_skips, 800u);
+  }
+}
+
+TEST(MisProblem, MultiQueueSchedulerIsDeterministic) {
+  const Graph g = graph::gnm(600, 2000, 9);
+  const auto pri = graph::random_priorities(600, 31);
+  const auto expected = sequential_greedy_mis(g, pri);
+  MisProblem problem(g, pri);
+  sched::SimMultiQueue sched(16, 3);
+  core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(problem.result(), expected);
+}
+
+TEST(MisProblem, IterationAccounting) {
+  // iterations == n + failed_deletes: every vertex is delivered-decided
+  // exactly once, plus one delivery per re-insertion.
+  const Graph g = graph::gnm(500, 4000, 11);
+  const auto pri = graph::random_priorities(500, 37);
+  MisProblem problem(g, pri);
+  sched::TopKUniformScheduler sched(500, 16, 5);
+  const auto stats = core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(stats.iterations, 500 + stats.failed_deletes);
+}
+
+TEST(AtomicMisProblem, SequentialUseMatchesPlainProblem) {
+  const Graph g = graph::gnm(400, 1500, 13);
+  const auto pri = graph::random_priorities(400, 41);
+  AtomicMisProblem problem(g, pri);
+  sched::TopKUniformScheduler sched(400, 8, 9);
+  core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(problem.result(), sequential_greedy_mis(g, pri));
+}
+
+TEST(MisProblem, EmptyGraph) {
+  const Graph g = Graph::from_edges(0, {});
+  const auto pri = graph::identity_priorities(0);
+  MisProblem problem(g, pri);
+  sched::ExactHeapScheduler sched;
+  const auto stats = core::run_sequential(problem, pri, sched);
+  EXPECT_EQ(stats.iterations, 0u);
+}
+
+TEST(MisProblem, EdgelessGraphAllInMis) {
+  const Graph g = Graph::from_edges(50, {});
+  const auto pri = graph::random_priorities(50, 1);
+  MisProblem problem(g, pri);
+  sched::TopKUniformScheduler sched(50, 4, 1);
+  core::run_sequential(problem, pri, sched);
+  const auto mis = problem.result();
+  for (const auto f : mis) EXPECT_EQ(f, 1);
+}
+
+TEST(SequentialMisScan, MatchesDeadPropagationBaseline) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = graph::gnm(800, 6000, seed);
+    const auto pri = graph::random_priorities(800, seed + 50);
+    EXPECT_EQ(sequential_greedy_mis_scan(g, pri),
+              sequential_greedy_mis(g, pri))
+        << "seed=" << seed;
+  }
+}
+
+TEST(SequentialMisScan, VerifiesOnEveryFamily) {
+  const auto check = [](const Graph& g) {
+    const auto pri = graph::random_priorities(g.num_vertices(), 3);
+    const auto mis = sequential_greedy_mis_scan(g, pri);
+    EXPECT_TRUE(verify_mis(g, mis));
+  };
+  check(graph::clique(40));
+  check(graph::star(100));
+  check(graph::grid(12, 12));
+  check(graph::cycle(77));
+}
+
+}  // namespace
+}  // namespace relax::algorithms

@@ -1,0 +1,134 @@
+#include "sched/mpmc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace relax::sched {
+namespace {
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.try_enqueue(i));
+  for (int i = 0; i < 10; ++i) {
+    const auto v = q.try_dequeue();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_dequeue().has_value());
+}
+
+TEST(MpmcQueue, CapacityRoundsUpToPowerOfTwo) {
+  MpmcQueue<int> q(100);
+  EXPECT_EQ(q.capacity(), 128u);
+}
+
+TEST(MpmcQueue, FullRejectsEnqueue) {
+  MpmcQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_enqueue(i));
+  EXPECT_FALSE(q.try_enqueue(99));
+  EXPECT_EQ(q.try_dequeue(), 0);
+  EXPECT_TRUE(q.try_enqueue(99));
+}
+
+TEST(MpmcQueue, WrapAround) {
+  MpmcQueue<int> q(8);
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_enqueue(round * 5 + i));
+    for (int i = 0; i < 5; ++i)
+      ASSERT_EQ(q.try_dequeue(), round * 5 + i);
+  }
+}
+
+TEST(MpmcQueue, SizeApprox) {
+  MpmcQueue<int> q(16);
+  EXPECT_EQ(q.size_approx(), 0u);
+  q.try_enqueue(1);
+  q.try_enqueue(2);
+  EXPECT_EQ(q.size_approx(), 2u);
+  q.try_dequeue();
+  EXPECT_EQ(q.size_approx(), 1u);
+}
+
+TEST(MpmcQueue, ConcurrentExactlyOnceDelivery) {
+  constexpr int kPerProducer = 20000;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kTotal = kPerProducer * kProducers;
+  MpmcQueue<int> q(kTotal);
+  std::vector<std::atomic<int>> delivered(kTotal);
+  for (auto& d : delivered) d.store(0);
+  std::atomic<int> consumed{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          while (!q.try_enqueue(p * kPerProducer + i)) {
+          }
+        }
+      });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&] {
+        while (consumed.load() < kTotal) {
+          const auto v = q.try_dequeue();
+          if (!v) continue;
+          delivered[*v].fetch_add(1);
+          consumed.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(consumed.load(), kTotal);
+  for (int i = 0; i < kTotal; ++i)
+    ASSERT_EQ(delivered[i].load(), 1) << "element " << i;
+}
+
+TEST(MpmcQueue, SingleProducerFifoUnderConcurrentConsumer) {
+  // With one producer and one consumer the dequeue order must equal the
+  // enqueue order exactly.
+  constexpr int kN = 50000;
+  MpmcQueue<int> q(1024);
+  std::vector<int> out;
+  out.reserve(kN);
+  {
+    std::jthread producer([&] {
+      for (int i = 0; i < kN; ++i) {
+        while (!q.try_enqueue(i)) {
+        }
+      }
+    });
+    std::jthread consumer([&] {
+      while (static_cast<int>(out.size()) < kN) {
+        if (const auto v = q.try_dequeue()) out.push_back(*v);
+      }
+    });
+  }
+  for (int i = 0; i < kN; ++i) ASSERT_EQ(out[i], i);
+}
+
+TEST(MpmcQueue, PriorityOrderDeliveryForExactScheduling) {
+  // The exact-executor usage: preload 0..n-1 in order, concurrent dequeues
+  // each get a unique element and the set of delivered elements is exactly
+  // 0..n-1.
+  constexpr std::uint32_t kN = 10000;
+  MpmcQueue<std::uint32_t> q(kN);
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_TRUE(q.try_enqueue(i));
+  std::vector<std::atomic<int>> got(kN);
+  for (auto& g : got) g.store(0);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&] {
+        while (const auto v = q.try_dequeue()) got[*v].fetch_add(1);
+      });
+    }
+  }
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(got[i].load(), 1);
+}
+
+}  // namespace
+}  // namespace relax::sched

@@ -1,0 +1,113 @@
+#include "sched/order_stat_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace relax::sched {
+namespace {
+
+TEST(OrderStatSet, InsertEraseContains) {
+  OrderStatSet s(100);
+  EXPECT_TRUE(s.empty());
+  s.insert(5);
+  s.insert(50);
+  s.insert(99);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(99));
+  EXPECT_FALSE(s.contains(6));
+  s.erase(50);
+  EXPECT_FALSE(s.contains(50));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(OrderStatSet, SelectReturnsSortedOrder) {
+  OrderStatSet s(64);
+  for (const std::uint32_t p : {40u, 3u, 17u, 60u, 0u}) s.insert(p);
+  EXPECT_EQ(s.select(0), 0u);
+  EXPECT_EQ(s.select(1), 3u);
+  EXPECT_EQ(s.select(2), 17u);
+  EXPECT_EQ(s.select(3), 40u);
+  EXPECT_EQ(s.select(4), 60u);
+  EXPECT_EQ(s.min(), 0u);
+}
+
+TEST(OrderStatSet, RankOfCountsSmallerPresent) {
+  OrderStatSet s(32);
+  s.insert(10);
+  s.insert(20);
+  s.insert(30);
+  EXPECT_EQ(s.rank_of(10), 0u);
+  EXPECT_EQ(s.rank_of(11), 1u);
+  EXPECT_EQ(s.rank_of(25), 2u);
+  EXPECT_EQ(s.rank_of(31), 3u);
+  EXPECT_EQ(s.rank_of(0), 0u);
+}
+
+TEST(OrderStatSet, BoundaryPriorities) {
+  OrderStatSet s(8);
+  s.insert(0);
+  s.insert(7);
+  EXPECT_EQ(s.select(0), 0u);
+  EXPECT_EQ(s.select(1), 7u);
+  EXPECT_EQ(s.rank_of(7), 1u);
+  s.erase(0);
+  EXPECT_EQ(s.min(), 7u);
+}
+
+TEST(OrderStatSet, NonPowerOfTwoCapacity) {
+  OrderStatSet s(100);  // not a power of two: descent logic must clamp
+  for (std::uint32_t p = 0; p < 100; p += 7) s.insert(p);
+  std::uint32_t expect = 0;
+  for (std::uint32_t r = 0; r < s.size(); ++r) {
+    EXPECT_EQ(s.select(r), expect);
+    expect += 7;
+  }
+}
+
+TEST(OrderStatSet, RandomizedAgainstStdSet) {
+  constexpr std::uint32_t kUniverse = 512;
+  OrderStatSet s(kUniverse);
+  std::set<std::uint32_t> ref;
+  util::Rng rng(99);
+  for (int step = 0; step < 20000; ++step) {
+    const auto p =
+        static_cast<std::uint32_t>(util::bounded(rng, kUniverse));
+    if (ref.count(p)) {
+      s.erase(p);
+      ref.erase(p);
+    } else {
+      s.insert(p);
+      ref.insert(p);
+    }
+    ASSERT_EQ(s.size(), ref.size());
+    if (!ref.empty() && step % 16 == 0) {
+      // Compare a random rank query and a random rank_of query.
+      const auto r = static_cast<std::uint32_t>(
+          util::bounded(rng, ref.size()));
+      auto it = ref.begin();
+      std::advance(it, r);
+      ASSERT_EQ(s.select(r), *it);
+      const auto q =
+          static_cast<std::uint32_t>(util::bounded(rng, kUniverse));
+      const auto expected = static_cast<std::uint32_t>(
+          std::distance(ref.begin(), ref.lower_bound(q)));
+      ASSERT_EQ(s.rank_of(q), expected);
+    }
+  }
+}
+
+TEST(OrderStatSet, FullUniverse) {
+  OrderStatSet s(64);
+  for (std::uint32_t p = 0; p < 64; ++p) s.insert(p);
+  EXPECT_EQ(s.size(), 64u);
+  for (std::uint32_t r = 0; r < 64; ++r) EXPECT_EQ(s.select(r), r);
+  for (std::uint32_t p = 0; p < 64; ++p) s.erase(p);
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace relax::sched

@@ -1,0 +1,169 @@
+// Concurrent determinism: the parallel relaxed and parallel exact executors
+// must produce exactly the sequential output for every problem, thread
+// count and seed. These tests are the concurrent analogue of
+// determinism_property_test.cc and also exercise the executors' termination
+// logic under real contention.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algorithms/coloring.h"
+#include "algorithms/knuth_shuffle.h"
+#include "algorithms/list_contraction.h"
+#include "algorithms/matching.h"
+#include "algorithms/mis.h"
+#include "core/parallel_executor.h"
+#include "graph/generators.h"
+
+namespace relax {
+namespace {
+
+using graph::Graph;
+
+core::ParallelOptions opts(unsigned threads, std::uint64_t seed) {
+  core::ParallelOptions o;
+  o.num_threads = threads;
+  o.seed = seed;
+  o.pin_threads = false;  // CI-style environment friendliness
+  return o;
+}
+
+class ThreadSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadSweep, RelaxedMisMatchesSequential) {
+  const unsigned threads = GetParam();
+  const Graph g = graph::gnm(3000, 20000, 3);
+  const auto pri = graph::random_priorities(3000, 7);
+  const auto expected = algorithms::sequential_greedy_mis(g, pri);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    algorithms::AtomicMisProblem problem(g, pri);
+    const auto stats =
+        core::run_parallel_relaxed(problem, pri, opts(threads, seed));
+    EXPECT_EQ(problem.result(), expected)
+        << "threads=" << threads << " seed=" << seed;
+    EXPECT_EQ(stats.processed + stats.dead_skips, 3000u);
+  }
+}
+
+TEST_P(ThreadSweep, ExactMisMatchesSequential) {
+  const unsigned threads = GetParam();
+  const Graph g = graph::gnm(3000, 20000, 5);
+  const auto pri = graph::random_priorities(3000, 11);
+  const auto expected = algorithms::sequential_greedy_mis(g, pri);
+  algorithms::AtomicMisProblem problem(g, pri);
+  const auto stats = core::run_parallel_exact(problem, pri, opts(threads, 1));
+  EXPECT_EQ(problem.result(), expected);
+  EXPECT_EQ(stats.processed + stats.dead_skips, 3000u);
+  EXPECT_EQ(stats.iterations, 3000u);  // exact: one delivery per task
+}
+
+TEST_P(ThreadSweep, RelaxedColoringMatchesSequential) {
+  const unsigned threads = GetParam();
+  const Graph g = graph::gnm(2000, 16000, 13);
+  const auto pri = graph::random_priorities(2000, 17);
+  const auto expected = algorithms::sequential_greedy_coloring(g, pri);
+  algorithms::AtomicColoringProblem problem(g, pri);
+  core::run_parallel_relaxed(problem, pri, opts(threads, 2));
+  EXPECT_EQ(problem.colors(), expected);
+}
+
+TEST_P(ThreadSweep, ExactColoringMatchesSequential) {
+  const unsigned threads = GetParam();
+  const Graph g = graph::gnm(2000, 16000, 19);
+  const auto pri = graph::random_priorities(2000, 23);
+  algorithms::AtomicColoringProblem problem(g, pri);
+  core::run_parallel_exact(problem, pri, opts(threads, 3));
+  EXPECT_EQ(problem.colors(),
+            algorithms::sequential_greedy_coloring(g, pri));
+}
+
+TEST_P(ThreadSweep, RelaxedMatchingMatchesSequential) {
+  const unsigned threads = GetParam();
+  const Graph g = graph::gnm(1000, 6000, 29);
+  const algorithms::EdgeIncidence inc(g);
+  const auto pri = graph::random_priorities(inc.num_edges(), 31);
+  const auto expected = algorithms::sequential_greedy_matching(inc, pri);
+  algorithms::AtomicMatchingProblem problem(inc, pri);
+  core::run_parallel_relaxed(problem, pri, opts(threads, 4));
+  EXPECT_EQ(problem.result(), expected);
+}
+
+TEST_P(ThreadSweep, RelaxedListContractionMatchesSequential) {
+  const unsigned threads = GetParam();
+  std::vector<std::uint32_t> arr(5000);
+  std::iota(arr.begin(), arr.end(), 0u);
+  const auto pri = graph::random_priorities(5000, 37);
+  const auto expected = algorithms::sequential_list_contraction(arr, pri);
+  algorithms::AtomicListContractionProblem problem(arr, pri);
+  core::run_parallel_relaxed(problem, pri, opts(threads, 5));
+  EXPECT_EQ(problem.trace(), expected);
+}
+
+TEST_P(ThreadSweep, RelaxedKnuthShuffleMatchesSequential) {
+  const unsigned threads = GetParam();
+  const auto targets = algorithms::shuffle_targets(5000, 41);
+  const auto pri = graph::random_priorities(5000, 43);
+  const algorithms::PositionIndex index(targets, pri);
+  const auto expected = algorithms::sequential_knuth_shuffle(targets, pri);
+  algorithms::AtomicKnuthShuffleProblem problem(targets, index);
+  core::run_parallel_relaxed(problem, pri, opts(threads, 6));
+  EXPECT_EQ(problem.array(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(ParallelExecutor, DenseGraphHighContention) {
+  // Small dense graph maximizes dependency conflicts and dead-marking races.
+  const Graph g = graph::gnm(300, 20000, 47);
+  const auto pri = graph::random_priorities(300, 53);
+  const auto expected = algorithms::sequential_greedy_mis(g, pri);
+  for (int trial = 0; trial < 5; ++trial) {
+    algorithms::AtomicMisProblem problem(g, pri);
+    core::run_parallel_relaxed(problem, pri, opts(8, trial + 1));
+    ASSERT_EQ(problem.result(), expected) << "trial " << trial;
+  }
+}
+
+TEST(ParallelExecutor, CliqueSerializesCorrectly) {
+  // On a clique only the current minimum is ever processable: worst case
+  // for both executors' waiting/re-insertion paths.
+  const Graph g = graph::clique(200);
+  const auto pri = graph::random_priorities(200, 59);
+  const auto expected = algorithms::sequential_greedy_mis(g, pri);
+  {
+    algorithms::AtomicMisProblem problem(g, pri);
+    core::run_parallel_relaxed(problem, pri, opts(8, 1));
+    EXPECT_EQ(problem.result(), expected);
+  }
+  {
+    algorithms::AtomicMisProblem problem(g, pri);
+    core::run_parallel_exact(problem, pri, opts(8, 1));
+    EXPECT_EQ(problem.result(), expected);
+  }
+}
+
+TEST(ParallelExecutor, RelaxedStatsAccounting) {
+  const Graph g = graph::gnm(2000, 10000, 61);
+  const auto pri = graph::random_priorities(2000, 67);
+  algorithms::AtomicMisProblem problem(g, pri);
+  const auto stats = core::run_parallel_relaxed(problem, pri, opts(4, 7));
+  EXPECT_EQ(stats.iterations,
+            stats.processed + stats.failed_deletes + stats.dead_skips);
+  EXPECT_EQ(stats.processed + stats.dead_skips, 2000u);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(ParallelExecutor, SingleVertexGraph) {
+  const Graph g = Graph::from_edges(1, {});
+  const auto pri = graph::identity_priorities(1);
+  algorithms::AtomicMisProblem problem(g, pri);
+  core::run_parallel_relaxed(problem, pri, opts(4, 1));
+  EXPECT_EQ(problem.result(), (std::vector<std::uint8_t>{1}));
+}
+
+}  // namespace
+}  // namespace relax

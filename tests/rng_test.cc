@@ -1,0 +1,132 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace relax::util {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256StarStar a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, LongJumpProducesDisjointStream) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  b.long_jump();
+  std::set<std::uint64_t> from_a;
+  for (int i = 0; i < 1000; ++i) from_a.insert(a());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(from_a.count(b()));
+}
+
+TEST(Bounded, StaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound :
+       {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 20}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(bounded(rng, bound), bound);
+  }
+}
+
+TEST(Bounded, BoundOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(bounded(rng, 1), 0u);
+}
+
+TEST(Bounded, RoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::array<int, kBound> counts{};
+  for (int i = 0; i < kSamples; ++i) ++counts[bounded(rng, kBound)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kSamples / kBound * 0.9);
+    EXPECT_LT(c, kSamples / kBound * 1.1);
+  }
+}
+
+TEST(UniformIn, InclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = uniform_in(rng, 5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(UniformDouble, HalfOpenUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = uniform_double(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  Rng rng(19);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  shuffle(std::span<int>(v), rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Shuffle, ActuallyPermutes) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  shuffle(std::span<int>(v), rng);
+  int moved = 0;
+  for (int i = 0; i < 100; ++i)
+    if (v[i] != i) ++moved;
+  EXPECT_GT(moved, 50);
+}
+
+TEST(RandomPermutation, ValidAndSeedDeterministic) {
+  Rng rng1(29), rng2(29);
+  const auto p1 = random_permutation(1000, rng1);
+  const auto p2 = random_permutation(1000, rng2);
+  EXPECT_EQ(p1, p2);
+  std::vector<std::uint32_t> sorted = p1;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < 1000; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RandomPermutation, EmptyAndSingleton) {
+  Rng rng(31);
+  EXPECT_TRUE(random_permutation(0, rng).empty());
+  const auto p = random_permutation(1, rng);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 0u);
+}
+
+}  // namespace
+}  // namespace relax::util

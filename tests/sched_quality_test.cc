@@ -1,0 +1,116 @@
+// Empirical validation of Definition 1: rank-error and inversion tails.
+// These are statistical sanity checks with generous margins (the benches
+// print the full tail tables).
+#include <gtest/gtest.h>
+
+#include "sched/exact_heap.h"
+#include "sched/kbounded.h"
+#include "sched/relaxation_monitor.h"
+#include "sched/sim_multiqueue.h"
+#include "sched/sim_spraylist.h"
+#include "sched/topk_uniform.h"
+#include "util/rng.h"
+
+namespace relax::sched {
+namespace {
+
+template <typename S>
+void drain_full_universe(RelaxationMonitor<S>& mon, std::uint32_t n) {
+  for (Priority p = 0; p < n; ++p) mon.insert(p);
+  while (mon.approx_get_min()) {
+  }
+}
+
+TEST(RelaxationMonitor, ExactSchedulerHasZeroRankError) {
+  RelaxationMonitor<ExactHeapScheduler> mon(ExactHeapScheduler{}, 1000, 1);
+  drain_full_universe(mon, 1000);
+  EXPECT_EQ(mon.rank_histogram().total(), 1000u);
+  EXPECT_EQ(mon.rank_histogram().max_value(), 0u);
+  EXPECT_EQ(mon.inversion_histogram().max_value(), 0u);
+}
+
+TEST(RelaxationMonitor, CountsMatchDeliveries) {
+  RelaxationMonitor<SimMultiQueue> mon(SimMultiQueue(4, 1), 500, 10);
+  drain_full_universe(mon, 500);
+  EXPECT_EQ(mon.rank_histogram().total(), 500u);
+  // Tracked priorities: 0, 10, 20, ..., 490 -> 50 inversion samples.
+  EXPECT_EQ(mon.inversion_histogram().total(), 50u);
+}
+
+TEST(RelaxationMonitor, TopKRankCappedAtKMinusOne) {
+  constexpr std::uint32_t kK = 16;
+  RelaxationMonitor<TopKUniformScheduler> mon(
+      TopKUniformScheduler(2000, kK, 3), 2000, 1);
+  drain_full_universe(mon, 2000);
+  EXPECT_LT(mon.rank_histogram().max_value(), kK);
+  // Mean rank of uniform-top-k is ~ (k-1)/2.
+  const double tail_half = mon.rank_histogram().tail_fraction_at_least(kK / 2);
+  EXPECT_GT(tail_half, 0.3);
+  EXPECT_LT(tail_half, 0.7);
+}
+
+TEST(RelaxationMonitor, MultiQueueRankTailDecaysExponentially) {
+  constexpr std::uint32_t kQueues = 8;
+  RelaxationMonitor<SimMultiQueue> mon(SimMultiQueue(kQueues, 7), 20000, 1);
+  drain_full_universe(mon, 20000);
+  const auto& h = mon.rank_histogram();
+  // The PODC'17 analysis gives Pr[rank >= l] <= exp(-l/O(q)). Check the
+  // empirical tail at a few multiples of q with generous constants.
+  EXPECT_LT(h.tail_fraction_at_least(4 * kQueues), 0.25);
+  EXPECT_LT(h.tail_fraction_at_least(16 * kQueues), 0.01);
+  EXPECT_GT(h.tail_fraction_at_least(1), 0.1);  // it IS relaxed
+}
+
+TEST(RelaxationMonitor, MultiQueueFairnessTailDecays) {
+  constexpr std::uint32_t kQueues = 8;
+  RelaxationMonitor<SimMultiQueue> mon(SimMultiQueue(kQueues, 9), 20000, 1);
+  drain_full_universe(mon, 20000);
+  const auto& h = mon.inversion_histogram();
+  EXPECT_EQ(h.total(), 20000u);
+  // phi = O(q log q); tails beyond ~8*q*log(q) should be tiny.
+  EXPECT_LT(h.tail_fraction_at_least(200), 0.02);
+}
+
+TEST(RelaxationMonitor, SprayListStaysWithinReach) {
+  auto spray = make_sim_spraylist(5000, 8, 3);
+  const auto reach = spray.reach();
+  RelaxationMonitor<SimSprayList> mon(std::move(spray), 5000, 1);
+  drain_full_universe(mon, 5000);
+  EXPECT_LE(mon.rank_histogram().max_value(), reach);
+}
+
+TEST(RelaxationMonitor, KBoundedDeterministicRankCap) {
+  constexpr std::uint32_t kK = 8;
+  RelaxationMonitor<KBoundedScheduler> mon(KBoundedScheduler(kK), 4096, 1);
+  drain_full_universe(mon, 4096);
+  EXPECT_LT(mon.rank_histogram().max_value(), kK);
+  // Worst-case-within-window service: all pops land at rank k-1, except
+  // the periodic fairness valve (1/k of pops, rank 0) and the final
+  // window drain — so a (k-1)/k fraction, minus the tail.
+  const double at_back = mon.rank_histogram().tail_fraction_at_least(kK - 1);
+  EXPECT_GT(at_back, 0.85);
+  EXPECT_LT(at_back, 0.9);
+  // The fairness valve serves the exact minimum every k-th pop.
+  const double exact = 1.0 - mon.rank_histogram().tail_fraction_at_least(1);
+  EXPECT_GT(exact, 0.1);
+  EXPECT_LT(exact, 0.15);
+}
+
+TEST(RelaxationMonitor, LargerKMeansLargerMeanRank) {
+  auto mean_rank = [](std::uint32_t k) {
+    RelaxationMonitor<TopKUniformScheduler> mon(
+        TopKUniformScheduler(10000, k, 5), 10000, 1);
+    for (Priority p = 0; p < 10000; ++p) mon.insert(p);
+    while (mon.approx_get_min()) {
+    }
+    double sum = 0;
+    const auto& b = mon.rank_histogram().buckets();
+    for (std::size_t i = 0; i < b.size(); ++i)
+      sum += static_cast<double>(b[i]) * static_cast<double>((1u << i) - 1);
+    return sum / 10000.0;
+  };
+  EXPECT_LT(mean_rank(4), mean_rank(64));
+}
+
+}  // namespace
+}  // namespace relax::sched

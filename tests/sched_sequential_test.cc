@@ -1,0 +1,242 @@
+// Conformance tests every sequential scheduler must pass: no element is
+// lost or duplicated, empty semantics, interleaved insert/pop, plus the
+// scheduler-specific guarantees (exactness for the heap, deterministic rank
+// bound for top-k and k-bounded).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "sched/exact_heap.h"
+#include "sched/concurrent_multiqueue.h"
+#include "sched/kbounded.h"
+#include "sched/lockfree_multiqueue.h"
+#include "sched/scheduler.h"
+#include "sched/sim_multiqueue.h"
+#include "sched/sim_spraylist.h"
+#include "sched/topk_uniform.h"
+#include "util/rng.h"
+
+namespace relax::sched {
+namespace {
+
+/// Type-erased scheduler wrapper so one parameterized suite covers all
+/// implementations.
+struct AnyScheduler {
+  std::function<void(Priority)> insert;
+  std::function<std::optional<Priority>()> pop;
+  std::function<std::size_t()> size;
+  std::function<bool()> empty;
+};
+
+using Factory =
+    std::function<AnyScheduler(std::uint32_t capacity, std::uint64_t seed)>;
+
+template <typename S>
+AnyScheduler wrap(std::shared_ptr<S> s) {
+  return AnyScheduler{
+      [s](Priority p) { s->insert(p); },
+      [s] { return s->approx_get_min(); },
+      [s] { return s->size(); },
+      [s] { return s->empty(); },
+  };
+}
+
+struct NamedFactory {
+  const char* name;
+  Factory make;
+};
+
+const NamedFactory kFactories[] = {
+    {"ExactHeap",
+     [](std::uint32_t, std::uint64_t seed) {
+       return wrap(std::make_shared<ExactHeapScheduler>(seed));
+     }},
+    {"TopK8",
+     [](std::uint32_t cap, std::uint64_t seed) {
+       return wrap(std::make_shared<TopKUniformScheduler>(cap, 8, seed));
+     }},
+    {"SimMultiQueue8",
+     [](std::uint32_t, std::uint64_t seed) {
+       return wrap(std::make_shared<SimMultiQueue>(8, seed));
+     }},
+    {"SimSprayList",
+     [](std::uint32_t cap, std::uint64_t seed) {
+       return wrap(
+           std::make_shared<SimSprayList>(make_sim_spraylist(cap, 8, seed)));
+     }},
+    {"KBounded8",
+     [](std::uint32_t, std::uint64_t seed) {
+       return wrap(std::make_shared<KBoundedScheduler>(8, seed));
+     }},
+    {"LockFreeMultiQueue8",
+     [](std::uint32_t, std::uint64_t seed) {
+       return wrap(std::make_shared<LockFreeMultiQueue>(8, seed));
+     }},
+    {"ConcurrentMultiQueue8",
+     [](std::uint32_t, std::uint64_t seed) {
+       return wrap(std::make_shared<ConcurrentMultiQueue>(8, seed));
+     }},
+};
+
+class SchedulerConformance
+    : public ::testing::TestWithParam<NamedFactory> {};
+
+TEST_P(SchedulerConformance, DrainsExactlyOnce) {
+  constexpr std::uint32_t kN = 2000;
+  auto s = GetParam().make(kN, 1);
+  for (Priority p = 0; p < kN; ++p) s.insert(p);
+  EXPECT_EQ(s.size(), kN);
+  std::vector<char> seen(kN, 0);
+  std::uint32_t count = 0;
+  while (auto p = s.pop()) {
+    ASSERT_LT(*p, kN);
+    ASSERT_FALSE(seen[*p]) << "duplicate delivery of " << *p;
+    seen[*p] = 1;
+    ++count;
+  }
+  EXPECT_EQ(count, kN);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST_P(SchedulerConformance, EmptyPopsReturnNullopt) {
+  auto s = GetParam().make(16, 2);
+  EXPECT_FALSE(s.pop().has_value());
+  s.insert(3);
+  EXPECT_TRUE(s.pop().has_value());
+  EXPECT_FALSE(s.pop().has_value());
+}
+
+TEST_P(SchedulerConformance, InterleavedInsertPop) {
+  constexpr std::uint32_t kN = 4096;
+  auto s = GetParam().make(kN, 3);
+  util::Rng rng(7);
+  std::set<Priority> pending;
+  Priority next = 0;
+  std::uint32_t delivered = 0;
+  while (delivered < kN) {
+    const bool can_insert = next < kN;
+    if (can_insert && (pending.empty() || util::bounded(rng, 2) == 0)) {
+      s.insert(next);
+      pending.insert(next);
+      ++next;
+    } else {
+      const auto p = s.pop();
+      ASSERT_TRUE(p.has_value());
+      ASSERT_TRUE(pending.count(*p)) << "delivered unknown element";
+      pending.erase(*p);
+      ++delivered;
+    }
+    ASSERT_EQ(s.size(), pending.size());
+  }
+  EXPECT_TRUE(s.empty());
+}
+
+TEST_P(SchedulerConformance, ReinsertionRedelivers) {
+  auto s = GetParam().make(64, 4);
+  for (Priority p = 0; p < 32; ++p) s.insert(p);
+  // Pop half, re-insert them, and verify the full set drains.
+  std::vector<Priority> popped;
+  for (int i = 0; i < 16; ++i) {
+    const auto p = s.pop();
+    ASSERT_TRUE(p.has_value());
+    popped.push_back(*p);
+  }
+  for (const Priority p : popped) s.insert(p);
+  std::uint32_t count = 0;
+  while (s.pop()) ++count;
+  EXPECT_EQ(count, 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerConformance,
+                         ::testing::ValuesIn(kFactories),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(ExactHeap, StrictPriorityOrder) {
+  ExactHeapScheduler s;
+  util::Rng rng(1);
+  auto labels = util::random_permutation(500, rng);
+  for (const auto l : labels) s.insert(l);
+  for (Priority expect = 0; expect < 500; ++expect) {
+    const auto p = s.approx_get_min();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, expect);
+  }
+}
+
+TEST(TopKUniform, NeverExceedsRankK) {
+  constexpr std::uint32_t kN = 256, kK = 16;
+  TopKUniformScheduler s(kN, kK, 5);
+  OrderStatSet mirror(kN);
+  for (Priority p = 0; p < kN; ++p) {
+    s.insert(p);
+    mirror.insert(p);
+  }
+  while (auto p = s.approx_get_min()) {
+    EXPECT_LT(mirror.rank_of(*p), kK);
+    mirror.erase(*p);
+  }
+}
+
+TEST(TopKUniform, KOneIsExact) {
+  TopKUniformScheduler s(100, 1, 9);
+  for (Priority p = 0; p < 100; ++p) s.insert(p);
+  for (Priority expect = 0; expect < 100; ++expect)
+    EXPECT_EQ(s.approx_get_min(), expect);
+}
+
+TEST(KBounded, NeverExceedsRankK) {
+  constexpr std::uint32_t kN = 256, kK = 8;
+  KBoundedScheduler s(kK);
+  OrderStatSet mirror(kN);
+  util::Rng rng(11);
+  const auto perm = util::random_permutation(kN, rng);
+  for (const auto p : perm) {
+    s.insert(p);
+    mirror.insert(p);
+  }
+  while (auto p = s.approx_get_min()) {
+    EXPECT_LT(mirror.rank_of(*p), kK);
+    mirror.erase(*p);
+  }
+}
+
+TEST(KBounded, RankBoundSurvivesInterleavedInserts) {
+  constexpr std::uint32_t kN = 512, kK = 4;
+  KBoundedScheduler s(kK);
+  OrderStatSet mirror(kN);
+  util::Rng rng(13);
+  const auto perm = util::random_permutation(kN, rng);
+  std::size_t inserted = 0;
+  while (inserted < kN || !s.empty()) {
+    if (inserted < kN && (s.empty() || util::bounded(rng, 2) == 0)) {
+      s.insert(perm[inserted]);
+      mirror.insert(perm[inserted]);
+      ++inserted;
+    } else {
+      const auto p = s.approx_get_min();
+      ASSERT_TRUE(p.has_value());
+      ASSERT_LT(mirror.rank_of(*p), kK);
+      mirror.erase(*p);
+    }
+  }
+}
+
+TEST(SimMultiQueue, SingleQueueIsExact) {
+  SimMultiQueue s(1, 3);
+  util::Rng rng(1);
+  for (const auto p : util::random_permutation(200, rng)) s.insert(p);
+  for (Priority expect = 0; expect < 200; ++expect)
+    EXPECT_EQ(s.approx_get_min(), expect);
+}
+
+TEST(SimSprayList, ReachIsHeightTimesWidth) {
+  SimSprayList s(100, 3, 5, 1);
+  EXPECT_EQ(s.reach(), 16u);
+}
+
+}  // namespace
+}  // namespace relax::sched

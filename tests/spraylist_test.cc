@@ -1,0 +1,206 @@
+#include "sched/spraylist.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "algorithms/mis.h"
+#include "core/parallel_executor.h"
+#include "graph/generators.h"
+#include "sched/order_stat_set.h"
+#include "sched/relaxation_monitor.h"
+
+namespace relax::sched {
+namespace {
+
+static_assert(SequentialScheduler<SprayList>);
+
+TEST(SprayList, SingleThreadDrainsAll) {
+  SprayList list(4, 1);
+  for (Priority p = 0; p < 2000; ++p) list.insert(p);
+  EXPECT_EQ(list.size(), 2000u);
+  std::vector<char> seen(2000, 0);
+  std::uint32_t count = 0;
+  while (auto p = list.approx_get_min()) {
+    ASSERT_LT(*p, 2000u);
+    ASSERT_FALSE(seen[*p]) << "duplicate " << *p;
+    seen[*p] = 1;
+    ++count;
+  }
+  EXPECT_EQ(count, 2000u);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(SprayList, EmptyReturnsNullopt) {
+  SprayList list(4, 1);
+  EXPECT_FALSE(list.approx_get_min().has_value());
+  list.insert(7);
+  EXPECT_TRUE(list.approx_get_min().has_value());
+  EXPECT_FALSE(list.approx_get_min().has_value());
+}
+
+TEST(SprayList, ReinsertionOfSameKey) {
+  SprayList list(2, 3);
+  list.insert(5);
+  const auto p = list.approx_get_min();
+  ASSERT_EQ(p, 5u);
+  list.insert(5);  // re-insert while the marked twin may still be present
+  EXPECT_EQ(list.approx_get_min(), 5u);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(SprayList, BiasTowardSmallKeys) {
+  SprayList list(8, 5);
+  constexpr std::uint32_t kN = 20000;
+  for (Priority p = 0; p < kN; ++p) list.insert(p);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto p = list.approx_get_min();
+    ASSERT_TRUE(p.has_value());
+    sum += *p;
+  }
+  // Spray reach is O(p log p) = tiny fraction of 20000: mean popped key
+  // must be far below the universe mean (10000).
+  EXPECT_LT(sum / 1000.0, 2000.0);
+}
+
+TEST(SprayList, RankErrorConcentratedNearHead) {
+  // A spray hop at level l skips ~2^l bottom-level elements, so the landing
+  // rank has mean O(p polylog p) with exponential tails (Definition 1) —
+  // there is no absolute cap. Check the mean and a generous quantile.
+  SprayList list(8, 7);
+  constexpr std::uint32_t kN = 5000;
+  OrderStatSet mirror(kN);
+  for (Priority p = 0; p < kN; ++p) {
+    list.insert(p);
+    mirror.insert(p);
+  }
+  double sum = 0;
+  std::uint64_t beyond1k = 0, total = 0;
+  while (auto p = list.approx_get_min()) {
+    const auto rank = mirror.rank_of(*p);
+    sum += static_cast<double>(rank);
+    if (rank >= 1024) ++beyond1k;
+    mirror.erase(*p);
+    ++total;
+  }
+  EXPECT_EQ(total, kN);
+  // Mean landing rank is Theta(p polylog p) — a few hundred for p = 8 —
+  // i.e. a small fraction of the 5000-element universe.
+  EXPECT_LT(sum / static_cast<double>(kN), 600.0);
+  EXPECT_LT(static_cast<double>(beyond1k) / static_cast<double>(kN), 0.05);
+}
+
+TEST(SprayList, ConcurrentExactlyOnce) {
+  constexpr std::uint32_t kN = 40000;
+  constexpr unsigned kThreads = 8;
+  SprayList list(kThreads, 9);
+  std::vector<std::atomic<int>> got(kN);
+  for (auto& g : got) g.store(0);
+  std::atomic<std::uint32_t> produced{0};
+  std::atomic<std::uint32_t> consumed{0};
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        auto handle = list.get_handle();
+        for (;;) {
+          const auto i = produced.fetch_add(1);
+          if (i >= kN) break;
+          handle.insert(i);
+        }
+        while (consumed.load() < kN) {
+          const auto p = handle.approx_get_min();
+          if (!p) continue;
+          got[*p].fetch_add(1);
+          consumed.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(consumed.load(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(got[i].load(), 1);
+}
+
+TEST(SprayList, ConcurrentReinsertionStress) {
+  constexpr std::uint32_t kN = 10000;
+  SprayList list(8, 11);
+  for (Priority p = 0; p < kN; ++p) list.insert(p);
+  std::atomic<std::uint32_t> retired{0};
+  std::vector<std::atomic<int>> done(kN);
+  for (auto& d : done) d.store(0);
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        util::Rng rng(t + 1);
+        auto handle = list.get_handle();
+        while (retired.load() < kN) {
+          const auto p = handle.approx_get_min();
+          if (!p) continue;
+          if (done[*p].load() == 0 && util::bounded(rng, 2) == 0) {
+            handle.insert(*p);
+          } else {
+            ASSERT_EQ(done[*p].fetch_add(1), 0);
+            retired.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(done[i].load(), 1);
+}
+
+TEST(SprayList, DefinitionOneRankTails) {
+  // Manual mirror (SprayList is pinned in memory, so RelaxationMonitor's
+  // by-value wrapping does not apply).
+  constexpr std::uint32_t kN = 20000;
+  SprayList list(8, 13);
+  OrderStatSet mirror(kN);
+  for (Priority p = 0; p < kN; ++p) {
+    list.insert(p);
+    mirror.insert(p);
+  }
+  // Definition 1 promises Pr[rank >= l] <= exp(-l/k) with k = O(p polylog p).
+  // Record all landing ranks, then check the tail decays at multiples of
+  // the empirical mean (generous constants; the bench prints full tables).
+  std::vector<std::uint64_t> ranks;
+  ranks.reserve(kN);
+  while (auto p = list.approx_get_min()) {
+    ranks.push_back(mirror.rank_of(*p));
+    mirror.erase(*p);
+  }
+  ASSERT_EQ(ranks.size(), kN);
+  double sum = 0;
+  for (const auto r : ranks) sum += static_cast<double>(r);
+  const double mean = sum / static_cast<double>(kN);
+  EXPECT_GT(mean, 1.0);    // it IS relaxed
+  EXPECT_LT(mean, 600.0);  // but concentrated near the head for p = 8
+  const auto tail_frac = [&](double at) {
+    std::uint64_t c = 0;
+    for (const auto r : ranks)
+      if (static_cast<double>(r) >= at) ++c;
+    return static_cast<double>(c) / static_cast<double>(kN);
+  };
+  EXPECT_LT(tail_frac(4 * mean), 0.10);
+  EXPECT_LT(tail_frac(8 * mean), 0.01);
+  EXPECT_GT(tail_frac(mean / 4), 0.30);  // mass does sit near the mean scale
+}
+
+TEST(SprayList, DrivesParallelMisCorrectly) {
+  const auto g = relax::graph::gnm(2000, 10000, 17);
+  const auto pri = relax::graph::random_priorities(2000, 19);
+  const auto expected = relax::algorithms::sequential_greedy_mis(g, pri);
+  relax::algorithms::AtomicMisProblem problem(g, pri);
+  SprayList list(8, 21);
+  core::ParallelOptions opts;
+  opts.num_threads = 8;
+  opts.pin_threads = false;
+  core::run_parallel_relaxed_on(problem, pri, list, opts);
+  EXPECT_EQ(problem.result(), expected);
+}
+
+}  // namespace
+}  // namespace relax::sched

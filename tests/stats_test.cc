@@ -1,0 +1,112 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace relax::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZeroCount) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+}
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428571, 1e-6);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombinedStream) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 50; i < 120; ++i) {
+    b.add(i * 0.5);
+    all.add(i * 0.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 3.0);
+}
+
+TEST(ExponentialHistogram, BucketsByPowerOfTwo) {
+  ExponentialHistogram h;
+  h.add(0);  // bucket 0: values {0}
+  h.add(1);  // bucket 1: values {1, 2}
+  h.add(2);
+  h.add(3);  // bucket 2: values {3..6}
+  h.add(6);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.max_value(), 6u);
+  ASSERT_GE(h.buckets().size(), 3u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 2u);
+  EXPECT_EQ(h.buckets()[2], 2u);
+}
+
+TEST(ExponentialHistogram, TailFractionExactOnSmallSamples) {
+  ExponentialHistogram h;
+  for (std::uint64_t v = 0; v < 100; ++v) h.add(v);
+  EXPECT_DOUBLE_EQ(h.tail_fraction_at_least(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.tail_fraction_at_least(50), 0.5);
+  EXPECT_DOUBLE_EQ(h.tail_fraction_at_least(100), 0.0);
+}
+
+TEST(ExponentialHistogram, MergeAccumulates) {
+  ExponentialHistogram a, b;
+  a.add(1);
+  b.add(100);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.max_value(), 100u);
+}
+
+TEST(DenseHistogram, CountsAndGrowth) {
+  DenseHistogram h;
+  h.add(0);
+  h.add(3);
+  h.add(3);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.at(0), 1u);
+  EXPECT_EQ(h.at(3), 2u);
+  EXPECT_EQ(h.at(7), 0u);
+  EXPECT_EQ(h.max_value(), 3u);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(percentile({}, 50)));
+}
+
+}  // namespace
+}  // namespace relax::util

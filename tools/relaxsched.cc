@@ -1,0 +1,309 @@
+// relaxsched — command-line front-end to the relaxed-scheduling framework.
+//
+// The paper's future work calls for using the framework "in the context of
+// more general graph processing packages"; this tool is the package-style
+// entry point: pick a graph (generated or loaded), an algorithm, a
+// scheduler, thread and relaxation parameters, and get the output summary
+// plus the paper's work accounting (iterations / failed deletes / dead
+// skips) and a correctness check against the sequential baseline.
+//
+// Examples:
+//   relaxsched --algo=mis --graph=gnm --n=1000000 --m=10000000 --threads=8
+//   relaxsched --algo=coloring --graph=file --path=web.el --mode=seq-relaxed
+//       --sched=multiqueue --k=16
+//   relaxsched --algo=sssp --graph=rmat --n=1048576 --m=8000000
+//   relaxsched --algo=matching --graph=ba --n=200000 --threads=24 --verify=1
+//
+// Modes:
+//   parallel     (default) concurrent relaxed MultiQueue executor
+//   exact        concurrent exact executor (FAA dispenser + backoff-wait)
+//   seq          sequential baseline only
+//   seq-relaxed  sequential framework with a simulated relaxed scheduler
+//                (--sched=multiqueue|spray|topk|kbounded, --k=<relaxation>)
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "algorithms/coloring.h"
+#include "algorithms/knuth_shuffle.h"
+#include "algorithms/list_contraction.h"
+#include "algorithms/matching.h"
+#include "algorithms/mis.h"
+#include "algorithms/sssp.h"
+#include "core/parallel_executor.h"
+#include "core/sequential_executor.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "sched/exact_heap.h"
+#include "sched/kbounded.h"
+#include "sched/sim_multiqueue.h"
+#include "sched/sim_spraylist.h"
+#include "sched/topk_uniform.h"
+#include "util/cli.h"
+#include "util/thread_pin.h"
+#include "util/timer.h"
+
+namespace {
+
+using relax::core::ExecutionStats;
+using relax::graph::Graph;
+
+[[noreturn]] void usage_and_exit(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr, R"(relaxsched — relaxed-scheduler graph algorithms
+
+  --algo=mis|coloring|matching|listcontract|shuffle|sssp   (required)
+  --graph=gnm|gnp|rmat|ba|grid|clique|star|file            [gnm]
+  --n=<vertices> --m=<edges> --p=<prob> --path=<edge list file>
+  --mode=parallel|exact|seq|seq-relaxed                    [parallel]
+  --threads=<t>            worker threads (parallel modes)  [hw]
+  --queue-factor=<c>       MultiQueue sub-queues per thread [4]
+  --sched=multiqueue|spray|topk|kbounded   (seq-relaxed)    [multiqueue]
+  --k=<relaxation>         relaxation factor (seq-relaxed)  [8]
+  --seed=<s>               permutation + scheduler seed     [1]
+  --verify=0|1             check against sequential output  [1]
+)");
+  std::exit(error != nullptr ? 2 : 0);
+}
+
+Graph make_graph(const relax::util::CommandLine& cli) {
+  const std::string kind = cli.get_string("graph", "gnm");
+  const auto n = static_cast<std::uint32_t>(cli.get_int("n", 100000));
+  const auto m = static_cast<std::uint64_t>(cli.get_int("m", 1000000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  if (kind == "gnm") return relax::graph::gnm(n, m, seed);
+  if (kind == "gnp")
+    return relax::graph::gnp(n, cli.get_double("p", 0.001), seed);
+  if (kind == "rmat") {
+    std::uint32_t pow2 = 1;
+    while (pow2 < n) pow2 <<= 1;
+    return relax::graph::rmat(pow2, m, 0.57, 0.19, 0.19, seed);
+  }
+  if (kind == "ba") return relax::graph::barabasi_albert(n, 5, seed);
+  if (kind == "grid") {
+    std::uint32_t side = 1;
+    while (side * side < n) ++side;
+    return relax::graph::grid(side, side);
+  }
+  if (kind == "clique") return relax::graph::clique(n);
+  if (kind == "star") return relax::graph::star(n);
+  if (kind == "file") {
+    const std::string path = cli.get_string("path", "");
+    if (path.empty()) usage_and_exit("--graph=file requires --path");
+    return relax::graph::read_edge_list(path);
+  }
+  usage_and_exit("unknown --graph kind");
+}
+
+void print_stats(const char* what, const ExecutionStats& stats) {
+  std::printf(
+      "%s: %.4f s | iterations=%llu processed=%llu failed_deletes=%llu "
+      "dead_skips=%llu\n",
+      what, stats.seconds,
+      static_cast<unsigned long long>(stats.iterations),
+      static_cast<unsigned long long>(stats.processed),
+      static_cast<unsigned long long>(stats.failed_deletes),
+      static_cast<unsigned long long>(stats.dead_skips));
+}
+
+/// Runs `problem` through the sequential framework with the chosen
+/// simulated relaxed scheduler.
+template <typename Problem>
+ExecutionStats run_seq_relaxed(Problem& problem,
+                               const relax::graph::Priorities& pri,
+                               const relax::util::CommandLine& cli) {
+  const std::string sched = cli.get_string("sched", "multiqueue");
+  const auto k = static_cast<std::uint32_t>(cli.get_int("k", 8));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1)) + 99;
+  if (sched == "multiqueue") {
+    relax::sched::SimMultiQueue s(k, seed);
+    return relax::core::run_sequential(problem, pri, s);
+  }
+  if (sched == "spray") {
+    auto s = relax::sched::make_sim_spraylist(problem.num_tasks(), k, seed);
+    return relax::core::run_sequential(problem, pri, s);
+  }
+  if (sched == "topk") {
+    relax::sched::TopKUniformScheduler s(problem.num_tasks(), k, seed);
+    return relax::core::run_sequential(problem, pri, s);
+  }
+  if (sched == "kbounded") {
+    relax::sched::KBoundedScheduler s(k);
+    return relax::core::run_sequential(problem, pri, s);
+  }
+  usage_and_exit("unknown --sched");
+}
+
+/// Dispatches one graph problem family through the chosen mode. Baseline
+/// and Problem factories keep the mode plumbing in one place.
+template <typename MakeSeq, typename MakeProblem, typename MakeAtomic,
+          typename Extract, typename ExtractAtomic>
+int run_graph_problem(const relax::util::CommandLine& cli,
+                      const relax::graph::Priorities& pri, MakeSeq make_seq,
+                      MakeProblem make_problem, MakeAtomic make_atomic,
+                      Extract extract, ExtractAtomic extract_atomic) {
+  const std::string mode = cli.get_string("mode", "parallel");
+  const bool verify = cli.get_bool("verify", true);
+  if (mode == "seq") {
+    relax::util::Timer timer;
+    const auto result = make_seq();
+    std::printf("sequential: %.4f s\n", timer.seconds());
+    (void)result;
+    return 0;
+  }
+  if (mode == "seq-relaxed") {
+    auto problem = make_problem();
+    const auto stats = run_seq_relaxed(problem, pri, cli);
+    print_stats("seq-relaxed", stats);
+    if (verify && extract(problem) != make_seq()) {
+      std::fprintf(stderr, "VERIFY FAILED: output differs from baseline\n");
+      return 1;
+    }
+    if (verify) std::printf("verify: OK (deterministic output)\n");
+    return 0;
+  }
+  relax::core::ParallelOptions opts;
+  opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  opts.queue_factor =
+      static_cast<unsigned>(cli.get_int("queue-factor", 4));
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  auto problem = make_atomic();
+  ExecutionStats stats;
+  if (mode == "parallel") {
+    stats = relax::core::run_parallel_relaxed(problem, pri, opts);
+  } else if (mode == "exact") {
+    stats = relax::core::run_parallel_exact(problem, pri, opts);
+  } else {
+    usage_and_exit("unknown --mode");
+  }
+  print_stats(mode.c_str(), stats);
+  if (verify && extract_atomic(problem) != make_seq()) {
+    std::fprintf(stderr, "VERIFY FAILED: output differs from baseline\n");
+    return 1;
+  }
+  if (verify) std::printf("verify: OK (deterministic output)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const relax::util::CommandLine cli(argc, argv);
+  if (cli.has("help")) usage_and_exit(nullptr);
+  const std::string algo = cli.get_string("algo", "");
+  if (algo.empty()) usage_and_exit("--algo is required");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  if (algo == "shuffle") {
+    const auto n = static_cast<std::uint32_t>(cli.get_int("n", 100000));
+    const auto targets = relax::algorithms::shuffle_targets(n, seed);
+    const auto pri = relax::graph::random_priorities(n, seed + 7);
+    const relax::algorithms::PositionIndex index(targets, pri);
+    relax::algorithms::AtomicKnuthShuffleProblem problem(targets, index);
+    relax::core::ParallelOptions opts;
+    opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
+    opts.seed = seed;
+    const auto stats =
+        relax::core::run_parallel_relaxed(problem, pri, opts);
+    print_stats("shuffle", stats);
+    if (cli.get_bool("verify", true)) {
+      if (problem.array() !=
+          relax::algorithms::sequential_knuth_shuffle(targets, pri)) {
+        std::fprintf(stderr, "VERIFY FAILED\n");
+        return 1;
+      }
+      std::printf("verify: OK (deterministic output)\n");
+    }
+    return 0;
+  }
+  if (algo == "listcontract") {
+    const auto n = static_cast<std::uint32_t>(cli.get_int("n", 100000));
+    std::vector<std::uint32_t> arrangement(n);
+    std::iota(arrangement.begin(), arrangement.end(), 0u);
+    const auto pri = relax::graph::random_priorities(n, seed + 7);
+    relax::algorithms::AtomicListContractionProblem problem(arrangement,
+                                                            pri);
+    relax::core::ParallelOptions opts;
+    opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
+    opts.seed = seed;
+    const auto stats =
+        relax::core::run_parallel_relaxed(problem, pri, opts);
+    print_stats("listcontract", stats);
+    if (cli.get_bool("verify", true)) {
+      if (problem.trace() !=
+          relax::algorithms::sequential_list_contraction(arrangement, pri)) {
+        std::fprintf(stderr, "VERIFY FAILED\n");
+        return 1;
+      }
+      std::printf("verify: OK (deterministic output)\n");
+    }
+    return 0;
+  }
+
+  const Graph g = make_graph(cli);
+  std::printf("graph: n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  if (algo == "sssp") {
+    const auto weights =
+        relax::algorithms::synthetic_edge_weights(g, seed + 3);
+    relax::algorithms::SsspStats stats;
+    const auto dist = relax::algorithms::parallel_relaxed_sssp(
+        g, weights, 0, static_cast<unsigned>(cli.get_int("threads", 0)),
+        static_cast<unsigned>(cli.get_int("queue-factor", 4)), seed,
+        &stats);
+    std::printf(
+        "sssp: %.4f s | pops=%llu stale=%llu relaxations=%llu\n",
+        stats.seconds, static_cast<unsigned long long>(stats.pops),
+        static_cast<unsigned long long>(stats.stale_pops),
+        static_cast<unsigned long long>(stats.relaxations));
+    if (cli.get_bool("verify", true)) {
+      if (dist != relax::algorithms::dijkstra(g, weights, 0)) {
+        std::fprintf(stderr, "VERIFY FAILED vs Dijkstra\n");
+        return 1;
+      }
+      std::printf("verify: OK (exact distances)\n");
+    }
+    return 0;
+  }
+
+  const auto pri = relax::graph::random_priorities(g.num_vertices(),
+                                                   seed + 7);
+  if (algo == "mis") {
+    return run_graph_problem(
+        cli, pri,
+        [&] { return relax::algorithms::sequential_greedy_mis(g, pri); },
+        [&] { return relax::algorithms::MisProblem(g, pri); },
+        [&] { return relax::algorithms::AtomicMisProblem(g, pri); },
+        [](const auto& p) { return p.result(); },
+        [](const auto& p) { return p.result(); });
+  }
+  if (algo == "coloring") {
+    return run_graph_problem(
+        cli, pri,
+        [&] {
+          return relax::algorithms::sequential_greedy_coloring(g, pri);
+        },
+        [&] { return relax::algorithms::ColoringProblem(g, pri); },
+        [&] { return relax::algorithms::AtomicColoringProblem(g, pri); },
+        [](const auto& p) { return p.colors(); },
+        [](const auto& p) { return p.colors(); });
+  }
+  if (algo == "matching") {
+    const relax::algorithms::EdgeIncidence inc(g);
+    const auto epri =
+        relax::graph::random_priorities(inc.num_edges(), seed + 11);
+    return run_graph_problem(
+        cli, epri,
+        [&] {
+          return relax::algorithms::sequential_greedy_matching(inc, epri);
+        },
+        [&] { return relax::algorithms::MatchingProblem(inc, epri); },
+        [&] { return relax::algorithms::AtomicMatchingProblem(inc, epri); },
+        [](const auto& p) { return p.result(); },
+        [](const auto& p) { return p.result(); });
+  }
+  usage_and_exit("unknown --algo");
+}
