@@ -9,6 +9,11 @@ std::string ExecutionStats::to_string() const {
   os << "iterations=" << iterations << " processed=" << processed
      << " failed_deletes=" << failed_deletes << " dead_skips=" << dead_skips
      << " empty_polls=" << empty_polls << " seconds=" << seconds;
+  if (rank_samples > 0) {
+    os << " mean_rank_error=" << mean_rank_error
+       << " max_rank_error=" << max_rank_error;
+  }
+  if (inversion_samples > 0) os << " mean_inversions=" << mean_inversions;
   return os.str();
 }
 

@@ -14,7 +14,16 @@ struct ExecutionStats {
   std::uint64_t failed_deletes = 0;  // kNotReady -> re-insert (wasted steps)
   std::uint64_t dead_skips = 0;      // kRetired pops (Algorithm 4 dead hits)
   std::uint64_t empty_polls = 0;     // pops that returned nullopt (parallel)
-  double seconds = 0.0;              // wall time of the execution loop
+  double seconds = 0.0;  // wall time, job admission through completion
+
+  // Relaxation quality, populated only when a job runs with
+  // engine::JobConfig::monitor_relaxation (Definition 1 sampling via
+  // sched::RelaxationMonitor). rank_samples == 0 means "not measured".
+  std::uint64_t rank_samples = 0;      // monitored pops
+  double mean_rank_error = 0.0;        // avg rank of popped element (0=exact)
+  std::uint64_t max_rank_error = 0;
+  std::uint64_t inversion_samples = 0; // tracked elements retired
+  double mean_inversions = 0.0;        // avg priority inversions per element
 
   /// Iterations beyond the unavoidable n (the paper's "cost of relaxation"
   /// equals failed_deletes; dead skips are part of the n for Algorithm 4
@@ -30,6 +39,21 @@ struct ExecutionStats {
     dead_skips += o.dead_skips;
     empty_polls += o.empty_polls;
     seconds += o.seconds;  // caller overrides with wall time when merging
+    if (o.rank_samples > 0) {
+      mean_rank_error =
+          (mean_rank_error * static_cast<double>(rank_samples) +
+           o.mean_rank_error * static_cast<double>(o.rank_samples)) /
+          static_cast<double>(rank_samples + o.rank_samples);
+      rank_samples += o.rank_samples;
+      if (o.max_rank_error > max_rank_error) max_rank_error = o.max_rank_error;
+    }
+    if (o.inversion_samples > 0) {
+      mean_inversions =
+          (mean_inversions * static_cast<double>(inversion_samples) +
+           o.mean_inversions * static_cast<double>(o.inversion_samples)) /
+          static_cast<double>(inversion_samples + o.inversion_samples);
+      inversion_samples += o.inversion_samples;
+    }
     return *this;
   }
 

@@ -1,6 +1,7 @@
-// Concurrent execution engines (paper §4).
+// Concurrent execution entry points (paper §4) — thin wrappers over the
+// persistent scheduling engine.
 //
-// run_parallel_relaxed — the paper's concurrent framework: every thread
+// run_parallel_relaxed — the paper's concurrent framework: every worker
 // loops { ApproxGetMin; check dependencies; process or re-insert } against
 // a shared ConcurrentMultiQueue. Problems must be thread-safe (see
 // core/problem.h). Determinism is preserved: a task is processed only once
@@ -11,38 +12,26 @@
 // strict priority order into a wait-free FAA ticket dispenser (our
 // FaaArrayQueue stand-in for the wait-free queue of [27]); a thread that
 // dequeues a task with an unprocessed predecessor *waits* for the
-// predecessor instead of re-inserting ("we elect to use a backoff scheme
-// wherein if an unprocessed predecessor is encountered, we wait for the
-// predecessor to process").
-// Deadlock-free: the globally smallest-labelled undecided task is always
-// processable, so some thread always makes progress.
+// predecessor instead of re-inserting. Deadlock-free: the globally
+// smallest-labelled undecided task is always processable, so some worker
+// always makes progress.
 //
-// Termination uses retirement counting, not queue emptiness: every task's
-// *final* pop yields kProcessed or kRetired exactly once, so the number of
-// such outcomes reaching num_tasks() is an exact termination criterion even
-// with re-insertions in flight. The count is striped per thread (a single
-// global counter RMW'd per task serializes the run through one cache line
-// and flattens the Figure 2 thread sweep); each worker sums the stripes
-// only periodically and on empty pops, then raises a shared done flag. The
-// sum is monotone and eventually exact, so the flag is raised after the
-// last retirement and never before — the lag costs a few empty polls, not
-// correctness.
+// These functions keep the original one-shot shape — run one problem to
+// termination, return its stats — but since the engine refactor they are
+// implemented by standing up a single-job engine::SchedulingEngine,
+// submitting, and waiting on the ticket. The worker loop, batched
+// admission, striped retirement-count termination, and backoff policies all
+// live in engine/job.h now; services that execute many problems should keep
+// one engine alive and stream jobs through it instead of paying pool setup
+// per call (see engine/engine.h, examples/job_server.cpp).
 #pragma once
-
-#include <atomic>
-#include <cstdint>
-#include <span>
-#include <thread>
-#include <vector>
 
 #include "core/execution_stats.h"
 #include "core/problem.h"
+#include "engine/engine.h"
 #include "graph/permutation.h"
 #include "sched/concurrent_multiqueue.h"
-#include "sched/faa_array_queue.h"
-#include "util/spinlock.h"
 #include "util/thread_pin.h"
-#include "util/timer.h"
 
 namespace relax::core {
 
@@ -58,94 +47,41 @@ struct ParallelOptions {
   }
 };
 
-/// Iterations between termination-sum checks in the relaxed executor. The
-/// cost of a late exit is at most kCheckInterval wasted pops per thread.
-inline constexpr std::uint32_t kCheckInterval = 512;
-
 using Priority = sched::Priority;
 
-/// Relaxed concurrent execution over a caller-supplied scheduler. The
-/// scheduler must expose get_handle() returning per-thread handles with
-/// insert / approx_get_min (ConcurrentMultiQueue and SprayList both do).
-/// Tasks are pre-loaded by the caller or left to this function? — this
-/// overload loads all n labels itself before spawning workers.
+namespace detail {
+
+inline engine::EngineOptions single_job_engine(const ParallelOptions& opts) {
+  engine::EngineOptions eo;
+  eo.num_threads = opts.threads();
+  eo.pin_threads = opts.pin_threads;
+  eo.max_in_flight = 1;
+  return eo;
+}
+
+inline engine::JobConfig job_config(const ParallelOptions& opts) {
+  engine::JobConfig cfg;
+  cfg.queue_factor = opts.queue_factor;
+  cfg.choices = opts.choices;
+  cfg.seed = opts.seed;
+  return cfg;
+}
+
+}  // namespace detail
+
+/// Relaxed concurrent execution over a caller-supplied scheduler: anything
+/// with per-thread handles exposing insert / approx_get_min
+/// (ConcurrentMultiQueue, SprayList, LockFreeMultiQueue) or a plain
+/// sched::ConcurrentScheduler surface. The initial task load is admitted in
+/// batches by the engine workers themselves.
 template <typename P, typename Queue>
 ExecutionStats run_parallel_relaxed_on(P& problem,
                                        const graph::Priorities& pri,
                                        Queue& queue,
                                        const ParallelOptions& opts = {}) {
-  const std::uint32_t n = problem.num_tasks();
-  const unsigned threads = opts.threads();
-  if constexpr (requires { queue.bulk_load(std::span<const Priority>{}); }) {
-    std::vector<Priority> labels(n);
-    for (std::uint32_t label = 0; label < n; ++label) labels[label] = label;
-    queue.bulk_load(labels);
-  } else {
-    auto handle = queue.get_handle();
-    for (std::uint32_t label = 0; label < n; ++label) handle.insert(label);
-  }
-
-  // Retirement stripes: one padded slot per worker; summed periodically.
-  std::vector<util::Padded<std::atomic<std::uint32_t>>> retired(threads);
-  std::atomic<bool> done{n == 0};
-  const auto check_done = [&] {
-    std::uint64_t sum = 0;
-    for (const auto& slot : retired)
-      sum += slot->load(std::memory_order_acquire);
-    if (sum >= n) done.store(true, std::memory_order_release);
-  };
-
-  std::vector<ExecutionStats> per_thread(threads);
-  util::Timer timer;
-  {
-    std::vector<std::jthread> workers;
-    workers.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t] {
-        if (opts.pin_threads) util::pin_thread_to_cpu(t);
-        auto handle = queue.get_handle();
-        // Stack-local stats: the per_thread vector is written once at the
-        // end, so counter updates never false-share across workers.
-        ExecutionStats stats;
-        auto& my_retired = *retired[t];
-        std::uint32_t since_check = 0;
-        while (!done.load(std::memory_order_acquire)) {
-          if (++since_check >= kCheckInterval) {
-            since_check = 0;
-            check_done();
-          }
-          const auto label = handle.approx_get_min();
-          if (!label) {
-            ++stats.empty_polls;
-            check_done();
-            util::cpu_relax();
-            continue;
-          }
-          ++stats.iterations;
-          const Task task = pri.order[*label];
-          switch (problem.try_process(task)) {
-            case Outcome::kProcessed:
-              ++stats.processed;
-              my_retired.fetch_add(1, std::memory_order_release);
-              break;
-            case Outcome::kNotReady:
-              ++stats.failed_deletes;
-              handle.insert(*label);
-              break;
-            case Outcome::kRetired:
-              ++stats.dead_skips;
-              my_retired.fetch_add(1, std::memory_order_release);
-              break;
-          }
-        }
-        per_thread[t] = stats;
-      });
-    }
-  }
-  ExecutionStats total;
-  for (const auto& s : per_thread) total += s;
-  total.seconds = timer.seconds();
-  return total;
+  engine::SchedulingEngine eng(detail::single_job_engine(opts));
+  return eng.submit_relaxed_on(problem, pri, queue, detail::job_config(opts))
+      .wait();
 }
 
 /// Relaxed concurrent execution over a freshly built ConcurrentMultiQueue
@@ -164,55 +100,8 @@ ExecutionStats run_parallel_relaxed(P& problem, const graph::Priorities& pri,
 template <typename P>
 ExecutionStats run_parallel_exact(P& problem, const graph::Priorities& pri,
                                   const ParallelOptions& opts = {}) {
-  const std::uint32_t n = problem.num_tasks();
-  const unsigned threads = opts.threads();
-  std::vector<std::uint32_t> labels(n);
-  for (std::uint32_t label = 0; label < n; ++label) labels[label] = label;
-  sched::FaaArrayQueue<std::uint32_t> queue(std::move(labels));
-
-  std::vector<ExecutionStats> per_thread(threads);
-  util::Timer timer;
-  {
-    std::vector<std::jthread> workers;
-    workers.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t] {
-        if (opts.pin_threads) util::pin_thread_to_cpu(t);
-        ExecutionStats stats;
-        for (;;) {
-          const auto label = queue.try_dequeue();
-          if (!label) break;  // drained: every task delivered exactly once
-          ++stats.iterations;
-          const Task task = pri.order[*label];
-          // Backoff-wait until the task is decided; kNotReady here means
-          // "predecessor still in flight on another thread". Every retry
-          // re-scans the task's dependencies (O(degree)), so the pause
-          // between retries grows exponentially (capped) — without it, 24
-          // waiting threads hammering rescans anti-scale the whole sweep.
-          unsigned pause = 1;
-          for (;;) {
-            const Outcome outcome = problem.try_process(task);
-            if (outcome == Outcome::kProcessed) {
-              ++stats.processed;
-              break;
-            }
-            if (outcome == Outcome::kRetired) {
-              ++stats.dead_skips;
-              break;
-            }
-            ++stats.failed_deletes;  // counted as wasted work while waiting
-            for (unsigned i = 0; i < pause; ++i) util::cpu_relax();
-            if (pause < 4096) pause <<= 1;
-          }
-        }
-        per_thread[t] = stats;
-      });
-    }
-  }
-  ExecutionStats total;
-  for (const auto& s : per_thread) total += s;
-  total.seconds = timer.seconds();
-  return total;
+  engine::SchedulingEngine eng(detail::single_job_engine(opts));
+  return eng.submit_exact(problem, pri, detail::job_config(opts)).wait();
 }
 
 }  // namespace relax::core

@@ -1,0 +1,61 @@
+// Batched admission into a live scheduler.
+//
+// Loading a job's n initial labels one handle.insert() at a time pays a
+// sub-queue lock + heap sift per label — measurable at admission rates of
+// many jobs per second. BatchInserter buffers labels and flushes them with
+// the scheduler handle's bulk_insert (one lock + one merge per chunk; see
+// ConcurrentMultiQueue::bulk_insert) when the handle supports it, falling
+// back to per-label inserts for schedulers without a batched path (SprayList,
+// LockedScheduler wrappers — including the RelaxationMonitor audit path,
+// whose mirror must observe every individual insert anyway).
+//
+// The flush target is *live*: pops and inserts from other workers may be in
+// flight, which is what lets the engine overlap a job's admission with its
+// execution (and with other jobs entirely).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace relax::engine {
+
+template <typename Handle>
+class BatchInserter {
+ public:
+  explicit BatchInserter(Handle& handle, std::size_t capacity = 1024)
+      : handle_(&handle), capacity_(capacity == 0 ? 1 : capacity) {
+    buffer_.reserve(capacity_);
+  }
+
+  ~BatchInserter() { flush(); }
+
+  BatchInserter(const BatchInserter&) = delete;
+  BatchInserter& operator=(const BatchInserter&) = delete;
+
+  void push(sched::Priority p) {
+    buffer_.push_back(p);
+    if (buffer_.size() >= capacity_) flush();
+  }
+
+  void flush() {
+    if (buffer_.empty()) return;
+    if constexpr (requires(Handle h, std::span<const sched::Priority> s) {
+                    h.bulk_insert(s);
+                  }) {
+      handle_->bulk_insert(std::span<const sched::Priority>(buffer_));
+    } else {
+      for (const auto p : buffer_) handle_->insert(p);
+    }
+    buffer_.clear();
+  }
+
+ private:
+  Handle* handle_;
+  std::size_t capacity_;
+  std::vector<sched::Priority> buffer_;
+};
+
+}  // namespace relax::engine

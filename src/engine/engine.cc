@@ -1,0 +1,167 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/spinlock.h"
+#include "util/thread_pin.h"
+
+namespace relax::engine {
+
+unsigned EngineOptions::threads() const {
+  return num_threads == 0 ? util::hardware_threads() : num_threads;
+}
+
+core::ExecutionStats JobTicket::wait() {
+  if (!state_)
+    throw std::logic_error("JobTicket::wait() on a ticket with no job");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->stats;
+}
+
+bool JobTicket::ready() const {
+  if (!state_) return false;  // empty ticket: no job, never ready
+  std::lock_guard<std::mutex> guard(state_->mu);
+  return state_->done;
+}
+
+SchedulingEngine::SchedulingEngine(EngineOptions opts)
+    : opts_(opts),
+      worker_caches_(opts.threads()),
+      pool_(opts.threads(), opts.pin_threads,
+            [this](unsigned worker) { return work(worker); }) {
+  if (opts_.max_in_flight == 0) opts_.max_in_flight = 1;
+  if (opts_.max_pending == 0) opts_.max_pending = 1;
+  if (opts_.slice_budget == 0) opts_.slice_budget = 1;
+}
+
+SchedulingEngine::~SchedulingEngine() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] { return completed_ == submitted_; });
+  }
+  pool_.stop();
+}
+
+JobTicket SchedulingEngine::submit(std::shared_ptr<Job> job) {
+  auto state = std::make_shared<JobTicket::State>();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock,
+                   [&] { return pending_.size() < opts_.max_pending; });
+    ++submitted_;
+    pending_.push_back(Admitted{std::move(job), state});
+    admit(lock);
+  }
+  pool_.notify();
+  return JobTicket(std::move(state));
+}
+
+void SchedulingEngine::admit(std::unique_lock<std::mutex>& lock) {
+  // activating_ reserves the in-flight slot while the lock is dropped, so
+  // concurrent admitters can neither over-admit nor reorder the queue (each
+  // takes the front under the lock).
+  while (active_.size() + activating_ < opts_.max_in_flight &&
+         !pending_.empty()) {
+    Admitted admitted = std::move(pending_.front());
+    pending_.pop_front();
+    ++activating_;
+    space_cv_.notify_one();  // one admission-queue slot freed
+    lock.unlock();
+    admitted.job->activate(pool_.size());
+    lock.lock();
+    --activating_;
+    active_.push_back(std::move(admitted));
+    active_version_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+bool SchedulingEngine::work(unsigned worker) {
+  // Refresh this worker's snapshot of the active set only when the version
+  // stamp moved; steady-state passes cost one shared atomic read, not a
+  // mutex + shared_ptr copies. A stale snapshot is harmless: reaped jobs
+  // are sealed (slices skip them) and newly admitted jobs bump the version.
+  auto& cache = *worker_caches_[worker];
+  const std::uint64_t version =
+      active_version_.load(std::memory_order_acquire);
+  if (cache.seen_version != version) {
+    std::lock_guard<std::mutex> guard(mu_);
+    cache.jobs = active_;
+    cache.seen_version = version;
+  }
+  const std::vector<Admitted>& jobs = cache.jobs;
+  if (jobs.empty()) return false;  // park until the next submit
+  bool any = false;
+  const std::size_t k = jobs.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    // Rotate by worker id so the pool fans out over jobs instead of
+    // convoying on the first one.
+    const Admitted& admitted = jobs[(worker + i) % k];
+    // Slice entry protocol (all seq_cst, paired with finish()): register in
+    // in_slice BEFORE checking the seal. Either this registration is
+    // ordered before the reaper's quiescence scan — then the reaper waits
+    // for the slice — or the scan came first, in which case the seal is
+    // already visible here and the slice is skipped. Both ways no slice can
+    // write stat stripes concurrently with collect().
+    admitted.state->in_slice.fetch_add(1);
+    if (!admitted.state->sealed.load()) {
+      if (admitted.job->run_slice(worker, opts_.slice_budget)) any = true;
+    }
+    admitted.state->in_slice.fetch_sub(1);
+    if (admitted.job->finished()) finish(admitted);
+  }
+  // All active jobs are momentarily starved (queues empty, work in flight
+  // elsewhere): back off briefly but keep polling — completion detection
+  // needs the pops.
+  if (!any) {
+    for (int i = 0; i < 64; ++i) util::cpu_relax();
+  }
+  return true;
+}
+
+void SchedulingEngine::finish(const Admitted& admitted) {
+  if (admitted.state->reaped.exchange(true, std::memory_order_acq_rel))
+    return;  // another worker is reaping this job
+  // Seal, then wait for in-flight slices to retire (see work() for the
+  // pairing argument). Slices observe finished() and return quickly, so
+  // this spin is short; afterwards every per-worker stat stripe is
+  // quiescent and collect() is race-free.
+  admitted.state->sealed.store(true);
+  while (admitted.state->in_slice.load() != 0) util::cpu_relax();
+  const core::ExecutionStats stats = admitted.job->collect();
+  // Retire the job from the engine BEFORE fulfilling the ticket: a waiter
+  // that returns from wait() must observe jobs_completed() counting this
+  // job (and may immediately destroy problem/queue it owns — nothing may
+  // touch the job afterwards).
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    active_.erase(std::find_if(active_.begin(), active_.end(),
+                               [&](const Admitted& a) {
+                                 return a.state == admitted.state;
+                               }));
+    active_version_.fetch_add(1, std::memory_order_release);
+    ++completed_;
+    admit(lock);
+  }
+  {
+    std::lock_guard<std::mutex> guard(admitted.state->mu);
+    admitted.state->stats = stats;
+    admitted.state->done = true;
+  }
+  admitted.state->cv.notify_all();
+  drain_cv_.notify_all();
+  pool_.notify();  // wake parked workers for any newly admitted jobs
+}
+
+std::uint64_t SchedulingEngine::jobs_submitted() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return submitted_;
+}
+
+std::uint64_t SchedulingEngine::jobs_completed() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return completed_;
+}
+
+}  // namespace relax::engine

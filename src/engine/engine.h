@@ -1,0 +1,185 @@
+// SchedulingEngine — a persistent, multi-tenant execution service over the
+// relaxed-scheduling framework.
+//
+// One engine owns one pinned WorkerPool for its whole lifetime and
+// multiplexes a stream of independent jobs over it:
+//
+//   submit(job) -> JobTicket      bounded admission queue; BLOCKS when
+//                                 max_pending jobs are already waiting
+//                                 (backpressure, never drops)
+//   JobTicket::wait()             blocks until that job completes, returns
+//                                 its ExecutionStats
+//
+// Up to max_in_flight admitted jobs are active at once; every worker visits
+// each active job round-robin (rotated by worker id so workers start on
+// different jobs) and runs a bounded slice of its scheduler loop. Workers
+// park when no job is active and are woken by the next submission — an idle
+// engine burns no CPU, unlike the one-shot executors' spin loops.
+//
+// The per-run entry points in core/parallel_executor.h are now thin
+// wrappers: they stand up a single-job engine, submit, and wait. Services
+// should instead keep one engine alive and stream jobs through it (see
+// examples/job_server.cpp and bench/engine_throughput.cc).
+//
+// Lifetime: the problem, priorities, and any caller-owned queue passed to a
+// submit call must stay alive until that job's ticket is waited on (or the
+// engine is destroyed — the destructor drains all submitted jobs first).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/execution_stats.h"
+#include "core/problem.h"
+#include "engine/job.h"
+#include "engine/worker_pool.h"
+#include "graph/permutation.h"
+#include "util/padded.h"
+
+namespace relax::engine {
+
+struct EngineOptions {
+  unsigned num_threads = 0;      // 0 = all available hardware threads
+  bool pin_threads = true;       // pin worker i to the i-th allowed CPU
+  std::size_t max_pending = 64;  // admission queue bound (submit blocks)
+  unsigned max_in_flight = 4;    // jobs multiplexed over the pool at once
+  std::uint32_t slice_budget = 256;  // scheduler iterations per job visit
+
+  [[nodiscard]] unsigned threads() const;
+};
+
+class SchedulingEngine;
+
+/// Handle to one submitted job. Copyable; wait() may be called from any
+/// thread except the engine's own workers, any number of times.
+class JobTicket {
+ public:
+  JobTicket() = default;
+
+  /// Blocks until the job completes; returns its merged stats.
+  core::ExecutionStats wait();
+
+  [[nodiscard]] bool ready() const;
+
+ private:
+  friend class SchedulingEngine;
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;                    // guarded by mu
+    core::ExecutionStats stats;           // guarded by mu
+    std::atomic<bool> reaped{false};      // reaper election
+    std::atomic<bool> sealed{false};      // no new slices may start
+    std::atomic<unsigned> in_slice{0};    // workers currently inside a slice
+  };
+
+  explicit JobTicket(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+class SchedulingEngine {
+ public:
+  explicit SchedulingEngine(EngineOptions opts = {});
+
+  /// Drains every submitted job, then stops and joins the pool.
+  ~SchedulingEngine();
+
+  SchedulingEngine(const SchedulingEngine&) = delete;
+  SchedulingEngine& operator=(const SchedulingEngine&) = delete;
+
+  /// Submits a type-erased job. Blocks while the admission queue holds
+  /// max_pending jobs (backpressure; nothing is ever dropped).
+  JobTicket submit(std::shared_ptr<Job> job);
+
+  /// Relaxed execution over an engine-owned ConcurrentMultiQueue sized
+  /// cfg.queue_factor sub-queues per worker — the production default. With
+  /// cfg.monitor_relaxation the job runs in audit mode and its stats carry
+  /// Definition 1 rank-error / inversion measurements.
+  template <core::Problem P>
+  JobTicket submit_relaxed(P& problem, const graph::Priorities& pri,
+                           const JobConfig& cfg = {}) {
+    const std::uint32_t queues = cfg.queue_factor * width();
+    if (cfg.monitor_relaxation) {
+      return submit(
+          std::make_shared<MonitoredRelaxedJob<P>>(problem, pri, queues, cfg));
+    }
+    return submit(
+        std::make_shared<MultiQueueRelaxedJob<P>>(problem, pri, queues, cfg));
+  }
+
+  /// Relaxed execution over a caller-owned scheduler (MultiQueue, SprayList,
+  /// LockFreeMultiQueue, or any sched::ConcurrentScheduler such as a
+  /// LockedScheduler-wrapped KBoundedScheduler).
+  template <core::Problem P, typename Queue>
+  JobTicket submit_relaxed_on(P& problem, const graph::Priorities& pri,
+                              Queue& queue, const JobConfig& cfg = {}) {
+    return submit(std::make_shared<RelaxedJob<P, Queue>>(problem, pri, queue,
+                                                         cfg));
+  }
+
+  /// Exact-baseline execution (FAA ticket dispenser + bounded backoff-wait).
+  template <core::Problem P>
+  JobTicket submit_exact(P& problem, const graph::Priorities& pri,
+                         const JobConfig& cfg = {}) {
+    return submit(std::make_shared<ExactJob<P>>(problem, pri, cfg));
+  }
+
+  /// Number of pool workers.
+  [[nodiscard]] unsigned width() const noexcept { return pool_.size(); }
+
+  [[nodiscard]] std::uint64_t jobs_submitted() const;
+  [[nodiscard]] std::uint64_t jobs_completed() const;
+
+ private:
+  struct Admitted {
+    std::shared_ptr<Job> job;
+    std::shared_ptr<JobTicket::State> state;
+  };
+
+  /// WorkerPool work function: visit every active job once.
+  bool work(unsigned worker);
+
+  /// Promotes pending jobs into the active set up to max_in_flight.
+  /// Requires `lock` held on mu_; releases it around each job's activate()
+  /// so an O(n) activation (e.g. ExactJob's label load) never stalls
+  /// submitters or the workers' active-set refresh.
+  void admit(std::unique_lock<std::mutex>& lock);
+
+  /// Reaps a finished job exactly once: waits for in-flight slices to
+  /// retire, collects stats, fulfills the ticket, frees its active slot.
+  void finish(const Admitted& admitted);
+
+  /// Per-worker cached copy of the active set, refreshed only when
+  /// active_version_ says it changed. Without this every work-loop pass of
+  /// every worker would re-take mu_ and copy shared_ptrs — one mutex and a
+  /// refcount cache line serializing the whole pool, exactly the
+  /// scalability failure the striped designs in sched/ exist to avoid.
+  struct WorkerCache {
+    std::uint64_t seen_version = ~0ULL;  // != 0 so the first pass refreshes
+    std::vector<Admitted> jobs;
+  };
+
+  EngineOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable space_cv_;  // submit backpressure
+  std::condition_variable drain_cv_;  // destructor drain
+  std::deque<Admitted> pending_;      // guarded by mu_
+  std::vector<Admitted> active_;      // guarded by mu_
+  unsigned activating_ = 0;  // jobs mid-activate outside the lock; mu_
+  std::atomic<std::uint64_t> active_version_{0};  // bumped under mu_
+  std::uint64_t submitted_ = 0;       // guarded by mu_
+  std::uint64_t completed_ = 0;       // guarded by mu_
+  std::vector<util::Padded<WorkerCache>> worker_caches_;
+  WorkerPool pool_;  // last member: workers touch the state above
+};
+
+}  // namespace relax::engine

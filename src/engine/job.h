@@ -1,0 +1,446 @@
+// Multi-tenant job layer: type-erased units of work for SchedulingEngine.
+//
+// A Job wraps one framework execution — a core::Problem, its priority
+// permutation pi, and a scheduler — behind a uniform slice interface so a
+// pool of persistent workers can multiplex many jobs:
+//
+//   activate(width)          engine admits the job; size per-worker stripes
+//   run_slice(worker, b)     run up to b scheduler iterations for `worker`
+//   finished()               retirement count reached num_tasks()
+//   collect()                merged ExecutionStats (only after finished())
+//
+// Slices keep every worker responsive: instead of looping to termination as
+// core/parallel_executor.h's executors did, a worker runs a bounded burst,
+// returns, and visits the other in-flight jobs. Determinism is untouched —
+// the framework property (decided outcome == sequential execution under pi
+// for any schedule, paper §2.2) covers arbitrary interleaving, including
+// interleaving with unrelated jobs.
+//
+// Admission is batched and cooperative: the submitting thread does not load
+// the n initial labels. Workers claim chunks of the label range from an
+// atomic cursor inside run_slice and push them through BatchInserter, so a
+// large job's admission is spread over the pool and overlaps both its own
+// execution and other jobs. Termination via striped retirement counting is
+// unaffected: a task can only retire after its final pop, hence after its
+// insert, so retired == n implies admission completed too.
+//
+// Variants:
+//   RelaxedJob<P, Queue>        relaxed loop over a caller-owned scheduler
+//                               (anything with per-thread handles or a plain
+//                               sched::ConcurrentScheduler surface)
+//   MultiQueueRelaxedJob<P>     owns its ConcurrentMultiQueue (engine default)
+//   MonitoredRelaxedJob<P>      opt-in audit mode: every scheduler op goes
+//                               through a lock-serialized RelaxationMonitor,
+//                               and collect() reports Definition 1 rank-error
+//                               / inversion statistics in ExecutionStats
+//   ExactJob<P>                 the exact baseline (FAA ticket dispenser +
+//                               bounded backoff-wait, never re-inserts)
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/execution_stats.h"
+#include "core/problem.h"
+#include "engine/batch_inserter.h"
+#include "graph/permutation.h"
+#include "sched/concurrent_multiqueue.h"
+#include "sched/faa_array_queue.h"
+#include "sched/relaxation_monitor.h"
+#include "sched/scheduler.h"
+#include "util/padded.h"
+#include "util/spinlock.h"
+#include "util/timer.h"
+
+namespace relax::engine {
+
+/// Per-job knobs. queue_factor/choices/seed mirror core::ParallelOptions and
+/// parameterize schedulers the job owns; they are ignored for caller-owned
+/// queues (submit_relaxed_on).
+struct JobConfig {
+  unsigned queue_factor = 4;       // MultiQueue sub-queues per pool worker
+  unsigned choices = 2;            // sampled sub-queues per pop
+  std::uint64_t seed = 1;          // scheduler randomness
+  std::uint32_t admission_batch = 1024;  // labels admitted per claimed chunk
+  bool monitor_relaxation = false;  // audit mode: serialize + measure quality
+  std::uint32_t monitor_stride = 64;  // inversion tracking sample stride
+};
+
+class Job {
+ public:
+  virtual ~Job() = default;
+
+  /// Called once, by the engine, when the job becomes active; `pool_width`
+  /// is the number of workers that may call run_slice. No slice runs before
+  /// activation returns.
+  virtual void activate(unsigned pool_width) = 0;
+
+  /// Runs up to `budget` scheduler iterations on behalf of `worker`
+  /// (a stable id < pool_width). Returns true if the slice made progress
+  /// (popped a task or admitted labels); false lets the caller back off.
+  virtual bool run_slice(unsigned worker, std::uint32_t budget) = 0;
+
+  [[nodiscard]] virtual bool finished() const noexcept = 0;
+
+  /// Merged statistics. Valid only after finished() is true and all slices
+  /// have returned (the engine guarantees both before reaping).
+  virtual core::ExecutionStats collect() = 0;
+};
+
+namespace detail {
+
+/// Handle shim: schedulers with per-thread handles (MultiQueue, SprayList,
+/// LockFreeMultiQueue) get a fresh handle per slice; plain
+/// sched::ConcurrentScheduler surfaces (LockedScheduler wrappers) are used
+/// directly.
+template <typename Queue>
+struct DirectHandle {
+  Queue* queue;
+  void insert(sched::Priority p) { queue->insert(p); }
+  std::optional<sched::Priority> approx_get_min() {
+    return queue->approx_get_min();
+  }
+};
+
+template <typename Queue>
+auto make_handle(Queue& queue) {
+  if constexpr (requires { queue.get_handle(); }) {
+    return queue.get_handle();
+  } else {
+    return DirectHandle<Queue>{&queue};
+  }
+}
+
+}  // namespace detail
+
+/// Shared machinery for jobs over the task framework: per-worker stat and
+/// retirement stripes, the striped-sum termination check, and wall-time
+/// stamping of the admit -> done interval.
+class TaskJobBase : public Job {
+ public:
+  void activate(unsigned pool_width) override {
+    retired_ = std::vector<util::Padded<std::atomic<std::uint32_t>>>(
+        pool_width);
+    stats_ = std::vector<util::Padded<core::ExecutionStats>>(pool_width);
+    timer_.reset();
+    if (n_ == 0) {
+      done_seconds_ = 0.0;
+      done_.store(true, std::memory_order_release);
+    }
+  }
+
+  [[nodiscard]] bool finished() const noexcept override {
+    return done_.load(std::memory_order_acquire);
+  }
+
+  core::ExecutionStats collect() override {
+    core::ExecutionStats total;
+    for (const auto& s : stats_) total += *s;
+    total.seconds = done_seconds_;
+    return total;
+  }
+
+ protected:
+  explicit TaskJobBase(std::uint32_t num_tasks) : n_(num_tasks) {}
+
+  /// Sums the retirement stripes; the first thread to observe the sum reach
+  /// n stamps the wall time and raises the done flag (the release store
+  /// orders the stamp before any acquire load that sees the flag).
+  void check_done() noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& slot : retired_)
+      sum += slot->load(std::memory_order_acquire);
+    if (sum < n_ || done_.load(std::memory_order_relaxed)) return;
+    std::lock_guard<util::Spinlock> guard(finish_lock_);
+    if (!done_.load(std::memory_order_relaxed)) {
+      done_seconds_ = timer_.seconds();
+      done_.store(true, std::memory_order_release);
+    }
+  }
+
+  const std::uint32_t n_;
+  std::vector<util::Padded<std::atomic<std::uint32_t>>> retired_;
+  std::vector<util::Padded<core::ExecutionStats>> stats_;
+  std::atomic<bool> done_{false};
+  util::Spinlock finish_lock_;
+  util::Timer timer_;
+  double done_seconds_ = 0.0;
+};
+
+/// The paper's relaxed concurrent loop (§4) as a multiplexable job. The
+/// problem, priorities and queue are caller-owned and must outlive the job.
+template <core::Problem P, typename Queue>
+class RelaxedJob : public TaskJobBase {
+ public:
+  RelaxedJob(P& problem, const graph::Priorities& pri, Queue& queue,
+             const JobConfig& cfg = {})
+      : TaskJobBase(problem.num_tasks()),
+        problem_(&problem),
+        pri_(&pri),
+        queue_(&queue),
+        batch_(cfg.admission_batch == 0 ? 1 : cfg.admission_batch) {}
+
+  void activate(unsigned pool_width) override {
+    TaskJobBase::activate(pool_width);
+    // Schedulers with a quiescent bulk_load but no live bulk_insert
+    // (LockFreeMultiQueue, whose sorted sub-lists degrade to O(n) per
+    // ascending insert) get their whole initial load here, while the job is
+    // still unpublished and the queue guaranteed quiescent. Everything else
+    // is loaded cooperatively by the workers via admit_chunk.
+    using Handle = decltype(detail::make_handle(*queue_));
+    if constexpr (requires(Queue& q, std::span<const sched::Priority> s) {
+                    q.bulk_load(s);
+                  } && !requires(Handle h, std::span<const sched::Priority> s) {
+                    h.bulk_insert(s);
+                  }) {
+      std::vector<sched::Priority> labels(n_);
+      std::iota(labels.begin(), labels.end(), 0u);
+      queue_->bulk_load(std::span<const sched::Priority>(labels));
+      load_cursor_.store(n_, std::memory_order_release);
+    }
+  }
+
+  bool run_slice(unsigned worker, std::uint32_t budget) override {
+    if (finished()) return false;
+    auto handle = detail::make_handle(*queue_);
+    bool progress = admit_chunk(handle);
+    auto& stats = *stats_[worker];
+    auto& my_retired = *retired_[worker];
+    std::uint32_t iters = 0;
+    while (!done_.load(std::memory_order_acquire) && iters < budget) {
+      ++iters;
+      const auto label = handle.approx_get_min();
+      if (!label) {
+        ++stats.empty_polls;
+        check_done();
+        // Prefer feeding the queue over spinning when admission is still
+        // in flight; otherwise yield the worker to other jobs.
+        if (admit_chunk(handle)) {
+          progress = true;
+          continue;
+        }
+        break;
+      }
+      progress = true;
+      ++stats.iterations;
+      const core::Task task = pri_->order[*label];
+      switch (problem_->try_process(task)) {
+        case core::Outcome::kProcessed:
+          ++stats.processed;
+          my_retired.fetch_add(1, std::memory_order_release);
+          break;
+        case core::Outcome::kNotReady:
+          ++stats.failed_deletes;
+          handle.insert(*label);
+          break;
+        case core::Outcome::kRetired:
+          ++stats.dead_skips;
+          my_retired.fetch_add(1, std::memory_order_release);
+          break;
+      }
+    }
+    check_done();
+    return progress;
+  }
+
+ private:
+  /// Claims one chunk of the initial label range and inserts it. Multiple
+  /// workers admit concurrently; the queue is live throughout.
+  template <typename Handle>
+  bool admit_chunk(Handle& handle) {
+    if (load_cursor_.load(std::memory_order_relaxed) >= n_) return false;
+    const std::uint64_t lo =
+        load_cursor_.fetch_add(batch_, std::memory_order_acq_rel);
+    if (lo >= n_) return false;
+    const std::uint32_t hi = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(n_, lo + batch_));
+    BatchInserter<Handle> inserter(handle, hi - static_cast<std::uint32_t>(lo));
+    for (std::uint32_t label = static_cast<std::uint32_t>(lo); label < hi;
+         ++label)
+      inserter.push(label);
+    return true;
+  }
+
+  P* problem_;
+  const graph::Priorities* pri_;
+  Queue* queue_;
+  std::uint32_t batch_;
+  std::atomic<std::uint64_t> load_cursor_{0};
+};
+
+/// Engine-default relaxed job: owns a fresh ConcurrentMultiQueue sized for
+/// the pool (cfg.queue_factor sub-queues per worker).
+template <core::Problem P>
+class MultiQueueRelaxedJob : public Job {
+ public:
+  MultiQueueRelaxedJob(P& problem, const graph::Priorities& pri,
+                       std::uint32_t num_queues, const JobConfig& cfg = {})
+      : queue_(num_queues, cfg.seed, cfg.choices),
+        job_(problem, pri, queue_, cfg) {}
+
+  void activate(unsigned pool_width) override { job_.activate(pool_width); }
+  bool run_slice(unsigned worker, std::uint32_t budget) override {
+    return job_.run_slice(worker, budget);
+  }
+  [[nodiscard]] bool finished() const noexcept override {
+    return job_.finished();
+  }
+  core::ExecutionStats collect() override { return job_.collect(); }
+
+ private:
+  sched::ConcurrentMultiQueue queue_;
+  RelaxedJob<P, sched::ConcurrentMultiQueue> job_;
+};
+
+namespace detail {
+
+/// SequentialScheduler view over a concurrent queue's single-threaded
+/// convenience API; only ever used under the LockedScheduler lock.
+template <typename Queue>
+class SequentialView {
+ public:
+  explicit SequentialView(Queue& queue) : queue_(&queue) {}
+  void insert(sched::Priority p) { queue_->insert(p); }
+  std::optional<sched::Priority> approx_get_min() {
+    return queue_->approx_get_min();
+  }
+  [[nodiscard]] bool empty() const { return queue_->empty(); }
+  [[nodiscard]] std::size_t size() const { return queue_->size(); }
+
+ private:
+  Queue* queue_;
+};
+
+}  // namespace detail
+
+/// Opt-in production quality sampling (JobConfig::monitor_relaxation): the
+/// job's MultiQueue is driven through a RelaxationMonitor so every pop's
+/// rank error and the sampled per-element inversion counts (Definition 1)
+/// are measured in situ, then reported in ExecutionStats. The monitor's
+/// exact order-statistics mirror requires serializing scheduler ops through
+/// one lock, so this mode trades scalability for observability — use it on
+/// a sampled subset of production jobs, not all of them.
+template <core::Problem P>
+class MonitoredRelaxedJob : public Job {
+ public:
+  using Monitor =
+      sched::RelaxationMonitor<detail::SequentialView<sched::ConcurrentMultiQueue>>;
+
+  MonitoredRelaxedJob(P& problem, const graph::Priorities& pri,
+                      std::uint32_t num_queues, const JobConfig& cfg = {})
+      : queue_(num_queues, cfg.seed, cfg.choices),
+        monitored_(Monitor(detail::SequentialView(queue_),
+                           problem.num_tasks(), cfg.monitor_stride)),
+        job_(problem, pri, monitored_, cfg) {}
+
+  void activate(unsigned pool_width) override { job_.activate(pool_width); }
+  bool run_slice(unsigned worker, std::uint32_t budget) override {
+    return job_.run_slice(worker, budget);
+  }
+  [[nodiscard]] bool finished() const noexcept override {
+    return job_.finished();
+  }
+
+  core::ExecutionStats collect() override {
+    auto total = job_.collect();
+    auto& monitor = monitored_.inner();
+    const auto& ranks = monitor.rank_histogram();
+    const auto& inversions = monitor.inversion_histogram();
+    total.rank_samples = ranks.total();
+    total.mean_rank_error = ranks.mean();
+    total.max_rank_error = ranks.max_value();
+    total.inversion_samples = inversions.total();
+    total.mean_inversions = inversions.mean();
+    return total;
+  }
+
+ private:
+  sched::ConcurrentMultiQueue queue_;
+  sched::LockedScheduler<Monitor> monitored_;
+  RelaxedJob<P, sched::LockedScheduler<Monitor>> job_;
+};
+
+/// The exact baseline (§4) as a job: tasks pre-loaded in strict priority
+/// order into a wait-free FAA ticket dispenser. A dequeued task whose
+/// predecessor is still undecided is *held* by the dequeuing worker (never
+/// re-inserted) with exponential backoff; unlike the one-shot executor, the
+/// backoff is bounded per slice so the worker stays available to other
+/// in-flight jobs and retries the held task on its next visit.
+template <core::Problem P>
+class ExactJob : public TaskJobBase {
+ public:
+  ExactJob(P& problem, const graph::Priorities& pri,
+           const JobConfig& /*cfg*/ = {})
+      : TaskJobBase(problem.num_tasks()), problem_(&problem), pri_(&pri) {}
+
+  void activate(unsigned pool_width) override {
+    // Load inside activation, after the timer reset in the base activate:
+    // the n-label load is charged to the timed window exactly like the
+    // relaxed jobs' batched admission — keeping relaxed-vs-exact wall-time
+    // comparisons symmetric.
+    TaskJobBase::activate(pool_width);
+    std::vector<std::uint32_t> labels(n_);
+    std::iota(labels.begin(), labels.end(), 0u);
+    queue_.load(std::move(labels));
+    slots_ = std::vector<util::Padded<Slot>>(pool_width);
+  }
+
+  bool run_slice(unsigned worker, std::uint32_t budget) override {
+    if (finished()) return false;
+    auto& stats = *stats_[worker];
+    auto& my_retired = *retired_[worker];
+    auto& slot = *slots_[worker];
+    bool progress = false;
+    for (std::uint32_t iters = 0; iters < budget;) {
+      if (!slot.has_pending) {
+        const auto label = queue_.try_dequeue();
+        if (!label) break;  // drained; held tasks may still be in flight
+        slot.pending = *label;
+        slot.has_pending = true;
+        slot.pause = 1;
+        ++stats.iterations;
+        ++iters;
+      }
+      const core::Task task = pri_->order[slot.pending];
+      const core::Outcome outcome = problem_->try_process(task);
+      if (outcome == core::Outcome::kNotReady) {
+        ++stats.failed_deletes;  // wasted work while waiting
+        for (unsigned i = 0; i < slot.pause; ++i) util::cpu_relax();
+        if (slot.pause >= kMaxPause) break;  // hold the task, free the worker
+        slot.pause <<= 1;
+        continue;
+      }
+      if (outcome == core::Outcome::kProcessed) {
+        ++stats.processed;
+      } else {
+        ++stats.dead_skips;
+      }
+      my_retired.fetch_add(1, std::memory_order_release);
+      slot.has_pending = false;
+      progress = true;
+    }
+    check_done();
+    return progress;
+  }
+
+ private:
+  static constexpr unsigned kMaxPause = 4096;
+
+  struct Slot {
+    std::uint32_t pending = 0;
+    bool has_pending = false;
+    unsigned pause = 1;
+  };
+
+  P* problem_;
+  const graph::Priorities* pri_;
+  sched::FaaArrayQueue<std::uint32_t> queue_;
+  std::vector<util::Padded<Slot>> slots_;
+};
+
+}  // namespace relax::engine

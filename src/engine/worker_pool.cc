@@ -1,0 +1,58 @@
+#include "engine/worker_pool.h"
+
+#include <utility>
+
+#include "util/thread_pin.h"
+
+namespace relax::engine {
+
+WorkerPool::WorkerPool(unsigned num_threads, bool pin_threads, WorkFn work)
+    : work_(std::move(work)), pin_threads_(pin_threads) {
+  const unsigned n = num_threads == 0 ? 1 : num_threads;
+  workers_.reserve(n);
+  for (unsigned t = 0; t < n; ++t) {
+    workers_.emplace_back([this, t] { worker_main(t); });
+  }
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+void WorkerPool::notify() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    ++epoch_;
+  }
+  cv_.notify_all();
+}
+
+void WorkerPool::stop() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void WorkerPool::worker_main(unsigned worker) {
+  if (pin_threads_) util::pin_thread_to_cpu(worker);
+  for (;;) {
+    std::uint64_t seen;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      if (stop_) return;
+      // Capture the epoch *before* scanning for work: a notify() that lands
+      // after an empty scan bumps the epoch past `seen`, so the wait below
+      // falls through instead of sleeping past the new work.
+      seen = epoch_;
+    }
+    if (work_(worker)) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+  }
+}
+
+}  // namespace relax::engine

@@ -1,0 +1,74 @@
+// Long-lived pinned worker pool — the thread substrate of the scheduling
+// engine.
+//
+// The per-run executors in core/parallel_executor.h historically spawned a
+// fresh set of std::jthreads for every execution and tore them down at the
+// end; fine for one-shot experiments, hostile to a service multiplexing a
+// stream of jobs (thread creation, first-touch faults and re-warming the
+// pinned caches dominate short jobs). WorkerPool keeps `size()` workers
+// alive for its whole lifetime:
+//
+//   * each worker is pinned to the i-th *allowed* CPU (wrapping, see
+//     util/thread_pin.cc), so oversubscription or a restricted cpuset never
+//     targets a nonexistent CPU;
+//   * workers repeatedly call the owner-supplied work function with their
+//     stable worker id; returning false means "no work visible" and parks
+//     the worker on a condition variable until notify() — idle pools burn
+//     no CPU, unlike the executors' spin loops;
+//   * notify() is cheap enough to call on every state change (epoch bump +
+//     notify_all); the epoch protocol means a wakeup between the work scan
+//     and the wait can never be lost.
+//
+// The pool knows nothing about jobs or schedulers; SchedulingEngine supplies
+// the work function.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace relax::engine {
+
+class WorkerPool {
+ public:
+  /// The work function is invoked repeatedly with the worker's id in
+  /// [0, size()). Return true after doing (or finding) work, false to park
+  /// until the next notify(). Must be safe to call from all workers at once.
+  using WorkFn = std::function<bool(unsigned worker)>;
+
+  /// num_threads is a resolved worker count (owners resolve 0 == "all
+  /// hardware" themselves, see EngineOptions::threads(); 0 here is clamped
+  /// to 1, not re-resolved).
+  WorkerPool(unsigned num_threads, bool pin_threads, WorkFn work);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Unparks every worker. Call after publishing new work.
+  void notify();
+
+  /// Asks all workers to exit and joins them. Idempotent; also run by the
+  /// destructor.
+  void stop();
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void worker_main(unsigned worker);
+
+  WorkFn work_;
+  bool pin_threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_ = 0;  // bumped by notify(); guarded by mu_
+  bool stop_ = false;        // guarded by mu_
+  std::vector<std::jthread> workers_;  // last: joins before members die
+};
+
+}  // namespace relax::engine

@@ -83,6 +83,12 @@ class BasicConcurrentMultiQueue {
   class Handle {
    public:
     void insert(Key p) { mq_->insert(p, rng_); }
+    /// Batched live insert: amortizes locking over the whole batch (one
+    /// sub-queue lock per chunk instead of per key). Safe concurrently with
+    /// any handle operation; see bulk_insert below.
+    void bulk_insert(std::span<const Key> keys) {
+      mq_->bulk_insert(keys, rng_);
+    }
     std::optional<Key> approx_get_min() { return mq_->approx_get_min(rng_); }
 
    private:
@@ -116,6 +122,12 @@ class BasicConcurrentMultiQueue {
                 sq.base.end());
       sq.refresh_top();
     }
+  }
+
+  /// Single-threaded convenience form of the live batched insert.
+  void bulk_insert(std::span<const Key> keys) {
+    util::Rng rng(seed_ ^ sequential_ops_++);
+    bulk_insert(keys, rng);
   }
 
   /// Single-threaded convenience interface (satisfies SequentialScheduler
@@ -184,6 +196,49 @@ class BasicConcurrentMultiQueue {
     }
   };
 
+  /// Live-queue batched insert, the admission fast path for the engine:
+  /// unlike bulk_load (quiescent-only), this may run concurrently with any
+  /// number of handle inserts/pops and other bulk_inserts. The batch is cut
+  /// into contiguous chunks spread over sub-queues starting at a random
+  /// offset; each chunk takes its sub-queue's lock once and merges into the
+  /// sorted base array, so subsequent pops stay O(1) cursor advances and the
+  /// per-key cost is one sort/merge share instead of a lock + heap sift.
+  void bulk_insert(std::span<const Key> keys, util::Rng& rng) {
+    if (keys.empty()) return;
+    const std::size_t q = queues_.size();
+    const std::size_t chunks = std::min<std::size_t>(
+        q, std::max<std::size_t>(1, keys.size() / kMinBulkChunk));
+    const std::size_t chunk = (keys.size() + chunks - 1) / chunks;
+    const std::size_t start = util::bounded(rng, q);
+    for (std::size_t c = 0, off = 0; off < keys.size(); ++c, off += chunk) {
+      const auto slice =
+          keys.subspan(off, std::min(chunk, keys.size() - off));
+      auto& sq = *queues_[(start + c) % q];
+      sq.lock.lock();
+      std::lock_guard<util::Spinlock> guard(sq.lock, std::adopt_lock);
+      // Long-lived queues accumulate a consumed prefix in base; drop it
+      // before growing so memory stays proportional to live elements.
+      if (sq.cursor > 0 && sq.cursor * 2 >= sq.base.size()) {
+        sq.base.erase(sq.base.begin(),
+                      sq.base.begin() + static_cast<std::ptrdiff_t>(sq.cursor));
+        sq.cursor = 0;
+      }
+      const auto mid = static_cast<std::ptrdiff_t>(sq.base.size());
+      sq.base.insert(sq.base.end(), slice.begin(), slice.end());
+      std::sort(sq.base.begin() + mid, sq.base.end());
+      // Admission streams labels in ascending order, so a batch usually
+      // lands entirely above the live tail — then the concatenation is
+      // already sorted and the O(live) merge can be skipped.
+      if (mid > static_cast<std::ptrdiff_t>(sq.cursor) &&
+          sq.base[static_cast<std::size_t>(mid)] < sq.base[static_cast<std::size_t>(mid) - 1]) {
+        std::inplace_merge(
+            sq.base.begin() + static_cast<std::ptrdiff_t>(sq.cursor),
+            sq.base.begin() + mid, sq.base.end());
+      }
+      sq.refresh_top();
+    }
+  }
+
   void insert(Key p, util::Rng& rng) {
     for (;;) {
       auto& sq = *queues_[util::bounded(rng, queues_.size())];
@@ -241,6 +296,9 @@ class BasicConcurrentMultiQueue {
   }
 
   static constexpr int kProbeLimit = 16;
+  /// Minimum keys per bulk_insert chunk: below this the sort/merge overhead
+  /// stops amortizing and the batch targets fewer sub-queues.
+  static constexpr std::size_t kMinBulkChunk = 64;
 
   std::vector<util::Padded<SubQueue>> queues_;
   std::uint64_t seed_;

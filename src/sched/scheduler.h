@@ -21,7 +21,11 @@
 
 #include <concepts>
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <utility>
+
+#include "util/spinlock.h"
 
 namespace relax::sched {
 
@@ -43,6 +47,43 @@ template <typename S>
 concept ConcurrentScheduler = requires(S s, Priority p) {
   { s.insert(p) } -> std::same_as<void>;
   { s.approx_get_min() } -> std::same_as<std::optional<Priority>>;
+};
+
+/// Adapts any SequentialScheduler into a ConcurrentScheduler by serializing
+/// every operation through one spinlock. Deliberately unscalable — the use
+/// cases are deterministic schedulers (KBoundedScheduler) and audit wrappers
+/// (RelaxationMonitor) inside the concurrent engine, where correctness of
+/// the single-threaded structure matters more than throughput.
+template <SequentialScheduler S>
+class LockedScheduler {
+ public:
+  template <typename... Args>
+  explicit LockedScheduler(Args&&... args)
+      : inner_(std::forward<Args>(args)...) {}
+
+  void insert(Priority p) {
+    std::lock_guard<util::Spinlock> guard(lock_);
+    inner_.insert(p);
+  }
+  std::optional<Priority> approx_get_min() {
+    std::lock_guard<util::Spinlock> guard(lock_);
+    return inner_.approx_get_min();
+  }
+  [[nodiscard]] bool empty() const {
+    std::lock_guard<util::Spinlock> guard(lock_);
+    return inner_.empty();
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<util::Spinlock> guard(lock_);
+    return inner_.size();
+  }
+
+  /// The wrapped scheduler. Callers must be quiescent (no concurrent ops).
+  [[nodiscard]] S& inner() noexcept { return inner_; }
+
+ private:
+  mutable util::Spinlock lock_;
+  S inner_;
 };
 
 }  // namespace relax::sched

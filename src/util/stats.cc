@@ -30,6 +30,7 @@ void ExponentialHistogram::add(std::uint64_t value) noexcept {
   if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
   ++buckets_[bucket];
   ++total_;
+  sum_ += value;
   max_ = std::max(max_, value);
   if (raw_.size() < 1u << 16) raw_.push_back(value);
 }
@@ -60,6 +61,7 @@ void ExponentialHistogram::merge(const ExponentialHistogram& other) {
   for (std::size_t b = 0; b < other.buckets_.size(); ++b)
     buckets_[b] += other.buckets_[b];
   total_ += other.total_;
+  sum_ += other.sum_;
   max_ = std::max(max_, other.max_);
   for (std::uint64_t v : other.raw_) {
     if (raw_.size() >= 1u << 16) break;

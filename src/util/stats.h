@@ -62,6 +62,11 @@ class ExponentialHistogram {
   [[nodiscard]] double tail_fraction_at_least(std::uint64_t threshold) const;
   /// Maximum value ever added.
   [[nodiscard]] std::uint64_t max_value() const noexcept { return max_; }
+  /// Exact mean over all added values (0 when empty).
+  [[nodiscard]] double mean() const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
   void merge(const ExponentialHistogram& other);
 
   [[nodiscard]] std::string to_string() const;
@@ -70,6 +75,7 @@ class ExponentialHistogram {
   std::vector<std::uint64_t> buckets_;
   std::vector<std::uint64_t> raw_;  // sampled raw values (capped reservoir)
   std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
   std::uint64_t max_ = 0;
 };
 

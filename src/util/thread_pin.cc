@@ -1,6 +1,7 @@
 #include "util/thread_pin.h"
 
 #include <thread>
+#include <vector>
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -9,16 +10,52 @@
 
 namespace relax::util {
 
+namespace {
+
+#if defined(__linux__)
+// Logical CPU ids this process may run on, captured once at first use. In a
+// restricted cgroup/cpuset the allowed ids need not start at 0 or be
+// contiguous, so pinning to `cpu % hardware_concurrency` can target a CPU
+// outside the mask (the affinity call fails and the thread runs unpinned).
+// Indexing into this list always yields a CPU the scheduler accepts, and
+// requesting more workers than CPUs wraps instead of pinning to nonexistent
+// ids.
+const std::vector<unsigned>& allowed_cpus() noexcept {
+  static const std::vector<unsigned> cpus = [] {
+    std::vector<unsigned> out;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+      for (unsigned c = 0; c < CPU_SETSIZE; ++c)
+        if (CPU_ISSET(c, &set)) out.push_back(c);
+    }
+    if (out.empty()) {
+      const unsigned n = std::thread::hardware_concurrency();
+      for (unsigned c = 0; c < (n == 0 ? 1 : n); ++c) out.push_back(c);
+    }
+    return out;
+  }();
+  return cpus;
+}
+#endif
+
+}  // namespace
+
 unsigned hardware_threads() noexcept {
+#if defined(__linux__)
+  return static_cast<unsigned>(allowed_cpus().size());
+#else
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
+#endif
 }
 
 bool pin_thread_to_cpu(unsigned cpu) noexcept {
 #if defined(__linux__)
+  const auto& cpus = allowed_cpus();
   cpu_set_t set;
   CPU_ZERO(&set);
-  CPU_SET(cpu % hardware_threads(), &set);
+  CPU_SET(cpus[cpu % cpus.size()], &set);
   return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
 #else
   (void)cpu;

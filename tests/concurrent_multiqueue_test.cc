@@ -186,6 +186,86 @@ TEST(ConcurrentMultiQueue, BulkLoadMixesWithDynamicInserts) {
   EXPECT_EQ(n, kN);
 }
 
+TEST(ConcurrentMultiQueue, BulkInsertOnLiveQueueDrainsExactly) {
+  // Unlike bulk_load, bulk_insert targets a queue that is already serving
+  // pops: interleave batched inserts with partial drains and verify every
+  // key is delivered exactly once, in spite of base-array compaction.
+  ConcurrentMultiQueue q(4, 13);
+  constexpr std::uint32_t kN = 4096;
+  constexpr std::uint32_t kBatch = 256;
+  std::vector<char> seen(kN, 0);
+  std::uint32_t popped = 0;
+  for (std::uint32_t lo = 0; lo < kN; lo += kBatch) {
+    std::vector<Priority> batch;
+    for (Priority p = lo; p < lo + kBatch; ++p) batch.push_back(p);
+    q.bulk_insert(batch);
+    // Drain roughly half of what is present before the next batch lands.
+    for (std::size_t target = q.size() / 2; q.size() > target;) {
+      const auto p = q.approx_get_min();
+      ASSERT_TRUE(p.has_value());
+      ASSERT_LT(*p, kN);
+      ASSERT_FALSE(seen[*p]);
+      seen[*p] = 1;
+      ++popped;
+    }
+  }
+  while (auto p = q.approx_get_min()) {
+    ASSERT_FALSE(seen[*p]);
+    seen[*p] = 1;
+    ++popped;
+  }
+  EXPECT_EQ(popped, kN);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ConcurrentMultiQueue, ConcurrentBulkInsertAndPopLosesNothing) {
+  ConcurrentMultiQueue q(8, 17);
+  constexpr std::uint32_t kN = 1 << 15;
+  constexpr unsigned kProducers = 2;
+  std::vector<std::atomic<std::uint8_t>> seen(kN);
+  std::atomic<std::uint32_t> popped{0};
+  // A detected duplicate must abort the consumer loops, not just mark the
+  // test failed — otherwise `popped` never reaches kN and the join hangs
+  // the binary instead of reporting.
+  std::atomic<bool> failed{false};
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < kProducers; ++t) {
+      threads.emplace_back([&, t] {
+        auto handle = q.get_handle();
+        std::vector<Priority> batch;
+        for (Priority p = t; p < kN; p += kProducers) {
+          batch.push_back(p);
+          if (batch.size() == 512) {
+            handle.bulk_insert(batch);
+            batch.clear();
+          }
+        }
+        handle.bulk_insert(batch);
+      });
+    }
+    for (unsigned t = 0; t < 2; ++t) {
+      threads.emplace_back([&] {
+        auto handle = q.get_handle();
+        while (popped.load(std::memory_order_acquire) < kN &&
+               !failed.load(std::memory_order_acquire)) {
+          const auto p = handle.approx_get_min();
+          if (!p) continue;  // producers may still be inserting
+          if (seen[*p].fetch_add(1) != 0) {
+            ADD_FAILURE() << "duplicate pop of " << *p;
+            failed.store(true, std::memory_order_release);
+            return;
+          }
+          popped.fetch_add(1, std::memory_order_release);
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(popped.load(), kN);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(ConcurrentMultiQueue, SingleSubQueuePairPopsExactWithBulkLoad) {
   // With 2 sub-queues and two-choice sampling, every pop compares both
   // tops, so the global minimum is always returned: exact behaviour.

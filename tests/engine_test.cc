@@ -1,0 +1,268 @@
+// SchedulingEngine behaviour: multi-tenant determinism (every job's decided
+// outcome equals its sequential execution under the same pi, even with
+// heterogeneous jobs in flight on a shared pool — the concurrent-submission
+// analogue of determinism_property_test.cc), admission backpressure
+// (blocking, never dropping), scheduler plug-ins through the job layer, and
+// the opt-in relaxation-quality audit mode.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "algorithms/coloring.h"
+#include "algorithms/knuth_shuffle.h"
+#include "algorithms/list_contraction.h"
+#include "algorithms/matching.h"
+#include "algorithms/mis.h"
+#include "engine/engine.h"
+#include "graph/generators.h"
+#include "sched/kbounded.h"
+#include "sched/spraylist.h"
+
+namespace relax::engine {
+namespace {
+
+using graph::Graph;
+
+EngineOptions engine_opts(unsigned threads, unsigned in_flight,
+                          std::size_t max_pending = 64) {
+  EngineOptions opts;
+  opts.num_threads = threads;
+  opts.pin_threads = false;  // CI-style environment friendliness
+  opts.max_in_flight = in_flight;
+  opts.max_pending = max_pending;
+  return opts;
+}
+
+JobConfig job_cfg(std::uint64_t seed) {
+  JobConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(SchedulingEngine, SingleJobMatchesSequential) {
+  const Graph g = graph::gnm(3000, 20000, 3);
+  const auto pri = graph::random_priorities(3000, 7);
+  const auto expected = algorithms::sequential_greedy_mis(g, pri);
+  SchedulingEngine eng(engine_opts(4, 1));
+  algorithms::AtomicMisProblem problem(g, pri);
+  const auto stats = eng.submit_relaxed(problem, pri, job_cfg(1)).wait();
+  EXPECT_EQ(problem.result(), expected);
+  EXPECT_EQ(stats.processed + stats.dead_skips, 3000u);
+  EXPECT_EQ(stats.iterations,
+            stats.processed + stats.failed_deletes + stats.dead_skips);
+  EXPECT_EQ(eng.jobs_completed(), 1u);
+}
+
+// The headline multi-tenant property: heterogeneous jobs (MIS, coloring,
+// matching, list contraction, shuffle) submitted concurrently from several
+// client threads, multiplexed over one pool, each still produces exactly
+// its sequential outcome.
+TEST(SchedulingEngine, ConcurrentHeterogeneousJobsAreDeterministic) {
+  const Graph g1 = graph::gnm(2000, 12000, 11);
+  const auto pri1 = graph::random_priorities(2000, 13);
+  const auto mis_expected = algorithms::sequential_greedy_mis(g1, pri1);
+
+  const Graph g2 = graph::gnm(1500, 10000, 17);
+  const auto pri2 = graph::random_priorities(1500, 19);
+  const auto color_expected = algorithms::sequential_greedy_coloring(g2, pri2);
+
+  const Graph g3 = graph::gnm(800, 5000, 23);
+  const algorithms::EdgeIncidence inc(g3);
+  const auto pri3 = graph::random_priorities(inc.num_edges(), 29);
+  const auto match_expected = algorithms::sequential_greedy_matching(inc, pri3);
+
+  std::vector<std::uint32_t> arr(3000);
+  std::iota(arr.begin(), arr.end(), 0u);
+  const auto pri4 = graph::random_priorities(3000, 31);
+  const auto contraction_expected =
+      algorithms::sequential_list_contraction(arr, pri4);
+
+  SchedulingEngine eng(engine_opts(4, 3));
+
+  algorithms::AtomicMisProblem mis(g1, pri1);
+  algorithms::AtomicColoringProblem coloring(g2, pri2);
+  algorithms::AtomicMatchingProblem matching(inc, pri3);
+  algorithms::AtomicListContractionProblem contraction(arr, pri4);
+
+  // Each client thread submits one job and waits on its own ticket.
+  std::vector<std::jthread> clients;
+  clients.emplace_back([&] {
+    const auto stats = eng.submit_relaxed(mis, pri1, job_cfg(2)).wait();
+    EXPECT_EQ(stats.processed + stats.dead_skips, 2000u);
+  });
+  clients.emplace_back([&] {
+    eng.submit_relaxed(coloring, pri2, job_cfg(3)).wait();
+  });
+  clients.emplace_back([&] {
+    eng.submit_relaxed(matching, pri3, job_cfg(5)).wait();
+  });
+  clients.emplace_back([&] {
+    eng.submit_exact(contraction, pri4, job_cfg(7)).wait();
+  });
+  clients.clear();  // join all
+
+  EXPECT_EQ(mis.result(), mis_expected);
+  EXPECT_EQ(coloring.colors(), color_expected);
+  EXPECT_EQ(matching.result(), match_expected);
+  EXPECT_EQ(contraction.trace(), contraction_expected);
+  EXPECT_EQ(eng.jobs_completed(), 4u);
+}
+
+// A stream of jobs far longer than max_in_flight/max_pending, submitted
+// from multiple threads, all on one persistent pool.
+TEST(SchedulingEngine, JobStreamFromMultipleSubmitters) {
+  const Graph g = graph::gnm(600, 4000, 37);
+  const auto pri = graph::random_priorities(600, 41);
+  const auto mis_expected = algorithms::sequential_greedy_mis(g, pri);
+  const auto color_expected = algorithms::sequential_greedy_coloring(g, pri);
+
+  constexpr int kPerClient = 8;
+  SchedulingEngine eng(engine_opts(4, 2, /*max_pending=*/4));
+
+  std::vector<algorithms::AtomicMisProblem> mis_problems;
+  std::vector<algorithms::AtomicColoringProblem> color_problems;
+  for (int i = 0; i < kPerClient; ++i) {
+    mis_problems.emplace_back(g, pri);
+    color_problems.emplace_back(g, pri);
+  }
+  {
+    std::jthread mis_client([&] {
+      for (int i = 0; i < kPerClient; ++i)
+        eng.submit_relaxed(mis_problems[i], pri, job_cfg(100 + i)).wait();
+    });
+    std::jthread color_client([&] {
+      for (int i = 0; i < kPerClient; ++i)
+        eng.submit_relaxed(color_problems[i], pri, job_cfg(200 + i)).wait();
+    });
+  }
+  for (int i = 0; i < kPerClient; ++i) {
+    EXPECT_EQ(mis_problems[i].result(), mis_expected) << "job " << i;
+    EXPECT_EQ(color_problems[i].colors(), color_expected) << "job " << i;
+  }
+  EXPECT_EQ(eng.jobs_completed(), 2u * kPerClient);
+}
+
+// Problem whose tasks all spin on a shared gate: keeps a job "running"
+// deterministically so admission-queue states can be scripted.
+class GatedProblem {
+ public:
+  GatedProblem(std::uint32_t n, const std::atomic<bool>& gate)
+      : n_(n), gate_(&gate) {}
+  [[nodiscard]] std::uint32_t num_tasks() const { return n_; }
+  core::Outcome try_process(core::Task /*t*/) {
+    return gate_->load(std::memory_order_acquire) ? core::Outcome::kProcessed
+                                                  : core::Outcome::kNotReady;
+  }
+
+ private:
+  std::uint32_t n_;
+  const std::atomic<bool>* gate_;
+};
+
+// Backpressure: with max_in_flight=1 and max_pending=1, a third submission
+// must BLOCK until the gated first job completes — not drop, not return.
+TEST(SchedulingEngine, AdmissionQueueBlocksInsteadOfDropping) {
+  std::atomic<bool> gate{false};
+  GatedProblem j1(64, gate), j2(64, gate), j3(64, gate);
+  const auto pri = graph::identity_priorities(64);
+
+  SchedulingEngine eng(engine_opts(2, /*in_flight=*/1, /*max_pending=*/1));
+  auto t1 = eng.submit_relaxed(j1, pri, job_cfg(1));  // active, gated
+  auto t2 = eng.submit_relaxed(j2, pri, job_cfg(2));  // fills the queue
+
+  std::atomic<bool> third_submitted{false};
+  JobTicket t3;
+  std::jthread submitter([&] {
+    t3 = eng.submit_relaxed(j3, pri, job_cfg(3));  // must block here
+    third_submitted.store(true, std::memory_order_release);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(third_submitted.load(std::memory_order_acquire))
+      << "submit returned while the admission queue was full";
+
+  gate.store(true, std::memory_order_release);
+  submitter.join();
+  EXPECT_TRUE(third_submitted.load());
+  const auto s1 = t1.wait();
+  t2.wait();
+  t3.wait();
+  EXPECT_EQ(s1.processed, 64u);
+  EXPECT_GT(s1.failed_deletes, 0u);  // the gate forced re-insertions
+  EXPECT_EQ(eng.jobs_completed(), 3u);
+}
+
+// Caller-owned schedulers ride through the same engine: a SprayList and a
+// lock-serialized deterministic k-bounded scheduler.
+TEST(SchedulingEngine, PluggableSchedulersStayDeterministic) {
+  const Graph g = graph::gnm(1500, 9000, 43);
+  const auto pri = graph::random_priorities(1500, 47);
+  const auto expected = algorithms::sequential_greedy_mis(g, pri);
+  SchedulingEngine eng(engine_opts(4, 2));
+  {
+    algorithms::AtomicMisProblem problem(g, pri);
+    sched::SprayList list(4, 51);
+    eng.submit_relaxed_on(problem, pri, list, job_cfg(1)).wait();
+    EXPECT_EQ(problem.result(), expected);
+  }
+  {
+    algorithms::AtomicMisProblem problem(g, pri);
+    sched::LockedScheduler<sched::KBoundedScheduler> kbounded(64u);
+    eng.submit_relaxed_on(problem, pri, kbounded, job_cfg(1)).wait();
+    EXPECT_EQ(problem.result(), expected);
+  }
+}
+
+// Opt-in audit mode: stats must carry Definition 1 quality samples, and the
+// monitored run must still decide the sequential outcome.
+TEST(SchedulingEngine, MonitoredJobReportsRelaxationQuality) {
+  const Graph g = graph::gnm(2000, 12000, 53);
+  const auto pri = graph::random_priorities(2000, 59);
+  const auto expected = algorithms::sequential_greedy_mis(g, pri);
+  SchedulingEngine eng(engine_opts(4, 1));
+  algorithms::AtomicMisProblem problem(g, pri);
+  JobConfig cfg = job_cfg(61);
+  cfg.monitor_relaxation = true;
+  cfg.monitor_stride = 16;
+  const auto stats = eng.submit_relaxed(problem, pri, cfg).wait();
+  EXPECT_EQ(problem.result(), expected);
+  EXPECT_GT(stats.rank_samples, 0u);
+  EXPECT_EQ(stats.rank_samples, stats.iterations);  // every pop sampled
+  EXPECT_GT(stats.inversion_samples, 0u);
+  EXPECT_GE(stats.max_rank_error, static_cast<std::uint64_t>(
+                                      stats.mean_rank_error));
+  // Unmonitored runs must not report quality fields.
+  algorithms::AtomicMisProblem plain(g, pri);
+  const auto plain_stats = eng.submit_relaxed(plain, pri, job_cfg(61)).wait();
+  EXPECT_EQ(plain_stats.rank_samples, 0u);
+}
+
+TEST(SchedulingEngine, EmptyJobCompletesImmediately) {
+  SchedulingEngine eng(engine_opts(2, 1));
+  const auto pri = graph::identity_priorities(0);
+  std::atomic<bool> gate{true};
+  GatedProblem empty(0, gate);
+  const auto stats = eng.submit_relaxed(empty, pri, job_cfg(1)).wait();
+  EXPECT_EQ(stats.processed, 0u);
+  EXPECT_EQ(stats.iterations, 0u);
+}
+
+TEST(SchedulingEngine, DestructorDrainsOutstandingJobs) {
+  const Graph g = graph::gnm(1000, 6000, 67);
+  const auto pri = graph::random_priorities(1000, 71);
+  const auto expected = algorithms::sequential_greedy_mis(g, pri);
+  std::vector<algorithms::AtomicMisProblem> problems;
+  for (int i = 0; i < 4; ++i) problems.emplace_back(g, pri);
+  {
+    SchedulingEngine eng(engine_opts(4, 2));
+    for (auto& p : problems) eng.submit_relaxed(p, pri, job_cfg(5));
+    // No wait(): the destructor must finish all four jobs.
+  }
+  for (auto& p : problems) EXPECT_EQ(p.result(), expected);
+}
+
+}  // namespace
+}  // namespace relax::engine
