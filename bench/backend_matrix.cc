@@ -1,0 +1,207 @@
+// Backend matrix — the cross-backend experiment the registry exists for:
+// every registered scheduler backend × thread count × workload, one
+// comparable table of throughput (tasks/s), wasted-work overhead
+// (iterations per task, the paper's extra-iterations metric), and
+// Definition 1 relaxation quality (mean/max rank error from a monitored
+// companion run of the same job).
+//
+// Workloads: the framework problems MIS, greedy coloring, and maximal
+// matching run through the engine on every backend. SSSP is outside the
+// deterministic framework class (§2.2) and its label-correcting executor
+// is keyed by 64-bit (distance, vertex) pairs over its own
+// BasicConcurrentMultiQueue — it is swept per thread count against the
+// multiqueue-c2 row only and marked "-" elsewhere.
+//
+// Usage: backend_matrix [--n=4000] [--m=24000] [--threads=1,4]
+//                       [--backends=all|name,name,...]
+//                       [--quality=1] [--seed=1]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algorithms/coloring.h"
+#include "algorithms/matching.h"
+#include "algorithms/mis.h"
+#include "algorithms/sssp.h"
+#include "core/parallel_executor.h"
+#include "engine/engine.h"
+#include "graph/generators.h"
+#include "graph/permutation.h"
+#include "sched/backend_registry.h"
+#include "util/cli.h"
+
+namespace {
+
+using relax::core::ExecutionStats;
+using relax::graph::Graph;
+using relax::sched::BackendInfo;
+
+struct Row {
+  const char* workload;
+  std::string backend;
+  unsigned threads;
+  double seconds;
+  double tasks_per_s;
+  double iters_per_task;
+  double wasted_frac;
+  double mean_rank;     // < 0: not measured
+  std::uint64_t max_rank;
+};
+
+void print_row(const Row& r) {
+  std::printf("%-9s %-20s %7u %9.4f %12.0f %10.3f %8.2f%%", r.workload,
+              r.backend.c_str(), r.threads, r.seconds, r.tasks_per_s,
+              r.iters_per_task, 100.0 * r.wasted_frac);
+  if (r.mean_rank >= 0.0) {
+    std::printf("%10.2f %9llu\n", r.mean_rank,
+                static_cast<unsigned long long>(r.max_rank));
+  } else {
+    std::printf("%10s %9s\n", "-", "-");
+  }
+}
+
+/// One framework run of `problem` on `backend`: timed plain run for
+/// throughput, plus (optionally) a monitored run of a fresh copy for the
+/// Definition 1 quality columns.
+template <typename MakeProblem>
+Row run_framework(const char* workload, const BackendInfo& backend,
+                  unsigned threads, const relax::graph::Priorities& pri,
+                  MakeProblem make_problem, bool quality,
+                  std::uint64_t seed) {
+  relax::engine::EngineOptions eo;
+  eo.num_threads = threads;
+  eo.pin_threads = false;
+  eo.max_in_flight = 1;
+  relax::engine::SchedulingEngine eng(eo);
+
+  relax::engine::JobConfig cfg;
+  cfg.seed = seed;
+
+  auto problem = make_problem();
+  const std::uint32_t n = problem.num_tasks();
+  const ExecutionStats stats =
+      eng.submit_relaxed_backend(problem, pri, backend, cfg).wait();
+
+  Row row;
+  row.workload = workload;
+  row.backend = std::string(backend.name);
+  row.threads = threads;
+  row.seconds = stats.seconds;
+  row.tasks_per_s = stats.seconds > 0.0 ? n / stats.seconds : 0.0;
+  row.iters_per_task =
+      n > 0 ? static_cast<double>(stats.iterations) / n : 0.0;
+  row.wasted_frac =
+      stats.iterations > 0
+          ? static_cast<double>(stats.failed_deletes) / stats.iterations
+          : 0.0;
+  row.mean_rank = -1.0;
+  row.max_rank = 0;
+  if (quality) {
+    auto audited = make_problem();
+    relax::engine::JobConfig audit_cfg = cfg;
+    audit_cfg.monitor_relaxation = true;
+    audit_cfg.monitor_stride = 64;
+    const ExecutionStats audit =
+        eng.submit_relaxed_backend(audited, pri, backend, audit_cfg).wait();
+    row.mean_rank = audit.mean_rank_error;
+    row.max_rank = audit.max_rank_error;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const relax::util::CommandLine cli(argc, argv);
+  const auto n = static_cast<std::uint32_t>(cli.get_int("n", 4000));
+  const auto m = static_cast<std::uint64_t>(cli.get_int("m", 24000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const bool quality = cli.get_bool("quality", true);
+  const auto thread_list = cli.get_int_list("threads", {1, 4});
+
+  const std::string backend_flag = cli.get_string("backends", "all");
+  std::vector<const BackendInfo*> backends;
+  if (backend_flag == "all") {
+    for (const auto& info : relax::sched::backend_registry())
+      backends.push_back(&info);
+  } else {
+    std::size_t pos = 0;
+    while (pos <= backend_flag.size()) {
+      const std::size_t comma = backend_flag.find(',', pos);
+      const std::string name = backend_flag.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      const auto* info = relax::sched::find_backend(name);
+      if (info == nullptr) {
+        std::fprintf(stderr, "unknown backend '%s'; valid: %s\n",
+                     name.c_str(),
+                     relax::sched::backend_names().c_str());
+        return 2;
+      }
+      backends.push_back(info);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  const Graph g = relax::graph::gnm(n, m, seed);
+  const auto pri = relax::graph::random_priorities(n, seed + 7);
+  const relax::algorithms::EdgeIncidence incidence(g);
+  const auto edge_pri =
+      relax::graph::random_priorities(incidence.num_edges(), seed + 11);
+  const auto weights = relax::algorithms::synthetic_edge_weights(g, seed + 3);
+
+  std::printf("backend_matrix: gnm n=%u m=%llu, %zu backends, quality=%d\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()),
+              backends.size(), quality ? 1 : 0);
+  std::printf("%-9s %-20s %7s %9s %12s %10s %9s %10s %9s\n", "workload",
+              "backend", "threads", "seconds", "tasks/s", "iters/task",
+              "wasted", "mean-rank", "max-rank");
+
+  for (const std::int64_t t : thread_list) {
+    const auto threads = static_cast<unsigned>(t < 1 ? 1 : t);
+    for (const BackendInfo* backend : backends) {
+      print_row(run_framework(
+          "mis", *backend, threads, pri,
+          [&] { return relax::algorithms::AtomicMisProblem(g, pri); },
+          quality, seed));
+      print_row(run_framework(
+          "coloring", *backend, threads, pri,
+          [&] { return relax::algorithms::AtomicColoringProblem(g, pri); },
+          quality, seed));
+      print_row(run_framework(
+          "matching", *backend, threads, edge_pri,
+          [&] {
+            return relax::algorithms::AtomicMatchingProblem(incidence,
+                                                            edge_pri);
+          },
+          quality, seed));
+      // SSSP rides its own 64-bit-key MultiQueue (see header note): one
+      // representative row per thread count, attached to multiqueue-c2.
+      if (backend->name == "multiqueue-c2") {
+        relax::algorithms::SsspStats sstats;
+        (void)relax::algorithms::parallel_relaxed_sssp(g, weights, 0, threads,
+                                                       4, seed, &sstats);
+        Row row;
+        row.workload = "sssp";
+        row.backend = std::string(backend->name);
+        row.threads = threads;
+        row.seconds = sstats.seconds;
+        row.tasks_per_s =
+            sstats.seconds > 0.0 ? g.num_vertices() / sstats.seconds : 0.0;
+        row.iters_per_task =
+            g.num_vertices() > 0
+                ? static_cast<double>(sstats.pops) / g.num_vertices()
+                : 0.0;
+        row.wasted_frac =
+            sstats.pops > 0
+                ? static_cast<double>(sstats.stale_pops) / sstats.pops
+                : 0.0;
+        row.mean_rank = -1.0;
+        row.max_rank = 0;
+        print_row(row);
+      }
+    }
+  }
+  return 0;
+}

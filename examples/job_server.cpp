@@ -10,11 +10,18 @@
 // error / inversions) is sampled continuously in production without paying
 // the audit cost on every request.
 //
+// --backend selects the scheduler backend (any registry name from
+// sched/backend_registry.h) every request runs on; --backend=mix rotates
+// requests across the whole registry, so one server multiplexes MultiQueue,
+// SprayList, and deterministic k-bounded jobs on the same pool.
+//
 // Build & run:  ./examples/job_server [--requests=32] [--threads=0]
 //                                     [--inflight=4] [--audit=8]
+//                                     [--backend=multiqueue-c2|...|mix]
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "algorithms/coloring.h"
@@ -23,6 +30,7 @@
 #include "engine/engine.h"
 #include "graph/generators.h"
 #include "graph/permutation.h"
+#include "sched/backend_registry.h"
 #include "util/cli.h"
 #include "util/timer.h"
 
@@ -30,6 +38,7 @@ namespace {
 
 struct Request {
   const char* kind;
+  const relax::sched::BackendInfo* backend;
   relax::engine::JobTicket ticket;
   double submitted_at;
   // Problem storage (exactly one is set, matching `kind`).
@@ -46,6 +55,24 @@ int main(int argc, char** argv) {
   const int inflight =
       std::max(1, static_cast<int>(cli.get_int("inflight", 4)));
   const int audit_every = static_cast<int>(cli.get_int("audit", 8));
+
+  // Resolve the backend rotation: one fixed registry backend, or the whole
+  // registry round-robin with --backend=mix.
+  const std::string backend_flag = cli.get_string(
+      "backend", std::string(relax::sched::default_backend().name));
+  std::vector<const relax::sched::BackendInfo*> backends;
+  if (backend_flag == "mix") {
+    for (const auto& info : relax::sched::backend_registry())
+      backends.push_back(&info);
+  } else if (const auto* info = relax::sched::find_backend(backend_flag)) {
+    backends.push_back(info);
+  } else {
+    std::fprintf(stderr,
+                 "unknown --backend '%s'; valid: mix, %s\n",
+                 backend_flag.c_str(),
+                 relax::sched::backend_names().c_str());
+    return 2;
+  }
 
   // Resident data: a service would load these once at startup.
   const auto g = relax::graph::gnm(4000, 24000, 1);
@@ -73,8 +100,9 @@ int main(int argc, char** argv) {
     const double latency_ms = (clock.seconds() - req.submitted_at) * 1e3;
     latency_sum += latency_ms;
     ++completed;
-    std::printf("  #%-3d %-8s %7.2f ms  iters=%llu wasted=%llu", completed,
-                req.kind, latency_ms,
+    std::printf("  #%-3d %-8s %-20s %7.2f ms  iters=%llu wasted=%llu",
+                completed, req.kind,
+                std::string(req.backend->name).c_str(), latency_ms,
                 static_cast<unsigned long long>(stats.iterations),
                 static_cast<unsigned long long>(stats.failed_deletes));
     if (stats.rank_samples > 0) {
@@ -91,6 +119,7 @@ int main(int argc, char** argv) {
 
     Request req;
     req.submitted_at = clock.seconds();
+    req.backend = backends[static_cast<std::size_t>(r) % backends.size()];
     relax::engine::JobConfig cfg;
     cfg.seed = static_cast<std::uint64_t>(r) + 1;
     cfg.monitor_relaxation = audit_every > 0 && r % audit_every == 0;
@@ -98,20 +127,23 @@ int main(int argc, char** argv) {
       case 0:
         req.kind = "mis";
         req.mis = std::make_unique<relax::algorithms::AtomicMisProblem>(g, pri);
-        req.ticket = engine.submit_relaxed(*req.mis, pri, cfg);
+        req.ticket =
+            engine.submit_relaxed_backend(*req.mis, pri, *req.backend, cfg);
         break;
       case 1:
         req.kind = "coloring";
         req.coloring =
             std::make_unique<relax::algorithms::AtomicColoringProblem>(g, pri);
-        req.ticket = engine.submit_relaxed(*req.coloring, pri, cfg);
+        req.ticket = engine.submit_relaxed_backend(*req.coloring, pri,
+                                                   *req.backend, cfg);
         break;
       default:
         req.kind = "matching";
         req.matching =
             std::make_unique<relax::algorithms::AtomicMatchingProblem>(
                 incidence, edge_pri);
-        req.ticket = engine.submit_relaxed(*req.matching, edge_pri, cfg);
+        req.ticket = engine.submit_relaxed_backend(*req.matching, edge_pri,
+                                                   *req.backend, cfg);
         break;
     }
     window.push_back(std::move(req));

@@ -26,10 +26,13 @@
 // per call (see engine/engine.h, examples/job_server.cpp).
 #pragma once
 
+#include <string_view>
+
 #include "core/execution_stats.h"
 #include "core/problem.h"
 #include "engine/engine.h"
 #include "graph/permutation.h"
+#include "sched/backend_registry.h"
 #include "sched/concurrent_multiqueue.h"
 #include "util/thread_pin.h"
 
@@ -38,7 +41,10 @@ namespace relax::core {
 struct ParallelOptions {
   unsigned num_threads = 0;      // 0 = hardware concurrency
   unsigned queue_factor = 4;     // MultiQueue sub-queues per thread (paper: 4)
-  unsigned choices = 2;          // sampled sub-queues per pop (ablation knob)
+  unsigned choices = 2;          // sampled sub-queues per pop (ablation knob;
+                                 // run_parallel_relaxed only — backend names
+                                 // pin their own sampling width)
+  std::uint32_t relaxation_k = 0;  // k for window/sim backends (0 = derive)
   std::uint64_t seed = 1;        // scheduler randomness
   bool pin_threads = true;
 
@@ -63,6 +69,7 @@ inline engine::JobConfig job_config(const ParallelOptions& opts) {
   engine::JobConfig cfg;
   cfg.queue_factor = opts.queue_factor;
   cfg.choices = opts.choices;
+  cfg.relaxation_k = opts.relaxation_k;
   cfg.seed = opts.seed;
   return cfg;
 }
@@ -81,6 +88,21 @@ ExecutionStats run_parallel_relaxed_on(P& problem,
                                        const ParallelOptions& opts = {}) {
   engine::SchedulingEngine eng(detail::single_job_engine(opts));
   return eng.submit_relaxed_on(problem, pri, queue, detail::job_config(opts))
+      .wait();
+}
+
+/// Relaxed concurrent execution over a named backend from the registry
+/// (sched/backend_registry.h): the engine stands up a fresh instance of
+/// that backend sized for the thread count. Throws std::invalid_argument
+/// (listing the valid names) for unknown backends.
+template <typename P>
+ExecutionStats run_parallel_relaxed_backend(P& problem,
+                                            const graph::Priorities& pri,
+                                            std::string_view backend,
+                                            const ParallelOptions& opts = {}) {
+  engine::SchedulingEngine eng(detail::single_job_engine(opts));
+  return eng
+      .submit_relaxed_backend(problem, pri, backend, detail::job_config(opts))
       .wait();
 }
 

@@ -32,14 +32,17 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/execution_stats.h"
 #include "core/problem.h"
+#include "engine/backend_jobs.h"
 #include "engine/job.h"
 #include "engine/worker_pool.h"
 #include "graph/permutation.h"
+#include "sched/backend_registry.h"
 #include "util/padded.h"
 
 namespace relax::engine {
@@ -110,10 +113,34 @@ class SchedulingEngine {
     const std::uint32_t queues = cfg.queue_factor * width();
     if (cfg.monitor_relaxation) {
       return submit(
-          std::make_shared<MonitoredRelaxedJob<P>>(problem, pri, queues, cfg));
+          std::make_shared<MonitoredRelaxedJob<P, sched::ConcurrentMultiQueue>>(
+              problem, pri, cfg, queues, cfg.seed, cfg.choices));
     }
     return submit(
-        std::make_shared<MultiQueueRelaxedJob<P>>(problem, pri, queues, cfg));
+        std::make_shared<OwningRelaxedJob<P, sched::ConcurrentMultiQueue>>(
+            problem, pri, cfg, queues, cfg.seed, cfg.choices));
+  }
+
+  /// Relaxed execution over any backend in the registry
+  /// (sched/backend_registry.h): the job owns a fresh instance of the named
+  /// backend sized for this pool. With cfg.monitor_relaxation the backend
+  /// is additionally driven through a RelaxationMonitor and the stats carry
+  /// Definition 1 quality measurements.
+  template <core::Problem P>
+  JobTicket submit_relaxed_backend(P& problem, const graph::Priorities& pri,
+                                   const sched::BackendInfo& backend,
+                                   const JobConfig& cfg = {}) {
+    return submit(make_backend_job(backend, problem, pri, width(), cfg));
+  }
+
+  /// Name-based form; throws std::invalid_argument (listing the valid
+  /// names) when `backend_name` is not in the registry.
+  template <core::Problem P>
+  JobTicket submit_relaxed_backend(P& problem, const graph::Priorities& pri,
+                                   std::string_view backend_name,
+                                   const JobConfig& cfg = {}) {
+    return submit_relaxed_backend(problem, pri,
+                                  sched::backend_or_throw(backend_name), cfg);
   }
 
   /// Relaxed execution over a caller-owned scheduler (MultiQueue, SprayList,

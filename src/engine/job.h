@@ -28,11 +28,16 @@
 //   RelaxedJob<P, Queue>        relaxed loop over a caller-owned scheduler
 //                               (anything with per-thread handles or a plain
 //                               sched::ConcurrentScheduler surface)
-//   MultiQueueRelaxedJob<P>     owns its ConcurrentMultiQueue (engine default)
-//   MonitoredRelaxedJob<P>      opt-in audit mode: every scheduler op goes
-//                               through a lock-serialized RelaxationMonitor,
-//                               and collect() reports Definition 1 rank-error
-//                               / inversion statistics in ExecutionStats
+//   OwningRelaxedJob<P, Queue>  owns its scheduler, constructed in place
+//                               from forwarded args — this is how the
+//                               backend registry (sched/backend_registry.h,
+//                               engine/backend_jobs.h) stands up any
+//                               registered backend per job
+//   MonitoredRelaxedJob<P, Q>   opt-in audit mode over any owned backend:
+//                               every scheduler op goes through a
+//                               lock-serialized RelaxationMonitor, and
+//                               collect() reports Definition 1 rank-error /
+//                               inversion statistics in ExecutionStats
 //   ExactJob<P>                 the exact baseline (FAA ticket dispenser +
 //                               bounded backoff-wait, never re-inserts)
 #pragma once
@@ -51,6 +56,7 @@
 #include "graph/permutation.h"
 #include "sched/concurrent_multiqueue.h"
 #include "sched/faa_array_queue.h"
+#include "sched/handles.h"
 #include "sched/relaxation_monitor.h"
 #include "sched/scheduler.h"
 #include "util/padded.h"
@@ -64,8 +70,13 @@ namespace relax::engine {
 /// queues (submit_relaxed_on).
 struct JobConfig {
   unsigned queue_factor = 4;       // MultiQueue sub-queues per pool worker
-  unsigned choices = 2;            // sampled sub-queues per pop
+  unsigned choices = 2;            // sampled sub-queues per pop; only the
+                                   // default submit_relaxed MultiQueue path
+                                   // reads it — registry backends pin their
+                                   // own sampling (multiqueue-c2/-c4/-c8)
   std::uint64_t seed = 1;          // scheduler randomness
+  std::uint32_t relaxation_k = 0;  // k for window/sim backends (0 = derive
+                                   // queue_factor * pool width)
   std::uint32_t admission_batch = 1024;  // labels admitted per claimed chunk
   bool monitor_relaxation = false;  // audit mode: serialize + measure quality
   std::uint32_t monitor_stride = 64;  // inversion tracking sample stride
@@ -91,32 +102,6 @@ class Job {
   /// have returned (the engine guarantees both before reaping).
   virtual core::ExecutionStats collect() = 0;
 };
-
-namespace detail {
-
-/// Handle shim: schedulers with per-thread handles (MultiQueue, SprayList,
-/// LockFreeMultiQueue) get a fresh handle per slice; plain
-/// sched::ConcurrentScheduler surfaces (LockedScheduler wrappers) are used
-/// directly.
-template <typename Queue>
-struct DirectHandle {
-  Queue* queue;
-  void insert(sched::Priority p) { queue->insert(p); }
-  std::optional<sched::Priority> approx_get_min() {
-    return queue->approx_get_min();
-  }
-};
-
-template <typename Queue>
-auto make_handle(Queue& queue) {
-  if constexpr (requires { queue.get_handle(); }) {
-    return queue.get_handle();
-  } else {
-    return DirectHandle<Queue>{&queue};
-  }
-}
-
-}  // namespace detail
 
 /// Shared machinery for jobs over the task framework: per-worker stat and
 /// retirement stripes, the striped-sum termination check, and wall-time
@@ -192,7 +177,7 @@ class RelaxedJob : public TaskJobBase {
     // ascending insert) get their whole initial load here, while the job is
     // still unpublished and the queue guaranteed quiescent. Everything else
     // is loaded cooperatively by the workers via admit_chunk.
-    using Handle = decltype(detail::make_handle(*queue_));
+    using Handle = decltype(sched::make_handle(*queue_));
     if constexpr (requires(Queue& q, std::span<const sched::Priority> s) {
                     q.bulk_load(s);
                   } && !requires(Handle h, std::span<const sched::Priority> s) {
@@ -207,7 +192,7 @@ class RelaxedJob : public TaskJobBase {
 
   bool run_slice(unsigned worker, std::uint32_t budget) override {
     if (finished()) return false;
-    auto handle = detail::make_handle(*queue_);
+    auto handle = sched::make_handle(*queue_);
     bool progress = admit_chunk(handle);
     auto& stats = *stats_[worker];
     auto& my_retired = *retired_[worker];
@@ -273,14 +258,20 @@ class RelaxedJob : public TaskJobBase {
   std::atomic<std::uint64_t> load_cursor_{0};
 };
 
-/// Engine-default relaxed job: owns a fresh ConcurrentMultiQueue sized for
-/// the pool (cfg.queue_factor sub-queues per worker).
-template <core::Problem P>
-class MultiQueueRelaxedJob : public Job {
+/// Relaxed job that owns its scheduler, constructed in place from the
+/// forwarded constructor arguments. Backend-generic: any registered backend
+/// (ConcurrentMultiQueue, LockFreeMultiQueue, SprayList, LockedScheduler
+/// wrappers, ...) becomes a first-class engine job through this one class —
+/// the engine's default submit_relaxed is just the ConcurrentMultiQueue
+/// instantiation, and engine/backend_jobs.h instantiates it for every
+/// registry entry.
+template <core::Problem P, typename Queue>
+class OwningRelaxedJob : public Job {
  public:
-  MultiQueueRelaxedJob(P& problem, const graph::Priorities& pri,
-                       std::uint32_t num_queues, const JobConfig& cfg = {})
-      : queue_(num_queues, cfg.seed, cfg.choices),
+  template <typename... QueueArgs>
+  OwningRelaxedJob(P& problem, const graph::Priorities& pri,
+                   const JobConfig& cfg, QueueArgs&&... queue_args)
+      : queue_(std::forward<QueueArgs>(queue_args)...),
         job_(problem, pri, queue_, cfg) {}
 
   void activate(unsigned pool_width) override { job_.activate(pool_width); }
@@ -293,48 +284,29 @@ class MultiQueueRelaxedJob : public Job {
   core::ExecutionStats collect() override { return job_.collect(); }
 
  private:
-  sched::ConcurrentMultiQueue queue_;
-  RelaxedJob<P, sched::ConcurrentMultiQueue> job_;
+  Queue queue_;
+  RelaxedJob<P, Queue> job_;
 };
-
-namespace detail {
-
-/// SequentialScheduler view over a concurrent queue's single-threaded
-/// convenience API; only ever used under the LockedScheduler lock.
-template <typename Queue>
-class SequentialView {
- public:
-  explicit SequentialView(Queue& queue) : queue_(&queue) {}
-  void insert(sched::Priority p) { queue_->insert(p); }
-  std::optional<sched::Priority> approx_get_min() {
-    return queue_->approx_get_min();
-  }
-  [[nodiscard]] bool empty() const { return queue_->empty(); }
-  [[nodiscard]] std::size_t size() const { return queue_->size(); }
-
- private:
-  Queue* queue_;
-};
-
-}  // namespace detail
 
 /// Opt-in production quality sampling (JobConfig::monitor_relaxation): the
-/// job's MultiQueue is driven through a RelaxationMonitor so every pop's
+/// job's owned backend is driven through a RelaxationMonitor so every pop's
 /// rank error and the sampled per-element inversion counts (Definition 1)
 /// are measured in situ, then reported in ExecutionStats. The monitor's
 /// exact order-statistics mirror requires serializing scheduler ops through
 /// one lock, so this mode trades scalability for observability — use it on
-/// a sampled subset of production jobs, not all of them.
-template <core::Problem P>
+/// a sampled subset of production jobs, not all of them. Works for any
+/// backend whose single-threaded convenience API satisfies
+/// sched::SequentialView's needs (all registry backends qualify).
+template <core::Problem P, typename Queue = sched::ConcurrentMultiQueue>
 class MonitoredRelaxedJob : public Job {
  public:
-  using Monitor =
-      sched::RelaxationMonitor<detail::SequentialView<sched::ConcurrentMultiQueue>>;
+  using Monitor = sched::RelaxationMonitor<sched::SequentialView<Queue>>;
 
+  template <typename... QueueArgs>
   MonitoredRelaxedJob(P& problem, const graph::Priorities& pri,
-                      std::uint32_t num_queues, const JobConfig& cfg = {})
-      : queue_(num_queues, cfg.seed, cfg.choices),
-        monitored_(Monitor(detail::SequentialView(queue_),
+                      const JobConfig& cfg, QueueArgs&&... queue_args)
+      : queue_(std::forward<QueueArgs>(queue_args)...),
+        monitored_(Monitor(sched::SequentialView<Queue>(queue_),
                            problem.num_tasks(), cfg.monitor_stride)),
         job_(problem, pri, monitored_, cfg) {}
 
@@ -360,7 +332,7 @@ class MonitoredRelaxedJob : public Job {
   }
 
  private:
-  sched::ConcurrentMultiQueue queue_;
+  Queue queue_;
   sched::LockedScheduler<Monitor> monitored_;
   RelaxedJob<P, sched::LockedScheduler<Monitor>> job_;
 };

@@ -1,0 +1,60 @@
+#include "sched/backend_registry.h"
+
+namespace relax::sched {
+
+namespace {
+
+// Stable presentation order: scalable relaxed structures first, then the
+// lock-serialized simulations and deterministic baselines. Names are part
+// of the CLI/bench interface — append, don't rename.
+constexpr BackendInfo kRegistry[] = {
+    {"multiqueue-c2", BackendKind::kMultiQueue, 2, false, true,
+     "locked MultiQueue, two-choice sampling (paper default)"},
+    {"multiqueue-c4", BackendKind::kMultiQueue, 4, false, true,
+     "locked MultiQueue, four sampled sub-queues per pop"},
+    {"multiqueue-c8", BackendKind::kMultiQueue, 8, false, true,
+     "locked MultiQueue, eight sampled sub-queues per pop"},
+    {"lockfree-multiqueue", BackendKind::kLockFreeMultiQueue, 2, false, true,
+     "Harris-list MultiQueue (the paper's lock-free variant)"},
+    {"spraylist", BackendKind::kSprayList, 0, false, true,
+     "lazy skip list with randomized spray deletes (PPoPP'15)"},
+    {"sim-multiqueue", BackendKind::kSimMultiQueue, 2, false, false,
+     "lock-serialized sequential MultiQueue simulation (Table 1)"},
+    {"sim-spraylist", BackendKind::kSimSprayList, 0, false, false,
+     "lock-serialized sequential spray simulation"},
+    {"kbounded", BackendKind::kKBounded, 0, true, false,
+     "deterministic k-bounded window (k-LSM family), exact every k-th pop"},
+    {"exact", BackendKind::kExact, 0, true, false,
+     "lock-serialized exact min-heap, the k = 1 baseline"},
+};
+
+}  // namespace
+
+std::span<const BackendInfo> backend_registry() { return kRegistry; }
+
+const BackendInfo* find_backend(std::string_view name) {
+  for (const auto& info : kRegistry) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+const BackendInfo& backend_or_throw(std::string_view name) {
+  if (const BackendInfo* info = find_backend(name)) return *info;
+  throw std::invalid_argument("unknown scheduler backend '" +
+                              std::string(name) + "'; valid backends: " +
+                              backend_names());
+}
+
+std::string backend_names() {
+  std::string names;
+  for (const auto& info : kRegistry) {
+    if (!names.empty()) names += ", ";
+    names += info.name;
+  }
+  return names;
+}
+
+const BackendInfo& default_backend() { return kRegistry[0]; }
+
+}  // namespace relax::sched

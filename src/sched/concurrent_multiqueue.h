@@ -269,20 +269,27 @@ class BasicConcurrentMultiQueue {
         if (const auto p = try_pop(*queues_[found])) return p;
         continue;
       }
+      // Best of `choices_` sampled sub-queues (c = 2 is the classic
+      // power-of-two-choices rule; larger c tightens the rank distribution
+      // at the cost of extra top-cache probes — the ablation axis the
+      // multiqueue-c{2,4,8} registry backends expose).
       const std::size_t q = queues_.size();
-      std::size_t a = util::bounded(rng, q);
-      std::size_t b = a;
-      if (choices_ >= 2) {
-        b = util::bounded(rng, q - 1);
-        if (b >= a) ++b;
+      std::size_t best = util::bounded(rng, q);
+      Key tbest = queues_[best]->top.load(std::memory_order_acquire);
+      for (unsigned c = 1; c < choices_; ++c) {
+        std::size_t cand = util::bounded(rng, q - 1);
+        if (cand >= best) ++cand;  // distinct from the current best
+        const Key tc = queues_[cand]->top.load(std::memory_order_acquire);
+        if (tc < tbest) {
+          best = cand;
+          tbest = tc;
+        }
       }
-      const Key ta = queues_[a]->top.load(std::memory_order_acquire);
-      const Key tb = queues_[b]->top.load(std::memory_order_acquire);
-      if (ta == kEmptyTop && tb == kEmptyTop) {
+      if (tbest == kEmptyTop) {
         ++empty_probes;
         continue;
       }
-      if (const auto p = try_pop(*queues_[tb < ta ? b : a])) return p;
+      if (const auto p = try_pop(*queues_[best])) return p;
     }
   }
 

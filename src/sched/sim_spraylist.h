@@ -65,10 +65,26 @@ class SimSprayList {
 
 /// Spray parameters for p simulated threads, following the SprayList paper:
 /// height ~ log p, per-level jump width ~ p, giving reach O(p log p).
+/// Single source of truth shared by make_sim_spraylist, the backend
+/// registry's dispatch, and its Definition 1 rank-bound estimate.
+struct SimSprayParams {
+  std::uint32_t height;
+  std::uint32_t width;
+
+  [[nodiscard]] std::uint64_t reach() const noexcept {
+    return static_cast<std::uint64_t>(height) * width;
+  }
+};
+
+inline SimSprayParams sim_spray_params(std::uint32_t p) noexcept {
+  return SimSprayParams{std::bit_width(std::max<std::uint32_t>(p, 2)),
+                        std::max<std::uint32_t>(p, 1)};
+}
+
 inline SimSprayList make_sim_spraylist(std::uint32_t capacity,
                                        std::uint32_t p, std::uint64_t seed) {
-  const std::uint32_t height = std::bit_width(std::max<std::uint32_t>(p, 2));
-  return SimSprayList(capacity, height, std::max<std::uint32_t>(p, 1), seed);
+  const SimSprayParams params = sim_spray_params(p);
+  return SimSprayList(capacity, params.height, params.width, seed);
 }
 
 static_assert(SequentialScheduler<SimSprayList>);

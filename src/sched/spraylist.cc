@@ -12,12 +12,19 @@ constexpr Priority kTailKey = std::numeric_limits<Priority>::max();
 
 }  // namespace
 
+SprayList::SprayParams SprayList::spray_params(unsigned p) noexcept {
+  p = std::max(p, 1u);
+  const std::uint32_t height = std::bit_width(p);  // floor(log2 p) + 1
+  const std::uint64_t width =
+      std::max<std::uint64_t>(1, (2ull * p + height - 1) / height);
+  return SprayParams{height, width};
+}
+
 SprayList::SprayList(unsigned p, std::uint64_t seed)
     : seed_(seed), seq_rng_(seed ^ 0x5bd1e995u) {
-  p = std::max(p, 1u);
-  spray_height_ = std::bit_width(p);  // floor(log2 p) + 1
-  spray_width_ = std::max<std::uint64_t>(
-      1, (2ull * p + spray_height_ - 1) / spray_height_);
+  const SprayParams params = spray_params(p);
+  spray_height_ = params.height;
+  spray_width_ = params.width;
   head_ = allocate(kHeadKey, kMaxLevel);
   tail_ = allocate(kTailKey, kMaxLevel);
   for (int level = 0; level <= kMaxLevel; ++level)
@@ -85,7 +92,13 @@ void SprayList::insert(Priority key, util::Rng& rng) {
         locked[num_locked++] = pred;
         last_locked = pred;
       }
-      valid = !pred->marked.load(std::memory_order_acquire) &&
+      // A *marked* pred is fine to link after — logically deleted nodes
+      // stay physically present until the prefix cleaner reaches them, and
+      // refusing them as predecessors would livelock every insert whose
+      // key lands just past a marked node. Only an *unlinked* pred is
+      // dangerous: its outgoing pointers are dead, so a node hung off it
+      // would be unreachable.
+      valid = !pred->unlinked.load(std::memory_order_acquire) &&
               pred->next[level].load(std::memory_order_acquire) == succ;
     }
     if (!valid) {
@@ -105,10 +118,11 @@ void SprayList::insert(Priority key, util::Rng& rng) {
 }
 
 void SprayList::unlink(Node* victim) {
-  // Lazy-skiplist remove, phase 2. The caller won the mark CAS, so it has
-  // exclusive unlink duty. We hold victim's lock throughout: in-flight
-  // inserts using victim as a predecessor serialize before us (they hold
-  // victim's lock while linking) or abort (they validate !pred->marked).
+  // Lazy-skiplist remove, phase 2, invoked only by the prefix cleaner
+  // (cleaner_lock_ serializes callers, so each node is unlinked once). We
+  // hold victim's lock throughout: in-flight inserts using victim as a
+  // predecessor serialize before us (they hold victim's lock while
+  // linking) or abort (they validate !pred->unlinked).
   //
   // Lock discipline: every lock acquisition in this file targets a node
   // strictly *earlier* in list order than the locks already held (insert
@@ -116,6 +130,9 @@ void SprayList::unlink(Node* victim) {
   // holds victim and takes one predecessor at a time). Acquisition order is
   // therefore globally consistent and deadlock-free.
   std::lock_guard<util::Spinlock> victim_guard(victim->lock);
+  // Publish "outgoing pointers are dead" before any pointer is redirected:
+  // inserts validating against victim must abort from now on.
+  victim->unlinked.store(true, std::memory_order_release);
   for (int level = victim->top_level; level >= 0; --level) {
     for (;;) {
       // Locate the node whose next[level] is victim (pointer identity —
@@ -128,13 +145,12 @@ void SprayList::unlink(Node* victim) {
       }
       if (curr != victim) break;  // not (or no longer) linked at this level
       pred->lock.lock();
-      // The pred must be unmarked: a marked pred may already be unlinked
-      // (its own remover redirects its *predecessor's* pointer, never its
-      // outgoing ones), and redirecting a dead node's pointer would leave
-      // the victim permanently linked — a resurrection that livelocks every
-      // later insert validating against the marked-but-linked victim.
+      // The pred must not itself be unlinked: redirecting a dead node's
+      // pointer would leave the victim permanently linked — a resurrection
+      // that livelocks later inserts validating against it. (Merely
+      // *marked* preds are fine: they are still physically in the list.)
       const bool ok =
-          !pred->marked.load(std::memory_order_acquire) &&
+          !pred->unlinked.load(std::memory_order_acquire) &&
           pred->next[level].load(std::memory_order_acquire) == victim;
       if (ok) {
         pred->next[level].store(
@@ -149,13 +165,20 @@ void SprayList::unlink(Node* victim) {
 }
 
 std::optional<Priority> SprayList::spray(util::Rng& rng) {
+  // After kRandomAttempts failed descents, degrade to a deterministic
+  // bottom-level walk from the head (an exact-min claim). Randomized
+  // descents can keep overshooting when only a few live nodes remain ahead
+  // of marked-but-not-yet-reclaimed ones, and without the fallback a
+  // quiescent non-empty list could report "observed empty".
+  constexpr int kRandomAttempts = 8;
   for (int attempt = 0; attempt < 64; ++attempt) {
     if (size_.load(std::memory_order_acquire) <= 0) return std::nullopt;
     // Randomized descent.
     Node* curr = head_;
     const int start_level =
         std::min<int>(static_cast<int>(spray_height_) - 1, kMaxLevel);
-    for (int level = start_level; level >= 0; --level) {
+    for (int level = attempt < kRandomAttempts ? start_level : -1;
+         level >= 0; --level) {
       std::uint64_t jumps = util::bounded(rng, spray_width_ + 1);
       while (jumps > 0) {
         Node* nxt = curr->next[level].load(std::memory_order_acquire);
@@ -176,7 +199,10 @@ std::optional<Priority> SprayList::spray(util::Rng& rng) {
                 expected, true, std::memory_order_acq_rel)) {
           size_.fetch_sub(1, std::memory_order_release);
           const Priority key = cand->key;
-          unlink(cand);
+          // Logical delete only: cand stays linked as a waypoint (see the
+          // header's quality note); physical removal happens when the
+          // marked prefix reaches it.
+          clean_prefix();
           return key;
         }
       }
@@ -186,6 +212,22 @@ std::optional<Priority> SprayList::spray(util::Rng& rng) {
     // the head than our landing point, or be momentarily contended).
   }
   return std::nullopt;
+}
+
+void SprayList::clean_prefix() {
+  // One cleaner at a time is enough — contenders just leave the prefix for
+  // the next claim to strip.
+  if (!cleaner_lock_.try_lock()) return;
+  std::lock_guard<util::Spinlock> guard(cleaner_lock_, std::adopt_lock);
+  for (;;) {
+    Node* first = head_->next[0].load(std::memory_order_acquire);
+    if (first == tail_ || first == nullptr) return;
+    if (!first->marked.load(std::memory_order_acquire)) return;
+    // first is the minimum physical node and it is dead: unlink it at
+    // every level (its per-level predecessor search is O(1) — the head,
+    // give or take an in-flight insert) and re-check the new front.
+    unlink(first);
+  }
 }
 
 }  // namespace relax::sched

@@ -15,10 +15,25 @@
 // uniform in [0, D] with D = max(1, ceil(2p / H)), so the maximal reach is
 // H*D ≈ 2p and the mean landing rank ≈ p.
 //
+// Deletion is *logical-first with prefix reclamation*, following the
+// published design: a spray claim only sets the node's mark, and physical
+// unlinking is done by a best-effort cleaner that strips the maximal
+// marked prefix off the head. Marked interior nodes therefore keep serving
+// as high-level waypoints until everything before them is gone. This is
+// load-bearing for relaxation quality, not just a perf nicety: sprays land
+// disproportionately on/near tall towers, so eager per-node unlinking
+// strips the front of its high-level towers under drain-heavy load, and
+// once the first level-L tower sits R live nodes deep every level-L jump
+// from the head overshoots all R of them — measured rank error then grows
+// linearly with the number of pops instead of staying at the O(p polylog p)
+// spray reach (tests/sched_quality_test.cc pins this down).
+//
 // Memory reclamation: unlinked nodes may still be traversed by concurrent
 // sprays, so nodes are retired to an internal registry and freed only when
 // the SprayList is destroyed. For the framework's workloads (n tasks plus
-// poly(k) re-insertions, Theorem 2) the arena stays O(n).
+// poly(k) re-insertions, Theorem 2) the arena stays O(n); deferred
+// unlinking does not change that policy, it only delays the (already
+// deferred) physical reclamation.
 //
 // This implementation favours clarity over the last 20% of throughput; the
 // ConcurrentMultiQueue is the library's performance scheduler (as in the
@@ -43,6 +58,21 @@ namespace relax::sched {
 class SprayList {
  public:
   static constexpr int kMaxLevel = 24;
+
+  /// The published spray parameterization for p threads: height H =
+  /// floor(log2 p) + 1 descent levels, per-level jump uniform in [0, D]
+  /// with D = max(1, ceil(2p / H)), so the nominal reach is H * D ~ 2p.
+  /// Single source of truth shared by the constructor, the backend
+  /// registry's Definition 1 rank-bound estimate, and tests.
+  struct SprayParams {
+    std::uint32_t height;
+    std::uint64_t width;
+
+    [[nodiscard]] std::uint64_t reach() const noexcept {
+      return static_cast<std::uint64_t>(height) * width;
+    }
+  };
+  static SprayParams spray_params(unsigned p) noexcept;
 
   /// p: intended thread count (drives spray height/width). seed:
   /// deterministic base for per-thread RNG streams.
@@ -85,7 +115,8 @@ class SprayList {
   struct Node {
     Priority key;
     int top_level;
-    std::atomic<bool> marked{false};        // logically deleted
+    std::atomic<bool> marked{false};        // logically deleted (claimed)
+    std::atomic<bool> unlinked{false};      // physically removed (cleaner)
     std::atomic<bool> fully_linked{false};  // insert completed
     util::Spinlock lock;
     std::atomic<Node*> next[kMaxLevel + 1];
@@ -103,8 +134,13 @@ class SprayList {
   /// Returns the level of the first exact key match or -1.
   int find(Priority key, Node** preds, Node** succs);
 
-  /// Physically unlinks a marked node (caller must have won the mark CAS).
+  /// Physically unlinks a marked node. Only the prefix cleaner calls this
+  /// (serialized by cleaner_lock_), so each node is unlinked at most once.
   void unlink(Node* victim);
+
+  /// Strips the maximal marked prefix off the head (best-effort: skips if
+  /// another thread is already cleaning). Called after every spray claim.
+  void clean_prefix();
 
   int random_level(util::Rng& rng);
 
@@ -118,6 +154,9 @@ class SprayList {
   std::atomic<std::int64_t> size_{0};
   std::atomic<std::uint64_t> next_handle_{0};
   util::Rng seq_rng_;
+
+  // Serializes prefix cleaning (one cleaner at a time is enough).
+  util::Spinlock cleaner_lock_;
 
   // Allocation registry: nodes live until the list dies (see header note).
   util::Spinlock registry_lock_;

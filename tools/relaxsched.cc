@@ -36,6 +36,7 @@
 #include "core/sequential_executor.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "sched/backend_registry.h"
 #include "sched/exact_heap.h"
 #include "sched/kbounded.h"
 #include "sched/sim_multiqueue.h"
@@ -59,12 +60,24 @@ using relax::graph::Graph;
   --n=<vertices> --m=<edges> --p=<prob> --path=<edge list file>
   --mode=parallel|exact|seq|seq-relaxed                    [parallel]
   --threads=<t>            worker threads (parallel modes)  [hw]
+  --backend=<name>         concurrent scheduler backend for --mode=parallel
+                           (any registry name; see list below)
+                                                           [multiqueue-c2]
   --queue-factor=<c>       MultiQueue sub-queues per thread [4]
   --sched=multiqueue|spray|topk|kbounded   (seq-relaxed)    [multiqueue]
-  --k=<relaxation>         relaxation factor (seq-relaxed)  [8]
+  --k=<relaxation>         relaxation factor (seq-relaxed,
+                           and kbounded-family backends)    [8]
   --seed=<s>               permutation + scheduler seed     [1]
   --verify=0|1             check against sequential output  [1]
+
+backends (--backend, concurrent modes; sssp always uses its own
+64-bit-key MultiQueue):
 )");
+  for (const auto& info : relax::sched::backend_registry()) {
+    std::fprintf(stderr, "  %-20s %s\n",
+                 std::string(info.name).c_str(),
+                 std::string(info.description).c_str());
+  }
   std::exit(error != nullptr ? 2 : 0);
 }
 
@@ -95,6 +108,31 @@ Graph make_graph(const relax::util::CommandLine& cli) {
     return relax::graph::read_edge_list(path);
   }
   usage_and_exit("unknown --graph kind");
+}
+
+/// Resolves the --backend flag, exiting with the valid list on a bad name.
+const relax::sched::BackendInfo& backend_from_cli(
+    const relax::util::CommandLine& cli) {
+  const std::string name =
+      cli.get_string("backend", std::string(relax::sched::default_backend().name));
+  const auto* info = relax::sched::find_backend(name);
+  if (info == nullptr) {
+    std::fprintf(stderr, "error: unknown --backend '%s'\nvalid backends: %s\n",
+                 name.c_str(), relax::sched::backend_names().c_str());
+    std::exit(2);
+  }
+  return *info;
+}
+
+relax::core::ParallelOptions parallel_opts(
+    const relax::util::CommandLine& cli) {
+  relax::core::ParallelOptions opts;
+  opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  opts.queue_factor = static_cast<unsigned>(cli.get_int("queue-factor", 4));
+  if (cli.has("k"))
+    opts.relaxation_k = static_cast<std::uint32_t>(cli.get_int("k", 0));
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  return opts;
 }
 
 void print_stats(const char* what, const ExecutionStats& stats) {
@@ -164,21 +202,21 @@ int run_graph_problem(const relax::util::CommandLine& cli,
     if (verify) std::printf("verify: OK (deterministic output)\n");
     return 0;
   }
-  relax::core::ParallelOptions opts;
-  opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
-  opts.queue_factor =
-      static_cast<unsigned>(cli.get_int("queue-factor", 4));
-  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const relax::core::ParallelOptions opts = parallel_opts(cli);
   auto problem = make_atomic();
   ExecutionStats stats;
+  std::string what = mode;
   if (mode == "parallel") {
-    stats = relax::core::run_parallel_relaxed(problem, pri, opts);
+    const auto& backend = backend_from_cli(cli);
+    stats = relax::core::run_parallel_relaxed_backend(
+        problem, pri, backend.name, opts);
+    what += std::string("[") + std::string(backend.name) + "]";
   } else if (mode == "exact") {
     stats = relax::core::run_parallel_exact(problem, pri, opts);
   } else {
     usage_and_exit("unknown --mode");
   }
-  print_stats(mode.c_str(), stats);
+  print_stats(what.c_str(), stats);
   if (verify && extract_atomic(problem) != make_seq()) {
     std::fprintf(stderr, "VERIFY FAILED: output differs from baseline\n");
     return 1;
@@ -192,6 +230,7 @@ int run_graph_problem(const relax::util::CommandLine& cli,
 int main(int argc, char** argv) {
   const relax::util::CommandLine cli(argc, argv);
   if (cli.has("help")) usage_and_exit(nullptr);
+  if (cli.has("backend")) backend_from_cli(cli);  // reject bad names early
   const std::string algo = cli.get_string("algo", "");
   if (algo.empty()) usage_and_exit("--algo is required");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
@@ -202,11 +241,10 @@ int main(int argc, char** argv) {
     const auto pri = relax::graph::random_priorities(n, seed + 7);
     const relax::algorithms::PositionIndex index(targets, pri);
     relax::algorithms::AtomicKnuthShuffleProblem problem(targets, index);
-    relax::core::ParallelOptions opts;
-    opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
+    relax::core::ParallelOptions opts = parallel_opts(cli);
     opts.seed = seed;
-    const auto stats =
-        relax::core::run_parallel_relaxed(problem, pri, opts);
+    const auto stats = relax::core::run_parallel_relaxed_backend(
+        problem, pri, backend_from_cli(cli).name, opts);
     print_stats("shuffle", stats);
     if (cli.get_bool("verify", true)) {
       if (problem.array() !=
@@ -225,11 +263,10 @@ int main(int argc, char** argv) {
     const auto pri = relax::graph::random_priorities(n, seed + 7);
     relax::algorithms::AtomicListContractionProblem problem(arrangement,
                                                             pri);
-    relax::core::ParallelOptions opts;
-    opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
+    relax::core::ParallelOptions opts = parallel_opts(cli);
     opts.seed = seed;
-    const auto stats =
-        relax::core::run_parallel_relaxed(problem, pri, opts);
+    const auto stats = relax::core::run_parallel_relaxed_backend(
+        problem, pri, backend_from_cli(cli).name, opts);
     print_stats("listcontract", stats);
     if (cli.get_bool("verify", true)) {
       if (problem.trace() !=
