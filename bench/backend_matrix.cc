@@ -12,9 +12,16 @@
 // BasicConcurrentMultiQueue — it is swept per thread count against the
 // multiqueue-c2 row only and marked "-" elsewhere.
 //
+// The pop-batch axis sweeps batched task acquisition (labels claimed per
+// scheduler touch): batch k>1 pays one sample/lock round trip per k pops
+// on backends with a native batched claim, at an O(k*q) rank-error cost
+// the quality columns make visible next to the throughput gain.
+//
 // Usage: backend_matrix [--n=4000] [--m=24000] [--threads=1,4]
+//                       [--pop-batch=1,8]
 //                       [--backends=all|name,name,...]
 //                       [--quality=1] [--seed=1]
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -40,6 +47,7 @@ struct Row {
   const char* workload;
   std::string backend;
   unsigned threads;
+  unsigned pop_batch;
   double seconds;
   double tasks_per_s;
   double iters_per_task;
@@ -49,9 +57,9 @@ struct Row {
 };
 
 void print_row(const Row& r) {
-  std::printf("%-9s %-20s %7u %9.4f %12.0f %10.3f %8.2f%%", r.workload,
-              r.backend.c_str(), r.threads, r.seconds, r.tasks_per_s,
-              r.iters_per_task, 100.0 * r.wasted_frac);
+  std::printf("%-9s %-20s %7u %6u %9.4f %12.0f %10.3f %8.2f%%", r.workload,
+              r.backend.c_str(), r.threads, r.pop_batch, r.seconds,
+              r.tasks_per_s, r.iters_per_task, 100.0 * r.wasted_frac);
   if (r.mean_rank >= 0.0) {
     std::printf("%10.2f %9llu\n", r.mean_rank,
                 static_cast<unsigned long long>(r.max_rank));
@@ -65,7 +73,8 @@ void print_row(const Row& r) {
 /// Definition 1 quality columns.
 template <typename MakeProblem>
 Row run_framework(const char* workload, const BackendInfo& backend,
-                  unsigned threads, const relax::graph::Priorities& pri,
+                  unsigned threads, unsigned pop_batch,
+                  const relax::graph::Priorities& pri,
                   MakeProblem make_problem, bool quality,
                   std::uint64_t seed) {
   relax::engine::EngineOptions eo;
@@ -76,6 +85,7 @@ Row run_framework(const char* workload, const BackendInfo& backend,
 
   relax::engine::JobConfig cfg;
   cfg.seed = seed;
+  cfg.pop_batch = pop_batch;
 
   auto problem = make_problem();
   const std::uint32_t n = problem.num_tasks();
@@ -86,6 +96,7 @@ Row run_framework(const char* workload, const BackendInfo& backend,
   row.workload = workload;
   row.backend = std::string(backend.name);
   row.threads = threads;
+  row.pop_batch = pop_batch;
   row.seconds = stats.seconds;
   row.tasks_per_s = stats.seconds > 0.0 ? n / stats.seconds : 0.0;
   row.iters_per_task =
@@ -118,6 +129,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const bool quality = cli.get_bool("quality", true);
   const auto thread_list = cli.get_int_list("threads", {1, 4});
+  const auto batch_list = cli.get_int_list("pop-batch", {1, 8});
 
   const std::string backend_flag = cli.get_string("backends", "all");
   std::vector<const BackendInfo*> backends;
@@ -154,52 +166,60 @@ int main(int argc, char** argv) {
               g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()),
               backends.size(), quality ? 1 : 0);
-  std::printf("%-9s %-20s %7s %9s %12s %10s %9s %10s %9s\n", "workload",
-              "backend", "threads", "seconds", "tasks/s", "iters/task",
-              "wasted", "mean-rank", "max-rank");
+  std::printf("%-9s %-20s %7s %6s %9s %12s %10s %9s %10s %9s\n", "workload",
+              "backend", "threads", "batch", "seconds", "tasks/s",
+              "iters/task", "wasted", "mean-rank", "max-rank");
 
   for (const std::int64_t t : thread_list) {
     const auto threads = static_cast<unsigned>(t < 1 ? 1 : t);
-    for (const BackendInfo* backend : backends) {
-      print_row(run_framework(
-          "mis", *backend, threads, pri,
-          [&] { return relax::algorithms::AtomicMisProblem(g, pri); },
-          quality, seed));
-      print_row(run_framework(
-          "coloring", *backend, threads, pri,
-          [&] { return relax::algorithms::AtomicColoringProblem(g, pri); },
-          quality, seed));
-      print_row(run_framework(
-          "matching", *backend, threads, edge_pri,
-          [&] {
-            return relax::algorithms::AtomicMatchingProblem(incidence,
-                                                            edge_pri);
-          },
-          quality, seed));
-      // SSSP rides its own 64-bit-key MultiQueue (see header note): one
-      // representative row per thread count, attached to multiqueue-c2.
-      if (backend->name == "multiqueue-c2") {
-        relax::algorithms::SsspStats sstats;
-        (void)relax::algorithms::parallel_relaxed_sssp(g, weights, 0, threads,
-                                                       4, seed, &sstats);
-        Row row;
-        row.workload = "sssp";
-        row.backend = std::string(backend->name);
-        row.threads = threads;
-        row.seconds = sstats.seconds;
-        row.tasks_per_s =
-            sstats.seconds > 0.0 ? g.num_vertices() / sstats.seconds : 0.0;
-        row.iters_per_task =
-            g.num_vertices() > 0
-                ? static_cast<double>(sstats.pops) / g.num_vertices()
-                : 0.0;
-        row.wasted_frac =
-            sstats.pops > 0
-                ? static_cast<double>(sstats.stale_pops) / sstats.pops
-                : 0.0;
-        row.mean_rank = -1.0;
-        row.max_rank = 0;
-        print_row(row);
+    for (const std::int64_t b : batch_list) {
+      const auto pop_batch = static_cast<unsigned>(std::clamp<std::int64_t>(
+          b, 1, relax::engine::JobConfig::kMaxPopBatch));
+      for (const BackendInfo* backend : backends) {
+        print_row(run_framework(
+            "mis", *backend, threads, pop_batch, pri,
+            [&] { return relax::algorithms::AtomicMisProblem(g, pri); },
+            quality, seed));
+        print_row(run_framework(
+            "coloring", *backend, threads, pop_batch, pri,
+            [&] { return relax::algorithms::AtomicColoringProblem(g, pri); },
+            quality, seed));
+        print_row(run_framework(
+            "matching", *backend, threads, pop_batch, edge_pri,
+            [&] {
+              return relax::algorithms::AtomicMatchingProblem(incidence,
+                                                              edge_pri);
+            },
+            quality, seed));
+        // SSSP rides its own 64-bit-key MultiQueue (see header note): one
+        // representative row per thread count, attached to multiqueue-c2
+        // (its label-correcting executor has no pop-batch knob, so the row
+        // is emitted once per thread count on the first batch value).
+        if (backend->name == "multiqueue-c2" && b == batch_list.front()) {
+          relax::algorithms::SsspStats sstats;
+          (void)relax::algorithms::parallel_relaxed_sssp(g, weights, 0,
+                                                         threads, 4, seed,
+                                                         &sstats);
+          Row row;
+          row.workload = "sssp";
+          row.backend = std::string(backend->name);
+          row.threads = threads;
+          row.pop_batch = 1;
+          row.seconds = sstats.seconds;
+          row.tasks_per_s =
+              sstats.seconds > 0.0 ? g.num_vertices() / sstats.seconds : 0.0;
+          row.iters_per_task =
+              g.num_vertices() > 0
+                  ? static_cast<double>(sstats.pops) / g.num_vertices()
+                  : 0.0;
+          row.wasted_frac =
+              sstats.pops > 0
+                  ? static_cast<double>(sstats.stale_pops) / sstats.pops
+                  : 0.0;
+          row.mean_rank = -1.0;
+          row.max_rank = 0;
+          print_row(row);
+        }
       }
     }
   }

@@ -15,8 +15,14 @@
 // requests across the whole registry, so one server multiplexes MultiQueue,
 // SprayList, and deterministic k-bounded jobs on the same pool.
 //
+// --pop-batch selects how many labels each worker claims per scheduler
+// touch (default 1). Batching amortizes the per-pop sample/lock round trip
+// — the audit requests report the matching O(pop_batch * q) rank-error
+// envelope, so the latency/quality trade is visible in the output.
+//
 // Build & run:  ./examples/job_server [--requests=32] [--threads=0]
 //                                     [--inflight=4] [--audit=8]
+//                                     [--pop-batch=1]
 //                                     [--backend=multiqueue-c2|...|mix]
 #include <algorithm>
 #include <cstdio>
@@ -55,6 +61,9 @@ int main(int argc, char** argv) {
   const int inflight =
       std::max(1, static_cast<int>(cli.get_int("inflight", 4)));
   const int audit_every = static_cast<int>(cli.get_int("audit", 8));
+  const auto pop_batch = static_cast<std::uint32_t>(
+      std::clamp<std::int64_t>(cli.get_int("pop-batch", 1), 1,
+                               relax::engine::JobConfig::kMaxPopBatch));
 
   // Resolve the backend rotation: one fixed registry backend, or the whole
   // registry round-robin with --backend=mix.
@@ -85,8 +94,9 @@ int main(int argc, char** argv) {
   opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
   opts.max_in_flight = static_cast<unsigned>(inflight);
   relax::engine::SchedulingEngine engine(opts);
-  std::printf("job_server: %u workers, %d jobs in flight, %d requests\n",
-              engine.width(), inflight, requests);
+  std::printf(
+      "job_server: %u workers, %d jobs in flight, %d requests, pop-batch %u\n",
+      engine.width(), inflight, requests, pop_batch);
 
   relax::util::Timer clock;
   std::vector<Request> window;
@@ -106,9 +116,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.iterations),
                 static_cast<unsigned long long>(stats.failed_deletes));
     if (stats.rank_samples > 0) {
-      std::printf("  [audit: mean rank err %.2f, max %llu]",
+      relax::sched::BackendParams bp;
+      bp.threads = engine.width();
+      const auto envelope =
+          relax::sched::batched_rank_bound(*req.backend, bp, pop_batch);
+      std::printf("  [audit: mean rank err %.2f, max %llu, envelope %llu]",
                   stats.mean_rank_error,
-                  static_cast<unsigned long long>(stats.max_rank_error));
+                  static_cast<unsigned long long>(stats.max_rank_error),
+                  static_cast<unsigned long long>(envelope));
     }
     std::printf("\n");
   };
@@ -122,6 +137,7 @@ int main(int argc, char** argv) {
     req.backend = backends[static_cast<std::size_t>(r) % backends.size()];
     relax::engine::JobConfig cfg;
     cfg.seed = static_cast<std::uint64_t>(r) + 1;
+    cfg.pop_batch = pop_batch;
     cfg.monitor_relaxation = audit_every > 0 && r % audit_every == 0;
     switch (r % 3) {
       case 0:

@@ -45,6 +45,10 @@ struct ParallelOptions {
                                  // run_parallel_relaxed only — backend names
                                  // pin their own sampling width)
   std::uint32_t relaxation_k = 0;  // k for window/sim backends (0 = derive)
+  std::uint32_t pop_batch = 1;   // labels claimed per scheduler touch
+                                 // (batched acquisition; rank cost scales
+                                 // to O(pop_batch * q), see
+                                 // sched::batched_rank_bound)
   std::uint64_t seed = 1;        // scheduler randomness
   bool pin_threads = true;
 
@@ -70,6 +74,7 @@ inline engine::JobConfig job_config(const ParallelOptions& opts) {
   cfg.queue_factor = opts.queue_factor;
   cfg.choices = opts.choices;
   cfg.relaxation_k = opts.relaxation_k;
+  cfg.pop_batch = opts.pop_batch;
   cfg.seed = opts.seed;
   return cfg;
 }

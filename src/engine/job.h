@@ -24,6 +24,14 @@
 // unaffected: a task can only retire after its final pop, hence after its
 // insert, so retired == n implies admission completed too.
 //
+// Task acquisition is batched as well (JobConfig::pop_batch): run_slice
+// claims up to k labels per scheduler touch via sched::pop_batch — the
+// backend's native batched claim where one exists, a one-at-a-time shim
+// elsewhere — into a worker-local buffer. The buffer is always fully
+// drained before the next termination check or slice return, and a
+// buffered label is its task's only live pop, so retirement counting can
+// never reach n while labels sit buffered.
+//
 // Variants:
 //   RelaxedJob<P, Queue>        relaxed loop over a caller-owned scheduler
 //                               (anything with per-thread handles or a plain
@@ -78,6 +86,15 @@ struct JobConfig {
   std::uint32_t relaxation_k = 0;  // k for window/sim backends (0 = derive
                                    // queue_factor * pool width)
   std::uint32_t admission_batch = 1024;  // labels admitted per claimed chunk
+  /// Upper bound on pop_batch (64Ki labels = 256 KiB of worker buffer).
+  /// Far above any useful batch — the rank envelope scales with k — this
+  /// only bounds memory against nonsense values. RelaxedJob clamps to it;
+  /// CLI front-ends clamp at parse time so reported == effective.
+  static constexpr std::uint32_t kMaxPopBatch = 1u << 16;
+  std::uint32_t pop_batch = 1;     // labels claimed per scheduler touch: k>1
+                                   // amortizes the sample/lock/CAS round
+                                   // trip over k pops at an O(k * q) rank
+                                   // cost (see sched::batched_rank_bound)
   bool monitor_relaxation = false;  // audit mode: serialize + measure quality
   std::uint32_t monitor_stride = 64;  // inversion tracking sample stride
 };
@@ -168,10 +185,21 @@ class RelaxedJob : public TaskJobBase {
         problem_(&problem),
         pri_(&pri),
         queue_(&queue),
-        batch_(cfg.admission_batch == 0 ? 1 : cfg.admission_batch) {}
+        batch_(cfg.admission_batch == 0 ? 1 : cfg.admission_batch),
+        // Clamp defensively: a negative CLI value cast to uint32 would
+        // otherwise make activate() reserve a multi-GiB buffer per worker.
+        // The slice budget caps the effective batch per claim anyway.
+        pop_batch_(std::clamp<std::uint32_t>(cfg.pop_batch, 1,
+                                             JobConfig::kMaxPopBatch)) {}
 
   void activate(unsigned pool_width) override {
     TaskJobBase::activate(pool_width);
+    // Worker-local label buffers for the batched pop path. Labels only ever
+    // live here between a pop_batch claim and the processing loop a few
+    // lines below it — never across a run_slice return.
+    buffers_ =
+        std::vector<util::Padded<std::vector<sched::Priority>>>(pool_width);
+    for (auto& buf : buffers_) buf->reserve(pop_batch_);
     // Schedulers with a quiescent bulk_load but no live bulk_insert
     // (LockFreeMultiQueue, whose sorted sub-lists degrade to O(n) per
     // ascending insert) get their whole initial load here, while the job is
@@ -196,11 +224,16 @@ class RelaxedJob : public TaskJobBase {
     bool progress = admit_chunk(handle);
     auto& stats = *stats_[worker];
     auto& my_retired = *retired_[worker];
+    auto& buffer = *buffers_[worker];
     std::uint32_t iters = 0;
     while (!done_.load(std::memory_order_acquire) && iters < budget) {
-      ++iters;
-      const auto label = handle.approx_get_min();
-      if (!label) {
+      // Claim up to pop_batch labels in one scheduler touch, capped by the
+      // remaining budget so the buffer is always fully drained before the
+      // slice returns.
+      buffer.clear();
+      sched::pop_batch(
+          handle, std::min<std::uint32_t>(pop_batch_, budget - iters), buffer);
+      if (buffer.empty()) {
         ++stats.empty_polls;
         check_done();
         // Prefer feeding the queue over spinning when admission is still
@@ -212,21 +245,29 @@ class RelaxedJob : public TaskJobBase {
         break;
       }
       progress = true;
-      ++stats.iterations;
-      const core::Task task = pri_->order[*label];
-      switch (problem_->try_process(task)) {
-        case core::Outcome::kProcessed:
-          ++stats.processed;
-          my_retired.fetch_add(1, std::memory_order_release);
-          break;
-        case core::Outcome::kNotReady:
-          ++stats.failed_deletes;
-          handle.insert(*label);
-          break;
-        case core::Outcome::kRetired:
-          ++stats.dead_skips;
-          my_retired.fetch_add(1, std::memory_order_release);
-          break;
+      // Process the whole buffer before the next done_/budget check. A
+      // buffered label is its task's only live pop (labels are unique in
+      // the scheduler), so that task cannot retire elsewhere and the
+      // retirement sum cannot reach n — termination can never fire while
+      // labels sit here, provided none survive this loop.
+      for (const sched::Priority label : buffer) {
+        ++iters;
+        ++stats.iterations;
+        const core::Task task = pri_->order[label];
+        switch (problem_->try_process(task)) {
+          case core::Outcome::kProcessed:
+            ++stats.processed;
+            my_retired.fetch_add(1, std::memory_order_release);
+            break;
+          case core::Outcome::kNotReady:
+            ++stats.failed_deletes;
+            handle.insert(label);
+            break;
+          case core::Outcome::kRetired:
+            ++stats.dead_skips;
+            my_retired.fetch_add(1, std::memory_order_release);
+            break;
+        }
       }
     }
     check_done();
@@ -255,6 +296,8 @@ class RelaxedJob : public TaskJobBase {
   const graph::Priorities* pri_;
   Queue* queue_;
   std::uint32_t batch_;
+  std::uint32_t pop_batch_;
+  std::vector<util::Padded<std::vector<sched::Priority>>> buffers_;
   std::atomic<std::uint64_t> load_cursor_{0};
 };
 

@@ -172,4 +172,16 @@ decltype(auto) dispatch_backend(const BackendInfo& info,
   throw std::logic_error("expected_rank_bound: unknown BackendKind");
 }
 
+/// Batch-aware Definition 1 rank scale: a native batched pop claims k
+/// consecutive minima from ONE sub-structure (one best-of-c sub-queue, one
+/// sub-list, one spray neighbourhood), so batch element i is served at rank
+/// up to ~i sub-structure spacings past the single-pop bound — O(k * k_0)
+/// overall, where k_0 = expected_rank_bound. Backends without a native
+/// batch (the generic one-at-a-time shim) stay at k_0 per pop, which this
+/// bound dominates, so one envelope covers the whole registry.
+[[nodiscard]] inline std::uint64_t batched_rank_bound(
+    const BackendInfo& info, const BackendParams& params, std::uint64_t k) {
+  return std::max<std::uint64_t>(k, 1) * expected_rank_bound(info, params);
+}
+
 }  // namespace relax::sched

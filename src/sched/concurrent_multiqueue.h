@@ -66,13 +66,18 @@ class BasicConcurrentMultiQueue {
   /// per-thread RNG streams deterministically. choices selects the number
   /// of sampled sub-queues per pop: 2 is the classic power-of-two-choices
   /// MultiQueue; 1 degrades to uniform single sampling (no rank bound —
-  /// exposed for the ablation bench).
+  /// exposed for the ablation bench). probe_limit is the number of
+  /// consecutive empty samples before approx_get_min falls back to a full
+  /// top-cache scan (0 scans on every pop — a testing/near-empty-workload
+  /// seam, not a production setting).
   explicit BasicConcurrentMultiQueue(std::uint32_t num_queues,
                                      std::uint64_t seed = 1,
-                                     unsigned choices = 2)
+                                     unsigned choices = 2,
+                                     int probe_limit = kProbeLimit)
       : queues_(std::max<std::uint32_t>(num_queues, 2)),
         seed_(seed),
-        choices_(choices < 1 ? 1 : choices) {}
+        choices_(choices < 1 ? 1 : choices),
+        probe_limit_(probe_limit < 0 ? 0 : probe_limit) {}
 
   BasicConcurrentMultiQueue(const BasicConcurrentMultiQueue&) = delete;
   BasicConcurrentMultiQueue& operator=(const BasicConcurrentMultiQueue&) =
@@ -90,6 +95,15 @@ class BasicConcurrentMultiQueue {
       mq_->bulk_insert(keys, rng_);
     }
     std::optional<Key> approx_get_min() { return mq_->approx_get_min(rng_); }
+    /// Batched pop: one best-of-c sample + one sub-queue lock, then up to
+    /// `k` pops (O(1) cursor advances while the sorted base lasts). Appends
+    /// to `out`, returns the number claimed; 0 means observed empty. May
+    /// return fewer than k when the chosen sub-queue holds fewer — callers
+    /// just process what they got. Rank cost is O(k * q) per batch (the
+    /// batch drains one sub-queue's prefix); see batched_rank_bound.
+    std::size_t approx_get_min_batch(std::size_t k, std::vector<Key>& out) {
+      return mq_->approx_get_min_batch(k, out, rng_);
+    }
 
    private:
     friend class BasicConcurrentMultiQueue;
@@ -140,6 +154,10 @@ class BasicConcurrentMultiQueue {
     util::Rng rng(seed_ ^ sequential_ops_++);
     return approx_get_min(rng);
   }
+  std::size_t approx_get_min_batch(std::size_t k, std::vector<Key>& out) {
+    util::Rng rng(seed_ ^ sequential_ops_++);
+    return approx_get_min_batch(k, out, rng);
+  }
 
   /// Sum of the per-sub-queue stripes: exact when quiescent, a snapshot
   /// under concurrency.
@@ -153,6 +171,32 @@ class BasicConcurrentMultiQueue {
   [[nodiscard]] std::uint32_t num_queues() const noexcept {
     return static_cast<std::uint32_t>(queues_.size());
   }
+
+  /// Per-sub-queue element counts (the striped size): exact when quiescent,
+  /// a racy snapshot under concurrency. Monitoring/test seam — this is how
+  /// the bulk_insert spread regression observes placement.
+  [[nodiscard]] std::vector<std::size_t> per_queue_sizes() const {
+    std::vector<std::size_t> sizes;
+    sizes.reserve(queues_.size());
+    for (const auto& q : queues_)
+      sizes.push_back(q->count.load(std::memory_order_acquire));
+    return sizes;
+  }
+
+  /// Number of consumed-prefix compactions bulk_insert has performed across
+  /// all sub-queues (exact when quiescent). Lets tests prove the compaction
+  /// path actually ran instead of asserting around it.
+  [[nodiscard]] std::uint64_t compactions() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& q : queues_)
+      total += q->compactions.load(std::memory_order_acquire);
+    return total;
+  }
+
+  /// Minimum keys per bulk_insert chunk: below this the sort/merge overhead
+  /// stops amortizing and the batch targets fewer sub-queues (never fewer
+  /// than two — see bulk_insert).
+  static constexpr std::size_t kMinBulkChunk = 64;
 
  private:
   struct SubQueue {
@@ -171,6 +215,9 @@ class BasicConcurrentMultiQueue {
     std::vector<Key> base;
     std::size_t cursor = 0;
     DaryHeap<Key, 8> heap;
+    // Consumed-prefix compactions performed on this sub-queue (stored under
+    // the lock, atomic so quiescent readers need no lock).
+    std::atomic<std::uint64_t> compactions{0};
 
     [[nodiscard]] Key current_min() const noexcept {
       const Key b = cursor < base.size() ? base[cursor] : kEmptyTop;
@@ -206,8 +253,13 @@ class BasicConcurrentMultiQueue {
   void bulk_insert(std::span<const Key> keys, util::Rng& rng) {
     if (keys.empty()) return;
     const std::size_t q = queues_.size();
+    // Never fewer than two chunks: dumping a whole small batch into a
+    // single random sub-queue transiently skews that queue (and the rank
+    // distribution every two-choice pop samples from) until pops rebalance
+    // it. q >= 2 always holds, so small batches still spread.
     const std::size_t chunks = std::min<std::size_t>(
-        q, std::max<std::size_t>(1, keys.size() / kMinBulkChunk));
+        q, std::max<std::size_t>(
+               2, (keys.size() + kMinBulkChunk - 1) / kMinBulkChunk));
     const std::size_t chunk = (keys.size() + chunks - 1) / chunks;
     const std::size_t start = util::bounded(rng, q);
     for (std::size_t c = 0, off = 0; off < keys.size(); ++c, off += chunk) {
@@ -222,6 +274,7 @@ class BasicConcurrentMultiQueue {
         sq.base.erase(sq.base.begin(),
                       sq.base.begin() + static_cast<std::ptrdiff_t>(sq.cursor));
         sq.cursor = 0;
+        sq.compactions.fetch_add(1, std::memory_order_release);
       }
       const auto mid = static_cast<std::ptrdiff_t>(sq.base.size());
       sq.base.insert(sq.base.end(), slice.begin(), slice.end());
@@ -250,47 +303,93 @@ class BasicConcurrentMultiQueue {
     }
   }
 
-  std::optional<Key> approx_get_min(util::Rng& rng) {
+  /// Best of `choices_` sampled sub-queues (c = 2 is the classic
+  /// power-of-two-choices rule; larger c tightens the rank distribution at
+  /// the cost of extra top-cache probes — the ablation axis the
+  /// multiqueue-c{2,4,8} registry backends expose).
+  struct Sampled {
+    std::size_t index;
+    Key top;
+  };
+  Sampled sample_best(util::Rng& rng) const {
+    const std::size_t q = queues_.size();
+    std::size_t best = util::bounded(rng, q);
+    Key tbest = queues_[best]->top.load(std::memory_order_acquire);
+    for (unsigned c = 1; c < choices_; ++c) {
+      std::size_t cand = util::bounded(rng, q - 1);
+      if (cand >= best) ++cand;  // distinct from the current best
+      const Key tc = queues_[cand]->top.load(std::memory_order_acquire);
+      if (tc < tbest) {
+        best = cand;
+        tbest = tc;
+      }
+    }
+    return Sampled{best, tbest};
+  }
+
+  /// Full top-cache scan beginning at `start` (wrapping): index of the
+  /// first sub-queue whose cached top is non-empty, or queues_.size() when
+  /// the whole scan agrees the queue is empty. Callers pass a random start:
+  /// a fixed origin funnels every thread of a near-empty queue onto the
+  /// lowest-index non-empty sub-queue (lock contention + a pop bias toward
+  /// whatever happens to live there).
+  std::size_t scan_nonempty(std::size_t start) const {
+    const std::size_t q = queues_.size();
+    for (std::size_t i = 0; i < q; ++i) {
+      const std::size_t idx = (start + i) % q;
+      if (queues_[idx]->top.load(std::memory_order_acquire) != kEmptyTop)
+        return idx;
+    }
+    return q;
+  }
+
+  /// Victim-selection loop shared by the single and batched pop paths:
+  /// sample best-of-c sub-queues, falling back to a randomized full scan
+  /// after probe_limit_ consecutive empty samples. `claim(sub_queue)`
+  /// attempts the pop(s); a falsy result means "lost the race — resample".
+  /// Returns `empty` only when a full scan observed every sub-queue empty.
+  template <typename R, typename Claim>
+  R select_and_claim(util::Rng& rng, R empty, Claim claim) {
     int empty_probes = 0;
     for (;;) {
-      if (empty_probes >= kProbeLimit) {
+      if (empty_probes >= probe_limit_) {
         // Random sampling keeps missing: scan every top cache once. Only
         // report empty when the whole scan agrees; otherwise aim straight
         // at a non-empty sub-queue (may race and come back here).
-        std::size_t found = queues_.size();
-        for (std::size_t i = 0; i < queues_.size(); ++i) {
-          if (queues_[i]->top.load(std::memory_order_acquire) != kEmptyTop) {
-            found = i;
-            break;
-          }
-        }
-        if (found == queues_.size()) return std::nullopt;
+        const std::size_t found =
+            scan_nonempty(util::bounded(rng, queues_.size()));
+        if (found == queues_.size()) return empty;
         empty_probes = 0;
-        if (const auto p = try_pop(*queues_[found])) return p;
+        if (R r = claim(*queues_[found])) return r;
         continue;
       }
-      // Best of `choices_` sampled sub-queues (c = 2 is the classic
-      // power-of-two-choices rule; larger c tightens the rank distribution
-      // at the cost of extra top-cache probes — the ablation axis the
-      // multiqueue-c{2,4,8} registry backends expose).
-      const std::size_t q = queues_.size();
-      std::size_t best = util::bounded(rng, q);
-      Key tbest = queues_[best]->top.load(std::memory_order_acquire);
-      for (unsigned c = 1; c < choices_; ++c) {
-        std::size_t cand = util::bounded(rng, q - 1);
-        if (cand >= best) ++cand;  // distinct from the current best
-        const Key tc = queues_[cand]->top.load(std::memory_order_acquire);
-        if (tc < tbest) {
-          best = cand;
-          tbest = tc;
-        }
-      }
-      if (tbest == kEmptyTop) {
+      const Sampled s = sample_best(rng);
+      if (s.top == kEmptyTop) {
         ++empty_probes;
         continue;
       }
-      if (const auto p = try_pop(*queues_[best])) return p;
+      if (R r = claim(*queues_[s.index])) return r;
     }
+  }
+
+  std::optional<Key> approx_get_min(util::Rng& rng) {
+    return select_and_claim(rng, std::optional<Key>{},
+                            [this](SubQueue& sq) { return try_pop(sq); });
+  }
+
+  /// Batched pop: same victim selection as approx_get_min, but the winning
+  /// sub-queue is drained of up to `k` elements under its single lock
+  /// acquisition — pops from the sorted base are O(1) cursor advances, and
+  /// the top cache / count stripe refresh is paid once per batch instead of
+  /// once per element. Returns the number appended to `out` (0 = observed
+  /// empty; fewer than k when the victim ran short or a later caller should
+  /// resample anyway).
+  std::size_t approx_get_min_batch(std::size_t k, std::vector<Key>& out,
+                                   util::Rng& rng) {
+    if (k == 0) return 0;
+    return select_and_claim(rng, std::size_t{0}, [&](SubQueue& sq) {
+      return try_pop_batch(sq, k, out);
+    });
   }
 
   std::optional<Key> try_pop(SubQueue& sq) {
@@ -302,14 +401,25 @@ class BasicConcurrentMultiQueue {
     return p;
   }
 
+  std::size_t try_pop_batch(SubQueue& sq, std::size_t k,
+                            std::vector<Key>& out) {
+    if (!sq.lock.try_lock()) return 0;
+    std::lock_guard<util::Spinlock> guard(sq.lock, std::adopt_lock);
+    std::size_t got = 0;
+    while (got < k && sq.current_min() != kEmptyTop) {
+      out.push_back(sq.pop_min());
+      ++got;
+    }
+    if (got > 0) sq.refresh_top();
+    return got;
+  }
+
   static constexpr int kProbeLimit = 16;
-  /// Minimum keys per bulk_insert chunk: below this the sort/merge overhead
-  /// stops amortizing and the batch targets fewer sub-queues.
-  static constexpr std::size_t kMinBulkChunk = 64;
 
   std::vector<util::Padded<SubQueue>> queues_;
   std::uint64_t seed_;
   unsigned choices_ = 2;
+  int probe_limit_ = kProbeLimit;
   std::atomic<std::uint64_t> next_handle_{0};
   std::uint64_t sequential_ops_ = 0;
 };

@@ -19,7 +19,9 @@
 // (the monitored engine jobs serialize it under one LockedScheduler lock).
 #pragma once
 
+#include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "sched/scheduler.h"
 
@@ -27,12 +29,19 @@ namespace relax::sched {
 
 /// Forwarding shim for backends without per-thread handles. The wrapped
 /// scheduler must itself be safe for concurrent calls (LockedScheduler).
+/// The batched pop forwards to the backend's native batch when it has one
+/// (LockedScheduler amortizes its lock over the batch) and degrades to
+/// one-at-a-time pops otherwise, so every backend — locked, sim,
+/// deterministic — accepts batched acquisition with unchanged semantics.
 template <typename Queue>
 struct DirectHandle {
   Queue* queue;
   void insert(Priority p) { queue->insert(p); }
   std::optional<Priority> approx_get_min() {
     return queue->approx_get_min();
+  }
+  std::size_t approx_get_min_batch(std::size_t k, std::vector<Priority>& out) {
+    return pop_batch(*queue, k, out);
   }
 };
 
@@ -56,6 +65,9 @@ class SequentialView {
   void insert(Priority p) { queue_->insert(p); }
   std::optional<Priority> approx_get_min() {
     return queue_->approx_get_min();
+  }
+  std::size_t approx_get_min_batch(std::size_t k, std::vector<Priority>& out) {
+    return pop_batch(*queue_, k, out);
   }
   [[nodiscard]] bool empty() const { return queue_->empty(); }
   [[nodiscard]] std::size_t size() const { return queue_->size(); }

@@ -46,11 +46,15 @@ class LockFreeMultiQueue {
   /// num_queues should be queue_factor * num_threads (paper: factor 4).
   /// choices = 2 is the classic power-of-two-choices MultiQueue; 1 degrades
   /// to uniform single sampling (ablation knob, no rank bound).
+  /// probe_limit: consecutive empty samples before approx_get_min falls
+  /// back to a full sub-list scan (0 = scan every pop; a testing seam).
   explicit LockFreeMultiQueue(std::uint32_t num_queues,
-                              std::uint64_t seed = 1, unsigned choices = 2)
+                              std::uint64_t seed = 1, unsigned choices = 2,
+                              int probe_limit = kProbeLimit)
       : queues_(std::max<std::uint32_t>(num_queues, 1)),
         seed_(seed),
-        choices_(choices < 1 ? 1 : choices) {
+        choices_(choices < 1 ? 1 : choices),
+        probe_limit_(probe_limit < 0 ? 0 : probe_limit) {
     for (auto& q : queues_) {
       Node* sentinel = allocate(0);
       q.value.head = sentinel;
@@ -75,6 +79,13 @@ class LockFreeMultiQueue {
     void insert(Priority p) { mq_->insert(p, rng_); }
     std::optional<Priority> approx_get_min() {
       return mq_->approx_get_min(rng_);
+    }
+    /// Batched claim: one sample, then up to `k` successive head claims on
+    /// the chosen sub-list (each an O(1)-expected CAS at the front).
+    /// Appends to `out`; returns the number claimed (0 = observed empty).
+    std::size_t approx_get_min_batch(std::size_t k,
+                                     std::vector<Priority>& out) {
+      return mq_->approx_get_min_batch(k, out, rng_);
     }
 
    private:
@@ -124,6 +135,10 @@ class LockFreeMultiQueue {
   std::optional<Priority> approx_get_min() {
     util::Rng rng(seed_ ^ sequential_ops_++);
     return approx_get_min(rng);
+  }
+  std::size_t approx_get_min_batch(std::size_t k, std::vector<Priority>& out) {
+    util::Rng rng(seed_ ^ sequential_ops_++);
+    return approx_get_min_batch(k, out, rng);
   }
 
   /// Sum of the per-sub-list stripes: exact when quiescent, a snapshot
@@ -279,42 +294,95 @@ class LockFreeMultiQueue {
     }
   }
 
-  std::optional<Priority> approx_get_min(util::Rng& rng) {
+  /// Claims up to `k` successive minima of one sub-list, appending to
+  /// `out`. Each claim restarts from the head, where the next minimum
+  /// lives (walks past the marked prefix are shortened by the helping
+  /// unlink inside pop_min). Stops early when the sub-list runs dry or a
+  /// claim race is better resolved by resampling.
+  std::size_t pop_min_batch(SubList& list, std::size_t k,
+                            std::vector<Priority>& out) {
+    std::size_t got = 0;
+    while (got < k) {
+      const auto p = pop_min(list);
+      if (!p) break;
+      out.push_back(*p);
+      ++got;
+    }
+    return got;
+  }
+
+  /// Full sub-list scan beginning at `start` (wrapping); queues_.size()
+  /// when everything is empty. A randomized start keeps near-empty-queue
+  /// traffic from funnelling onto the lowest-index non-empty sub-list.
+  std::size_t scan_nonempty(std::size_t start) {
+    const std::size_t q = queues_.size();
+    for (std::size_t i = 0; i < q; ++i) {
+      const std::size_t idx = (start + i) % q;
+      if (peek(queues_[idx].value)) return idx;
+    }
+    return q;
+  }
+
+  struct Sampled {
+    std::size_t index;
+    bool nonempty;
+  };
+  Sampled sample_best(util::Rng& rng) {
+    const std::size_t q = queues_.size();
+    std::size_t a = util::bounded(rng, q);
+    std::size_t b = a;
+    if (choices_ >= 2 && q > 1) {
+      b = util::bounded(rng, q - 1);
+      if (b >= a) ++b;
+    }
+    const auto ta = peek(queues_[a].value);
+    const auto tb = peek(queues_[b].value);
+    if (!ta && !tb) return Sampled{a, false};
+    return Sampled{(!ta || (tb && *tb < *ta)) ? b : a, true};
+  }
+
+  /// Victim-selection loop shared by the single and batched claim paths:
+  /// sample best-of-choices sub-lists, falling back to a randomized full
+  /// scan after probe_limit_ consecutive empty samples. `claim(sub_list)`
+  /// attempts the head claim(s); a falsy result means "lost the race —
+  /// resample". Returns `empty` only when a full scan observed every
+  /// sub-list empty.
+  template <typename R, typename Claim>
+  R select_and_claim(util::Rng& rng, R empty, Claim claim) {
     int empty_probes = 0;
     for (;;) {
-      if (empty_probes >= kProbeLimit) {
+      if (empty_probes >= probe_limit_) {
         // Random sampling keeps missing: scan every sub-list once. Only
         // report empty when the whole scan agrees; otherwise pop from the
         // first non-empty list found (may race and come back here).
-        std::size_t found = queues_.size();
-        for (std::size_t i = 0; i < queues_.size(); ++i) {
-          if (peek(queues_[i].value)) {
-            found = i;
-            break;
-          }
-        }
-        if (found == queues_.size()) return std::nullopt;
+        const std::size_t found =
+            scan_nonempty(util::bounded(rng, queues_.size()));
+        if (found == queues_.size()) return empty;
         empty_probes = 0;
-        if (const auto p = pop_min(queues_[found].value)) return p;
+        if (R r = claim(queues_[found].value)) return r;
         continue;
       }
-      const std::size_t q = queues_.size();
-      std::size_t a = util::bounded(rng, q);
-      std::size_t b = a;
-      if (choices_ >= 2 && q > 1) {
-        b = util::bounded(rng, q - 1);
-        if (b >= a) ++b;
-      }
-      const auto ta = peek(queues_[a].value);
-      const auto tb = peek(queues_[b].value);
-      if (!ta && !tb) {
+      const Sampled s = sample_best(rng);
+      if (!s.nonempty) {
         ++empty_probes;
         continue;
       }
-      const std::size_t pick = (!ta || (tb && *tb < *ta)) ? b : a;
-      if (const auto p = pop_min(queues_[pick].value)) return p;
+      if (R r = claim(queues_[s.index].value)) return r;
       // Lost the claim race; resample.
     }
+  }
+
+  std::optional<Priority> approx_get_min(util::Rng& rng) {
+    return select_and_claim(rng, std::optional<Priority>{},
+                            [this](SubList& list) { return pop_min(list); });
+  }
+
+  std::size_t approx_get_min_batch(std::size_t k, std::vector<Priority>& out,
+                                   util::Rng& rng) {
+    if (k == 0) return 0;
+    return select_and_claim(rng, std::size_t{0}, [&](SubList& list) {
+      return pop_min_batch(list, k, out);
+    });
   }
 
   static constexpr int kProbeLimit = 16;
@@ -322,6 +390,7 @@ class LockFreeMultiQueue {
   std::vector<util::Padded<SubList>> queues_;
   std::uint64_t seed_;
   unsigned choices_ = 2;
+  int probe_limit_ = kProbeLimit;
   std::atomic<std::uint64_t> next_handle_{0};
   std::atomic<Node*> alloc_chain_{nullptr};
   std::uint64_t sequential_ops_ = 0;

@@ -48,17 +48,21 @@ class RelaxationMonitor {
   std::optional<Priority> approx_get_min() {
     auto popped = inner_.approx_get_min();
     if (!popped) return popped;
-    const Priority p = *popped;
-    rank_hist_.add(mirror_.rank_of(p));
-    mirror_.erase(p);
-    for (auto& [tp, inv] : tracked_) {
-      if (tp < p) ++inv;
-    }
-    if (const auto it = tracked_.find(p); it != tracked_.end()) {
-      inversion_hist_.add(it->second);
-      tracked_.erase(it);
-    }
+    record_pop(*popped);
     return popped;
+  }
+
+  /// Batched pop, measured: pulls the batch from the wrapped scheduler
+  /// (its native batched claim when it has one) and accounts each label in
+  /// pop order — element i's rank is taken with the batch's earlier labels
+  /// already erased from the mirror, i.e. a batch is assessed as k
+  /// successive pops, which is exactly what Definition 1's per-pop rank
+  /// speaks about.
+  std::size_t approx_get_min_batch(std::size_t k, std::vector<Priority>& out) {
+    const std::size_t before = out.size();
+    const std::size_t got = pop_batch(inner_, k, out);
+    for (std::size_t i = before; i < out.size(); ++i) record_pop(out[i]);
+    return got;
   }
 
   [[nodiscard]] bool empty() const noexcept { return inner_.empty(); }
@@ -75,6 +79,18 @@ class RelaxationMonitor {
   [[nodiscard]] Inner& inner() noexcept { return inner_; }
 
  private:
+  void record_pop(Priority p) {
+    rank_hist_.add(mirror_.rank_of(p));
+    mirror_.erase(p);
+    for (auto& [tp, inv] : tracked_) {
+      if (tp < p) ++inv;
+    }
+    if (const auto it = tracked_.find(p); it != tracked_.end()) {
+      inversion_hist_.add(it->second);
+      tracked_.erase(it);
+    }
+  }
+
   Inner inner_;
   OrderStatSet mirror_;
   std::uint32_t stride_;

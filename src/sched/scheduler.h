@@ -20,10 +20,12 @@
 #pragma once
 
 #include <concepts>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "util/spinlock.h"
 
@@ -49,6 +51,34 @@ concept ConcurrentScheduler = requires(S s, Priority p) {
   { s.approx_get_min() } -> std::same_as<std::optional<Priority>>;
 };
 
+/// Batched pop over any scheduler-like surface (a scheduler, a handle, a
+/// view): appends up to `k` labels to `out` and returns how many were
+/// appended; 0 means "observed empty". Uses the target's native
+/// approx_get_min_batch when it has one (one coordination round trip for
+/// the whole batch — the throughput lever), and degrades to k single pops
+/// otherwise, so every backend supports batching with unchanged semantics.
+///
+/// Relaxation cost: a native batch claims k consecutive minima from ONE
+/// sub-structure, so a (k_0)-rank-bounded scheduler serves batch element i
+/// at rank O(k_0 + i * q)-ish — the batch-aware Definition 1 envelope is
+/// O(k * k_0), not k_0 (see backend_registry.h's batched_rank_bound and
+/// tests/sched_quality_test.cc).
+template <typename S>
+std::size_t pop_batch(S& s, std::size_t k, std::vector<Priority>& out) {
+  if constexpr (requires { s.approx_get_min_batch(k, out); }) {
+    return s.approx_get_min_batch(k, out);
+  } else {
+    std::size_t got = 0;
+    while (got < k) {
+      const auto p = s.approx_get_min();
+      if (!p) break;
+      out.push_back(*p);
+      ++got;
+    }
+    return got;
+  }
+}
+
 /// Adapts any SequentialScheduler into a ConcurrentScheduler by serializing
 /// every operation through one spinlock. Deliberately unscalable — the use
 /// cases are deterministic schedulers (KBoundedScheduler) and audit wrappers
@@ -68,6 +98,13 @@ class LockedScheduler {
   std::optional<Priority> approx_get_min() {
     std::lock_guard<util::Spinlock> guard(lock_);
     return inner_.approx_get_min();
+  }
+  /// Batched pop under ONE lock acquisition — for the serialized adapters
+  /// this is where batching pays: k pops cost one lock round trip instead
+  /// of k.
+  std::size_t approx_get_min_batch(std::size_t k, std::vector<Priority>& out) {
+    std::lock_guard<util::Spinlock> guard(lock_);
+    return pop_batch(inner_, k, out);
   }
   [[nodiscard]] bool empty() const {
     std::lock_guard<util::Spinlock> guard(lock_);

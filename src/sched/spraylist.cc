@@ -164,33 +164,44 @@ void SprayList::unlink(Node* victim) {
   }
 }
 
-std::optional<Priority> SprayList::spray(util::Rng& rng) {
+SprayList::Node* SprayList::spray_descent(int attempt, util::Rng& rng) {
   // After kRandomAttempts failed descents, degrade to a deterministic
   // bottom-level walk from the head (an exact-min claim). Randomized
   // descents can keep overshooting when only a few live nodes remain ahead
   // of marked-but-not-yet-reclaimed ones, and without the fallback a
   // quiescent non-empty list could report "observed empty".
   constexpr int kRandomAttempts = 8;
-  for (int attempt = 0; attempt < 64; ++attempt) {
-    if (size_.load(std::memory_order_acquire) <= 0) return std::nullopt;
-    // Randomized descent.
-    Node* curr = head_;
-    const int start_level =
-        std::min<int>(static_cast<int>(spray_height_) - 1, kMaxLevel);
-    for (int level = attempt < kRandomAttempts ? start_level : -1;
-         level >= 0; --level) {
-      std::uint64_t jumps = util::bounded(rng, spray_width_ + 1);
-      while (jumps > 0) {
-        Node* nxt = curr->next[level].load(std::memory_order_acquire);
-        if (nxt == tail_ || nxt == nullptr) break;
-        curr = nxt;
-        --jumps;
-      }
+  Node* curr = head_;
+  const int start_level =
+      std::min<int>(static_cast<int>(spray_height_) - 1, kMaxLevel);
+  for (int level = attempt < kRandomAttempts ? start_level : -1; level >= 0;
+       --level) {
+    std::uint64_t jumps = util::bounded(rng, spray_width_ + 1);
+    while (jumps > 0) {
+      Node* nxt = curr->next[level].load(std::memory_order_acquire);
+      if (nxt == tail_ || nxt == nullptr) break;
+      curr = nxt;
+      --jumps;
     }
-    // Walk forward from the landing point to the first claimable node.
-    Node* cand =
-        curr == head_ ? curr->next[0].load(std::memory_order_acquire) : curr;
-    while (cand != tail_) {
+  }
+  return curr == head_ ? curr->next[0].load(std::memory_order_acquire) : curr;
+}
+
+template <typename Sink>
+std::size_t SprayList::spray_claim(std::size_t k, util::Rng& rng, Sink sink) {
+  // One descent, up to k claims: after the spray lands, keep walking the
+  // bottom level claiming unmarked nodes until the batch is full. The i-th
+  // claim sits at most i live nodes past the landing rank, so a batch's
+  // rank envelope is the spray reach plus k — amortizing the whole descent
+  // (and the single clean_prefix pass) over k pops. Claims are logical
+  // deletes only: nodes stay linked as waypoints (see the header's quality
+  // note); physical removal happens when the marked prefix reaches them.
+  if (k == 0) return 0;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (size_.load(std::memory_order_acquire) <= 0) return 0;
+    Node* cand = spray_descent(attempt, rng);
+    std::size_t got = 0;
+    while (cand != tail_ && got < k) {
       if (cand != head_ &&
           cand->fully_linked.load(std::memory_order_acquire) &&
           !cand->marked.load(std::memory_order_acquire)) {
@@ -198,20 +209,31 @@ std::optional<Priority> SprayList::spray(util::Rng& rng) {
         if (cand->marked.compare_exchange_strong(
                 expected, true, std::memory_order_acq_rel)) {
           size_.fetch_sub(1, std::memory_order_release);
-          const Priority key = cand->key;
-          // Logical delete only: cand stays linked as a waypoint (see the
-          // header's quality note); physical removal happens when the
-          // marked prefix reaches it.
-          clean_prefix();
-          return key;
+          sink(cand->key);
+          ++got;
         }
       }
       cand = cand->next[0].load(std::memory_order_acquire);
     }
-    // Fell off the end: retry (the list may still hold elements closer to
-    // the head than our landing point, or be momentarily contended).
+    if (got > 0) {
+      clean_prefix();
+      return got;
+    }
+    // Claimed nothing: retry (later attempts land closer to the head, and
+    // past kRandomAttempts the descent degrades to an exact head walk).
   }
-  return std::nullopt;
+  return 0;
+}
+
+std::optional<Priority> SprayList::spray(util::Rng& rng) {
+  std::optional<Priority> popped;
+  spray_claim(1, rng, [&](Priority key) { popped = key; });
+  return popped;
+}
+
+std::size_t SprayList::spray_batch(std::size_t k, std::vector<Priority>& out,
+                                   util::Rng& rng) {
+  return spray_claim(k, rng, [&](Priority key) { out.push_back(key); });
 }
 
 void SprayList::clean_prefix() {

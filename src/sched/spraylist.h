@@ -87,6 +87,14 @@ class SprayList {
    public:
     void insert(Priority key) { list_->insert(key, rng_); }
     std::optional<Priority> approx_get_min() { return list_->spray(rng_); }
+    /// Batched claim: one spray descent, then up to `k` successive CAS
+    /// claims walking forward from the landing point. Appends to `out`;
+    /// returns the number claimed (0 = observed empty). Rank cost is the
+    /// spray reach plus up to k-1 forward steps — O(k + reach) per batch.
+    std::size_t approx_get_min_batch(std::size_t k,
+                                     std::vector<Priority>& out) {
+      return list_->spray_batch(k, out, rng_);
+    }
 
    private:
     friend class SprayList;
@@ -104,6 +112,9 @@ class SprayList {
   /// Single-threaded convenience API (SequentialScheduler-compatible).
   void insert(Priority key) { insert(key, seq_rng_); }
   std::optional<Priority> approx_get_min() { return spray(seq_rng_); }
+  std::size_t approx_get_min_batch(std::size_t k, std::vector<Priority>& out) {
+    return spray_batch(k, out, seq_rng_);
+  }
 
   [[nodiscard]] std::size_t size() const noexcept {
     const auto s = size_.load(std::memory_order_acquire);
@@ -129,6 +140,20 @@ class SprayList {
 
   void insert(Priority key, util::Rng& rng);
   std::optional<Priority> spray(util::Rng& rng);
+  std::size_t spray_batch(std::size_t k, std::vector<Priority>& out,
+                          util::Rng& rng);
+
+  /// Shared core of spray/spray_batch: descend, then walk the bottom level
+  /// claiming up to `k` unmarked nodes, reporting each claimed key through
+  /// `sink(key)`. Returns the number claimed (0 after the attempt budget =
+  /// observed empty). Instantiated only inside spraylist.cc.
+  template <typename Sink>
+  std::size_t spray_claim(std::size_t k, util::Rng& rng, Sink sink);
+
+  /// One randomized spray descent (degrading to an exact head walk after
+  /// enough failed attempts): returns the landing node to start claiming
+  /// from. Shared by spray and spray_batch.
+  Node* spray_descent(int attempt, util::Rng& rng);
 
   /// Standard lazy-skiplist search: fills preds/succs per level for `key`.
   /// Returns the level of the first exact key match or -1.

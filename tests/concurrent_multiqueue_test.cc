@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -264,6 +265,165 @@ TEST(ConcurrentMultiQueue, ConcurrentBulkInsertAndPopLosesNothing) {
   EXPECT_FALSE(failed.load());
   EXPECT_EQ(popped.load(), kN);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(ConcurrentMultiQueue, BatchPopDrainsAllExactlyOnce) {
+  ConcurrentMultiQueue q(8, 31);
+  constexpr std::uint32_t kN = 5000;
+  for (Priority p = 0; p < kN; ++p) q.insert(p);
+  std::vector<char> seen(kN, 0);
+  std::uint32_t n = 0;
+  std::vector<Priority> batch;
+  for (;;) {
+    batch.clear();
+    const std::size_t got = q.approx_get_min_batch(8, batch);
+    if (got == 0) break;
+    ASSERT_EQ(got, batch.size());
+    ASSERT_LE(got, 8u);
+    for (const Priority p : batch) {
+      ASSERT_LT(p, kN);
+      ASSERT_FALSE(seen[p]);
+      seen[p] = 1;
+      ++n;
+    }
+  }
+  EXPECT_EQ(n, kN);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ConcurrentMultiQueue, BatchPopReturnsSortedRunsFromOneSubQueue) {
+  // A batch drains one sub-queue's prefix, so within a batch the labels
+  // must come out in ascending order (base cursor advances + heap pops).
+  ConcurrentMultiQueue q(4, 33);
+  constexpr std::uint32_t kN = 2000;
+  std::vector<Priority> labels(kN);
+  for (Priority p = 0; p < kN; ++p) labels[p] = p;
+  q.bulk_load(labels);
+  std::vector<Priority> batch;
+  while (q.approx_get_min_batch(16, batch) > 0) {
+    for (std::size_t i = 1; i < batch.size(); ++i)
+      EXPECT_LE(batch[i - 1], batch[i]);
+    batch.clear();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ConcurrentMultiQueue, ConcurrentBatchPopExactlyOnce) {
+  constexpr std::uint32_t kN = 60000;
+  constexpr unsigned kThreads = 4;
+  ConcurrentMultiQueue q(4 * kThreads, 35);
+  std::vector<std::atomic<int>> got(kN);
+  for (auto& g : got) g.store(0);
+  std::atomic<std::uint32_t> produced{0};
+  std::atomic<std::uint32_t> consumed{0};
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        auto handle = q.get_handle();
+        for (;;) {
+          const auto i = produced.fetch_add(1);
+          if (i >= kN) break;
+          handle.insert(i);
+        }
+        std::vector<Priority> batch;
+        while (consumed.load() < kN) {
+          batch.clear();
+          if (handle.approx_get_min_batch(8, batch) == 0) continue;
+          for (const Priority p : batch) {
+            got[p].fetch_add(1);
+            consumed.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(consumed.load(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(got[i].load(), 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ConcurrentMultiQueue, SmallBulkInsertSpreadsOverSubQueues) {
+  // Regression: batches below 2 * kMinBulkChunk used to collapse into a
+  // single chunk aimed at one random sub-queue, transiently skewing that
+  // queue (and the two-choice rank distribution) until pops rebalanced it.
+  static_assert(ConcurrentMultiQueue::kMinBulkChunk >= 2);
+  constexpr auto kSmall =
+      static_cast<std::uint32_t>(2 * ConcurrentMultiQueue::kMinBulkChunk - 2);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ConcurrentMultiQueue q(8, seed);
+    std::vector<Priority> batch(kSmall);
+    for (Priority p = 0; p < kSmall; ++p) batch[p] = p;
+    q.bulk_insert(batch);
+    const auto sizes = q.per_queue_sizes();
+    std::size_t nonempty = 0, largest = 0;
+    for (const std::size_t s : sizes) {
+      nonempty += s > 0 ? 1 : 0;
+      largest = std::max(largest, s);
+    }
+    EXPECT_GE(nonempty, 2u) << "seed " << seed;
+    EXPECT_LT(largest, kSmall) << "seed " << seed;
+  }
+}
+
+TEST(ConcurrentMultiQueue, TinyBulkInsertStillDeliversEverything) {
+  // Degenerate sizes around the new >=2-chunk floor: nothing lost, nothing
+  // duplicated, even for 1-key batches (which necessarily fill one chunk).
+  ConcurrentMultiQueue q(4, 41);
+  std::uint32_t next = 0;
+  for (const std::uint32_t size : {1u, 2u, 3u, 63u, 64u, 65u, 127u}) {
+    std::vector<Priority> batch;
+    for (std::uint32_t i = 0; i < size; ++i) batch.push_back(next++);
+    q.bulk_insert(batch);
+  }
+  std::vector<char> seen(next, 0);
+  std::uint32_t n = 0;
+  while (auto p = q.approx_get_min()) {
+    ASSERT_LT(*p, next);
+    ASSERT_FALSE(seen[*p]);
+    seen[*p] = 1;
+    ++n;
+  }
+  EXPECT_EQ(n, next);
+}
+
+TEST(ConcurrentMultiQueue, BulkInsertCompactionTriggersAndLosesNothing) {
+  // Drive the consumed-prefix compaction path (cursor * 2 >= base.size()
+  // erase) hard: rounds of live batched inserts interleaved with partial
+  // drains grow each sub-queue's consumed prefix until bulk_insert must
+  // compact. The compactions() counter proves the path actually ran; the
+  // exactly-once ledger proves it dropped and duplicated nothing.
+  ConcurrentMultiQueue q(2, 43);
+  constexpr std::uint32_t kBatch = 256;
+  constexpr std::uint32_t kRounds = 48;
+  constexpr std::uint32_t kN = kBatch * kRounds;
+  std::vector<char> seen(kN, 0);
+  std::uint32_t popped = 0;
+  Priority next = 0;
+  for (std::uint32_t round = 0; round < kRounds; ++round) {
+    std::vector<Priority> batch;
+    for (std::uint32_t i = 0; i < kBatch; ++i) batch.push_back(next++);
+    q.bulk_insert(batch);
+    // Pop 3/4 of the batch so a live tail survives in base across the next
+    // insert's merge (and, periodically, its compaction).
+    for (std::uint32_t i = 0; i < kBatch - kBatch / 4; ++i) {
+      const auto p = q.approx_get_min();
+      ASSERT_TRUE(p.has_value());
+      ASSERT_LT(*p, kN);
+      ASSERT_FALSE(seen[*p]);
+      seen[*p] = 1;
+      ++popped;
+    }
+  }
+  EXPECT_GT(q.compactions(), 0u);
+  while (auto p = q.approx_get_min()) {
+    ASSERT_FALSE(seen[*p]);
+    seen[*p] = 1;
+    ++popped;
+  }
+  EXPECT_EQ(popped, kN);
+  EXPECT_TRUE(q.empty());
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_TRUE(seen[i]) << "label " << i;
 }
 
 TEST(ConcurrentMultiQueue, SingleSubQueuePairPopsExactWithBulkLoad) {

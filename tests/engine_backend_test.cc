@@ -85,6 +85,56 @@ TEST(EngineBackend, AllBackendsInFlightTogetherStayDeterministic) {
   }
 }
 
+// Batched task acquisition (JobConfig::pop_batch) across the whole
+// registry: the worker-local label buffer must not break the framework's
+// determinism property or the retirement counting — every backend still
+// decides exactly the sequential MIS, every task retires exactly once, and
+// termination never fires while labels sit buffered (a lost label would
+// hang the wait(); a duplicate would break the counting invariant).
+TEST(EngineBackend, BatchedAcquisitionProducesTheSequentialMis) {
+  const MisFixture fix;
+  SchedulingEngine eng(engine_opts(4, 2));
+  for (const sched::BackendInfo& info : sched::backend_registry()) {
+    SCOPED_TRACE(std::string("backend: ") + std::string(info.name));
+    algorithms::AtomicMisProblem problem(fix.g, fix.pri);
+    JobConfig cfg;
+    cfg.seed = 51;
+    cfg.pop_batch = 8;
+    const auto stats =
+        eng.submit_relaxed_backend(problem, fix.pri, info, cfg).wait();
+    EXPECT_EQ(problem.result(), fix.expected);
+    EXPECT_TRUE(algorithms::verify_mis(fix.g, problem.result()));
+    EXPECT_EQ(stats.processed + stats.dead_skips, fix.g.num_vertices());
+    EXPECT_EQ(stats.iterations,
+              stats.processed + stats.failed_deletes + stats.dead_skips);
+  }
+}
+
+// A monitored batched job measures the batch-aware Definition 1 envelope
+// in situ: mean rank error stays within a generous multiple of
+// batched_rank_bound even under real concurrency.
+TEST(EngineBackend, MonitoredBatchedJobStaysInBatchEnvelope) {
+  const MisFixture fix(1500, 9000);
+  SchedulingEngine eng(engine_opts(4, 1));
+  algorithms::AtomicMisProblem problem(fix.g, fix.pri);
+  JobConfig cfg;
+  cfg.seed = 61;
+  cfg.pop_batch = 8;
+  cfg.monitor_relaxation = true;
+  cfg.monitor_stride = 16;
+  const auto stats =
+      eng.submit_relaxed_backend(problem, fix.pri, "multiqueue-c2", cfg)
+          .wait();
+  EXPECT_EQ(problem.result(), fix.expected);
+  EXPECT_GT(stats.rank_samples, 0u);
+  sched::BackendParams params;
+  params.threads = eng.width();
+  params.queue_factor = cfg.queue_factor;
+  const std::uint64_t bound = sched::batched_rank_bound(
+      sched::backend_or_throw("multiqueue-c2"), params, cfg.pop_batch);
+  EXPECT_LE(stats.mean_rank_error, 2.0 * static_cast<double>(bound));
+}
+
 // Deterministic baselines (kbounded, exact) on a single-worker engine are
 // fully reproducible: two runs with the same seed give identical work
 // accounting, not just identical output.

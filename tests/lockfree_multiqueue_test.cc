@@ -179,6 +179,61 @@ TEST(LockFreeMultiQueue, DrivesParallelMisDeterministically) {
   }
 }
 
+TEST(LockFreeMultiQueue, ConcurrentBatchedClaimExactlyOnce) {
+  // Racing batched head claims on the same sub-lists: every label delivered
+  // exactly once, none stranded behind a marked prefix.
+  constexpr std::uint32_t kN = 40000;
+  constexpr unsigned kThreads = 4;
+  LockFreeMultiQueue q(2 * kThreads, 19);
+  std::vector<std::atomic<int>> got(kN);
+  for (auto& g : got) g.store(0);
+  std::atomic<std::uint32_t> produced{0};
+  std::atomic<std::uint32_t> consumed{0};
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        auto handle = q.get_handle();
+        for (;;) {
+          const auto i = produced.fetch_add(1);
+          if (i >= kN) break;
+          handle.insert(i);
+        }
+        std::vector<Priority> batch;
+        while (consumed.load() < kN) {
+          batch.clear();
+          if (handle.approx_get_min_batch(8, batch) == 0) continue;
+          for (const Priority p : batch) {
+            got[p].fetch_add(1);
+            consumed.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(consumed.load(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(got[i].load(), 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(LockFreeMultiQueue, BatchedClaimRunsAreSortedWithinOneList) {
+  // A batch claims successive heads of one sorted sub-list, so each batch
+  // must come out ascending.
+  LockFreeMultiQueue q(4, 23);
+  std::vector<Priority> labels(2000);
+  std::iota(labels.begin(), labels.end(), 0u);
+  q.bulk_load(labels);
+  std::vector<Priority> batch;
+  std::uint32_t total = 0;
+  while (q.approx_get_min_batch(16, batch) > 0) {
+    EXPECT_TRUE(std::is_sorted(batch.begin(), batch.end()));
+    total += static_cast<std::uint32_t>(batch.size());
+    batch.clear();
+  }
+  EXPECT_EQ(total, 2000u);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(LockFreeMultiQueue, SingleChoiceAblationStillCorrect) {
   LockFreeMultiQueue mq(8, 31, /*choices=*/1);
   constexpr std::uint32_t kN = 2000;

@@ -121,6 +121,74 @@ TEST(SchedConformance, ReinsertedLabelIsServedAgain) {
   });
 }
 
+// Batched acquisition conformance: pop_batch over every backend — native
+// batched claims on the scalable structures, the one-at-a-time shim on the
+// locked adapters — must still deliver exactly the inserted label multiset.
+TEST(SchedConformance, BatchedDrainIsAPermutationOfInserts) {
+  constexpr std::uint32_t kN = 2048;
+  constexpr std::size_t kBatch = 8;
+  for_each_backend(kN, 4, [&](const BackendInfo&, auto& queue) {
+    std::vector<Priority> labels(kN);
+    std::iota(labels.begin(), labels.end(), 0u);
+    util::Rng rng(11);
+    util::shuffle(std::span<Priority>(labels), rng);
+    for (const Priority p : labels) queue.insert(p);
+
+    auto handle = make_handle(queue);
+    std::vector<Priority> popped;
+    std::vector<Priority> buf;
+    for (;;) {
+      buf.clear();
+      const std::size_t got = pop_batch(handle, kBatch, buf);
+      if (got == 0) break;
+      ASSERT_EQ(got, buf.size());
+      ASSERT_LE(got, kBatch);
+      popped.insert(popped.end(), buf.begin(), buf.end());
+    }
+    ASSERT_EQ(popped.size(), kN);
+    std::sort(popped.begin(), popped.end());
+    for (std::uint32_t i = 0; i < kN; ++i) EXPECT_EQ(popped[i], i);
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.size(), 0u);
+  });
+}
+
+// Regression for the biased kProbeLimit fallback: the full scan used to
+// start at sub-queue 0 every time, so a near-empty queue funnelled every
+// thread onto the lowest-index non-empty sub-queue (contention plus a pop
+// bias toward whatever lived there). With probe_limit = 0 every pop takes
+// the fallback path, and bulk_load's round-robin placement puts label i in
+// sub-queue i — so the old scan provably drained labels in exactly
+// ascending index order, while a randomized start makes that ordering
+// astronomically unlikely (P = prod 1/remaining ~ 1/64!).
+TEST(SchedConformance, FallbackScanStartsAtARandomOffset) {
+  constexpr std::uint32_t kQ = 64;
+  std::vector<Priority> labels(kQ);
+  std::iota(labels.begin(), labels.end(), 0u);
+  {
+    ConcurrentMultiQueue q(kQ, 77, 2, /*probe_limit=*/0);
+    q.bulk_load(labels);
+    std::vector<Priority> popped;
+    while (const auto p = q.approx_get_min()) popped.push_back(*p);
+    ASSERT_EQ(popped.size(), kQ);
+    EXPECT_FALSE(std::is_sorted(popped.begin(), popped.end()))
+        << "fallback scan always started at sub-queue 0";
+    std::sort(popped.begin(), popped.end());
+    for (std::uint32_t i = 0; i < kQ; ++i) EXPECT_EQ(popped[i], i);
+  }
+  {
+    LockFreeMultiQueue q(kQ, 77, 2, /*probe_limit=*/0);
+    q.bulk_load(labels);
+    std::vector<Priority> popped;
+    while (const auto p = q.approx_get_min()) popped.push_back(*p);
+    ASSERT_EQ(popped.size(), kQ);
+    EXPECT_FALSE(std::is_sorted(popped.begin(), popped.end()))
+        << "fallback scan always started at sub-list 0";
+    std::sort(popped.begin(), popped.end());
+    for (std::uint32_t i = 0; i < kQ; ++i) EXPECT_EQ(popped[i], i);
+  }
+}
+
 // The concurrent counting invariant: kThreads workers interleave inserts of
 // disjoint label ranges with pops, then drain to a global target. No label
 // may be lost (the count would never reach kN) or duplicated (a per-label
@@ -184,6 +252,72 @@ TEST(SchedConformance, ConcurrentInsertDrainKeepsEveryLabelExactlyOnce) {
       ASSERT_EQ(seen[p].load(), 1u) << "label " << p;
     }
     // Quiescent now: emptiness must be definitive.
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.size(), 0u);
+    EXPECT_EQ(queue.approx_get_min(), std::nullopt);
+  });
+}
+
+// Same counting invariant under *batched* acquisition: racing batched
+// claims (multiqueue sub-queue drains, lock-free head-claim runs, spray
+// walk claims) must never deliver a label twice or strand one.
+TEST(SchedConformance, ConcurrentBatchedDrainKeepsEveryLabelExactlyOnce) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint32_t kPerThread = 2500;
+  constexpr std::uint32_t kN = kThreads * kPerThread;
+  constexpr std::size_t kBatch = 8;
+  for_each_backend(kN, kThreads, [&](const BackendInfo&, auto& queue) {
+    std::vector<std::atomic<std::uint8_t>> seen(kN);
+    std::atomic<std::uint32_t> popped{0};
+    std::atomic<std::uint32_t> duplicates{0};
+    std::atomic<std::uint32_t> out_of_range{0};
+
+    auto record = [&](Priority p) {
+      if (p >= kN) {
+        out_of_range.fetch_add(1, std::memory_order_relaxed);
+      } else if (seen[p].fetch_add(1, std::memory_order_relaxed) != 0) {
+        duplicates.fetch_add(1, std::memory_order_relaxed);
+      }
+      popped.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        auto handle = make_handle(queue);
+        std::vector<Priority> buf;
+        for (std::uint32_t i = 0; i < kPerThread; ++i) {
+          handle.insert(t * kPerThread + i);
+          if ((i & 31) == 0) {
+            buf.clear();
+            pop_batch(handle, kBatch, buf);
+            for (const Priority p : buf) record(p);
+          }
+        }
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(60);
+        std::uint32_t dry_polls = 0;
+        while (popped.load(std::memory_order_relaxed) < kN) {
+          buf.clear();
+          if (pop_batch(handle, kBatch, buf) > 0) {
+            for (const Priority p : buf) record(p);
+            dry_polls = 0;
+          } else if ((++dry_polls & 0xfff) == 0 &&
+                     std::chrono::steady_clock::now() > deadline) {
+            break;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    EXPECT_EQ(popped.load(), kN);
+    EXPECT_EQ(duplicates.load(), 0u);
+    EXPECT_EQ(out_of_range.load(), 0u);
+    for (std::uint32_t p = 0; p < kN; ++p) {
+      ASSERT_EQ(seen[p].load(), 1u) << "label " << p;
+    }
     EXPECT_TRUE(queue.empty());
     EXPECT_EQ(queue.size(), 0u);
     EXPECT_EQ(queue.approx_get_min(), std::nullopt);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -122,6 +123,75 @@ TEST(SprayList, ConcurrentExactlyOnce) {
   }
   EXPECT_EQ(consumed.load(), kN);
   for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(got[i].load(), 1);
+}
+
+TEST(SprayList, ConcurrentBatchedClaimExactlyOnce) {
+  // Racing batched spray claims (one descent, up to k forward CAS claims):
+  // every label delivered exactly once, none claimed twice off the shared
+  // bottom level.
+  constexpr std::uint32_t kN = 40000;
+  constexpr unsigned kThreads = 8;
+  SprayList list(kThreads, 17);
+  std::vector<std::atomic<int>> got(kN);
+  for (auto& g : got) g.store(0);
+  std::atomic<std::uint32_t> produced{0};
+  std::atomic<std::uint32_t> consumed{0};
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        auto handle = list.get_handle();
+        for (;;) {
+          const auto i = produced.fetch_add(1);
+          if (i >= kN) break;
+          handle.insert(i);
+        }
+        std::vector<Priority> batch;
+        while (consumed.load() < kN) {
+          batch.clear();
+          if (handle.approx_get_min_batch(8, batch) == 0) continue;
+          for (const Priority p : batch) {
+            got[p].fetch_add(1);
+            consumed.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(consumed.load(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(got[i].load(), 1);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(SprayList, BatchedClaimRunsAreSortedAndNearHead) {
+  // A batch walks forward from one landing point, so each batch is
+  // ascending; and the batch's first element stays within the spray reach
+  // plus claim-walk slack of the current minimum.
+  SprayList list(4, 19);
+  constexpr std::uint32_t kN = 5000;
+  for (Priority p = 0; p < kN; ++p) list.insert(p);
+  const auto reach = SprayList::spray_params(4).reach();
+  constexpr std::size_t kBatch = 8;
+  OrderStatSet mirror(kN);
+  for (Priority p = 0; p < kN; ++p) mirror.insert(p);
+  std::vector<Priority> batch;
+  std::uint32_t total = 0;
+  std::uint64_t envelope_misses = 0;
+  while (list.approx_get_min_batch(kBatch, batch) > 0) {
+    EXPECT_TRUE(std::is_sorted(batch.begin(), batch.end()));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      // Rank envelope per batch element: spray reach + position in batch,
+      // with generous slack for marked-node overshoot.
+      if (mirror.rank_of(batch[i]) > 4 * (reach + i + 1)) ++envelope_misses;
+      mirror.erase(batch[i]);
+    }
+    total += static_cast<std::uint32_t>(batch.size());
+    batch.clear();
+  }
+  EXPECT_EQ(total, kN);
+  EXPECT_TRUE(list.empty());
+  // Sequential batched drain should essentially never overshoot 4x.
+  EXPECT_LT(envelope_misses, kN / 100);
 }
 
 TEST(SprayList, ConcurrentReinsertionStress) {

@@ -20,6 +20,7 @@
 //   seq          sequential baseline only
 //   seq-relaxed  sequential framework with a simulated relaxed scheduler
 //                (--sched=multiqueue|spray|topk|kbounded, --k=<relaxation>)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <numeric>
@@ -64,6 +65,9 @@ using relax::graph::Graph;
                            (any registry name; see list below)
                                                            [multiqueue-c2]
   --queue-factor=<c>       MultiQueue sub-queues per thread [4]
+  --pop-batch=<k>          labels claimed per scheduler touch (parallel
+                           mode; k>1 amortizes lock/sample cost at an
+                           O(k*q) rank-error envelope)            [1]
   --sched=multiqueue|spray|topk|kbounded   (seq-relaxed)    [multiqueue]
   --k=<relaxation>         relaxation factor (seq-relaxed,
                            and kbounded-family backends)    [8]
@@ -129,6 +133,9 @@ relax::core::ParallelOptions parallel_opts(
   relax::core::ParallelOptions opts;
   opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
   opts.queue_factor = static_cast<unsigned>(cli.get_int("queue-factor", 4));
+  opts.pop_batch = static_cast<std::uint32_t>(
+      std::clamp<std::int64_t>(cli.get_int("pop-batch", 1), 1,
+                               relax::engine::JobConfig::kMaxPopBatch));
   if (cli.has("k"))
     opts.relaxation_k = static_cast<std::uint32_t>(cli.get_int("k", 0));
   opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
