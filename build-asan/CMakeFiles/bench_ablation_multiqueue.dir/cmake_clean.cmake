@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiqueue.dir/bench/ablation_multiqueue.cc.o"
+  "CMakeFiles/bench_ablation_multiqueue.dir/bench/ablation_multiqueue.cc.o.d"
+  "bench_ablation_multiqueue"
+  "bench_ablation_multiqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clique_coloring_tightness.dir/bench/clique_coloring_tightness.cc.o"
+  "CMakeFiles/bench_clique_coloring_tightness.dir/bench/clique_coloring_tightness.cc.o.d"
+  "bench_clique_coloring_tightness"
+  "bench_clique_coloring_tightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clique_coloring_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

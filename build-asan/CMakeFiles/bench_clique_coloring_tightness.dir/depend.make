@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_clique_coloring_tightness.
+# This may be replaced when dependencies are built.

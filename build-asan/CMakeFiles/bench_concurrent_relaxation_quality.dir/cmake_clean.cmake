@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_relaxation_quality.dir/bench/concurrent_relaxation_quality.cc.o"
+  "CMakeFiles/bench_concurrent_relaxation_quality.dir/bench/concurrent_relaxation_quality.cc.o.d"
+  "bench_concurrent_relaxation_quality"
+  "bench_concurrent_relaxation_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_relaxation_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

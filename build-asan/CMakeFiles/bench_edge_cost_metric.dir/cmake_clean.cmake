@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edge_cost_metric.dir/bench/edge_cost_metric.cc.o"
+  "CMakeFiles/bench_edge_cost_metric.dir/bench/edge_cost_metric.cc.o.d"
+  "bench_edge_cost_metric"
+  "bench_edge_cost_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edge_cost_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

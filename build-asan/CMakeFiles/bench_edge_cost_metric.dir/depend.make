@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_edge_cost_metric.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_concurrent_mis.dir/bench/fig2_concurrent_mis.cc.o"
+  "CMakeFiles/bench_fig2_concurrent_mis.dir/bench/fig2_concurrent_mis.cc.o.d"
+  "bench_fig2_concurrent_mis"
+  "bench_fig2_concurrent_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_concurrent_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mis_independence_sweep.dir/bench/mis_independence_sweep.cc.o"
+  "CMakeFiles/bench_mis_independence_sweep.dir/bench/mis_independence_sweep.cc.o.d"
+  "bench_mis_independence_sweep"
+  "bench_mis_independence_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mis_independence_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

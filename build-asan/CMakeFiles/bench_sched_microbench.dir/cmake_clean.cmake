@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_microbench.dir/bench/sched_microbench.cc.o"
+  "CMakeFiles/bench_sched_microbench.dir/bench/sched_microbench.cc.o.d"
+  "bench_sched_microbench"
+  "bench_sched_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduler_quality.dir/bench/scheduler_quality.cc.o"
+  "CMakeFiles/bench_scheduler_quality.dir/bench/scheduler_quality.cc.o.d"
+  "bench_scheduler_quality"
+  "bench_scheduler_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sssp_motivation.dir/bench/sssp_motivation.cc.o"
+  "CMakeFiles/bench_sssp_motivation.dir/bench/sssp_motivation.cc.o.d"
+  "bench_sssp_motivation"
+  "bench_sssp_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sssp_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

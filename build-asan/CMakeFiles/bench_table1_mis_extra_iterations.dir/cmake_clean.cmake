@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mis_extra_iterations.dir/bench/table1_mis_extra_iterations.cc.o"
+  "CMakeFiles/bench_table1_mis_extra_iterations.dir/bench/table1_mis_extra_iterations.cc.o.d"
+  "bench_table1_mis_extra_iterations"
+  "bench_table1_mis_extra_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mis_extra_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

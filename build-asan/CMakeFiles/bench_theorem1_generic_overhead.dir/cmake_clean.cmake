@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem1_generic_overhead.dir/bench/theorem1_generic_overhead.cc.o"
+  "CMakeFiles/bench_theorem1_generic_overhead.dir/bench/theorem1_generic_overhead.cc.o.d"
+  "bench_theorem1_generic_overhead"
+  "bench_theorem1_generic_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem1_generic_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

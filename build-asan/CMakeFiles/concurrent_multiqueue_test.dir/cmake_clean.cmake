@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_multiqueue_test.dir/tests/concurrent_multiqueue_test.cc.o"
+  "CMakeFiles/concurrent_multiqueue_test.dir/tests/concurrent_multiqueue_test.cc.o.d"
+  "concurrent_multiqueue_test"
+  "concurrent_multiqueue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_multiqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dary_heap_test.dir/tests/dary_heap_test.cc.o"
+  "CMakeFiles/dary_heap_test.dir/tests/dary_heap_test.cc.o.d"
+  "dary_heap_test"
+  "dary_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dary_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

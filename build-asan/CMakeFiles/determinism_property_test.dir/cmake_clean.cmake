@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinism_property_test.dir/tests/determinism_property_test.cc.o"
+  "CMakeFiles/determinism_property_test.dir/tests/determinism_property_test.cc.o.d"
+  "determinism_property_test"
+  "determinism_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinism_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

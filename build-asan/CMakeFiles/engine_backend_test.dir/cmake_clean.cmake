@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_backend_test.dir/tests/engine_backend_test.cc.o"
+  "CMakeFiles/engine_backend_test.dir/tests/engine_backend_test.cc.o.d"
+  "engine_backend_test"
+  "engine_backend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

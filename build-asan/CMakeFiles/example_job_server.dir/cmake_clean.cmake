@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_job_server.dir/examples/job_server.cpp.o"
+  "CMakeFiles/example_job_server.dir/examples/job_server.cpp.o.d"
+  "example_job_server"
+  "example_job_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_job_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_knuth_shuffle_mc.dir/examples/knuth_shuffle_mc.cpp.o"
+  "CMakeFiles/example_knuth_shuffle_mc.dir/examples/knuth_shuffle_mc.cpp.o.d"
+  "example_knuth_shuffle_mc"
+  "example_knuth_shuffle_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_knuth_shuffle_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

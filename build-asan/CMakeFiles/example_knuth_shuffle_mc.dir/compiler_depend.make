@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_knuth_shuffle_mc.
+# This may be replaced when dependencies are built.

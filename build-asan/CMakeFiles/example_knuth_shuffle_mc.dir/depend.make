@@ -1,0 +1,2 @@
+# Empty dependencies file for example_knuth_shuffle_mc.
+# This may be replaced when dependencies are built.

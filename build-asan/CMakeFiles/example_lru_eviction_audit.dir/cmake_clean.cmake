@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lru_eviction_audit.dir/examples/lru_eviction_audit.cpp.o"
+  "CMakeFiles/example_lru_eviction_audit.dir/examples/lru_eviction_audit.cpp.o.d"
+  "example_lru_eviction_audit"
+  "example_lru_eviction_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lru_eviction_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

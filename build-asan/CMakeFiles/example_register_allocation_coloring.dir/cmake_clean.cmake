@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_register_allocation_coloring.dir/examples/register_allocation_coloring.cpp.o"
+  "CMakeFiles/example_register_allocation_coloring.dir/examples/register_allocation_coloring.cpp.o.d"
+  "example_register_allocation_coloring"
+  "example_register_allocation_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_register_allocation_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

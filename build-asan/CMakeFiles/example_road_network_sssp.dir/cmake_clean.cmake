@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_road_network_sssp.dir/examples/road_network_sssp.cpp.o"
+  "CMakeFiles/example_road_network_sssp.dir/examples/road_network_sssp.cpp.o.d"
+  "example_road_network_sssp"
+  "example_road_network_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_road_network_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_road_network_sssp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_social_network_mis.dir/examples/social_network_mis.cpp.o"
+  "CMakeFiles/example_social_network_mis.dir/examples/social_network_mis.cpp.o.d"
+  "example_social_network_mis"
+  "example_social_network_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_social_network_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

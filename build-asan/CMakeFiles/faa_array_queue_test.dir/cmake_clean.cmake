@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faa_array_queue_test.dir/tests/faa_array_queue_test.cc.o"
+  "CMakeFiles/faa_array_queue_test.dir/tests/faa_array_queue_test.cc.o.d"
+  "faa_array_queue_test"
+  "faa_array_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faa_array_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

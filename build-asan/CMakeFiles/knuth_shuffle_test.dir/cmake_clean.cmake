@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knuth_shuffle_test.dir/tests/knuth_shuffle_test.cc.o"
+  "CMakeFiles/knuth_shuffle_test.dir/tests/knuth_shuffle_test.cc.o.d"
+  "knuth_shuffle_test"
+  "knuth_shuffle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knuth_shuffle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

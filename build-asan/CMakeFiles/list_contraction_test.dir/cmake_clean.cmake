@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_contraction_test.dir/tests/list_contraction_test.cc.o"
+  "CMakeFiles/list_contraction_test.dir/tests/list_contraction_test.cc.o.d"
+  "list_contraction_test"
+  "list_contraction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_contraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

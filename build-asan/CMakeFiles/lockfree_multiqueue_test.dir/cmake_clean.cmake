@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockfree_multiqueue_test.dir/tests/lockfree_multiqueue_test.cc.o"
+  "CMakeFiles/lockfree_multiqueue_test.dir/tests/lockfree_multiqueue_test.cc.o.d"
+  "lockfree_multiqueue_test"
+  "lockfree_multiqueue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockfree_multiqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mis_test.dir/tests/mis_test.cc.o"
+  "CMakeFiles/mis_test.dir/tests/mis_test.cc.o.d"
+  "mis_test"
+  "mis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpmc_queue_test.dir/tests/mpmc_queue_test.cc.o"
+  "CMakeFiles/mpmc_queue_test.dir/tests/mpmc_queue_test.cc.o.d"
+  "mpmc_queue_test"
+  "mpmc_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpmc_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_stat_test.dir/tests/order_stat_test.cc.o"
+  "CMakeFiles/order_stat_test.dir/tests/order_stat_test.cc.o.d"
+  "order_stat_test"
+  "order_stat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_stat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/coloring.cc" "CMakeFiles/relax.dir/src/algorithms/coloring.cc.o" "gcc" "CMakeFiles/relax.dir/src/algorithms/coloring.cc.o.d"
+  "/root/repo/src/algorithms/knuth_shuffle.cc" "CMakeFiles/relax.dir/src/algorithms/knuth_shuffle.cc.o" "gcc" "CMakeFiles/relax.dir/src/algorithms/knuth_shuffle.cc.o.d"
+  "/root/repo/src/algorithms/list_contraction.cc" "CMakeFiles/relax.dir/src/algorithms/list_contraction.cc.o" "gcc" "CMakeFiles/relax.dir/src/algorithms/list_contraction.cc.o.d"
+  "/root/repo/src/algorithms/matching.cc" "CMakeFiles/relax.dir/src/algorithms/matching.cc.o" "gcc" "CMakeFiles/relax.dir/src/algorithms/matching.cc.o.d"
+  "/root/repo/src/algorithms/mis.cc" "CMakeFiles/relax.dir/src/algorithms/mis.cc.o" "gcc" "CMakeFiles/relax.dir/src/algorithms/mis.cc.o.d"
+  "/root/repo/src/algorithms/sssp.cc" "CMakeFiles/relax.dir/src/algorithms/sssp.cc.o" "gcc" "CMakeFiles/relax.dir/src/algorithms/sssp.cc.o.d"
+  "/root/repo/src/core/execution_stats.cc" "CMakeFiles/relax.dir/src/core/execution_stats.cc.o" "gcc" "CMakeFiles/relax.dir/src/core/execution_stats.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "CMakeFiles/relax.dir/src/engine/engine.cc.o" "gcc" "CMakeFiles/relax.dir/src/engine/engine.cc.o.d"
+  "/root/repo/src/engine/worker_pool.cc" "CMakeFiles/relax.dir/src/engine/worker_pool.cc.o" "gcc" "CMakeFiles/relax.dir/src/engine/worker_pool.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/relax.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/relax.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/relax.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/relax.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "CMakeFiles/relax.dir/src/graph/io.cc.o" "gcc" "CMakeFiles/relax.dir/src/graph/io.cc.o.d"
+  "/root/repo/src/sched/backend_registry.cc" "CMakeFiles/relax.dir/src/sched/backend_registry.cc.o" "gcc" "CMakeFiles/relax.dir/src/sched/backend_registry.cc.o.d"
+  "/root/repo/src/sched/sched.cc" "CMakeFiles/relax.dir/src/sched/sched.cc.o" "gcc" "CMakeFiles/relax.dir/src/sched/sched.cc.o.d"
+  "/root/repo/src/sched/spraylist.cc" "CMakeFiles/relax.dir/src/sched/spraylist.cc.o" "gcc" "CMakeFiles/relax.dir/src/sched/spraylist.cc.o.d"
+  "/root/repo/src/util/cli.cc" "CMakeFiles/relax.dir/src/util/cli.cc.o" "gcc" "CMakeFiles/relax.dir/src/util/cli.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/relax.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/relax.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/thread_pin.cc" "CMakeFiles/relax.dir/src/util/thread_pin.cc.o" "gcc" "CMakeFiles/relax.dir/src/util/thread_pin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

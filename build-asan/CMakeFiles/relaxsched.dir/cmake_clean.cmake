@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relaxsched.dir/tools/relaxsched.cc.o"
+  "CMakeFiles/relaxsched.dir/tools/relaxsched.cc.o.d"
+  "relaxsched"
+  "relaxsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relaxsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_conformance_test.dir/tests/sched_conformance_test.cc.o"
+  "CMakeFiles/sched_conformance_test.dir/tests/sched_conformance_test.cc.o.d"
+  "sched_conformance_test"
+  "sched_conformance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_quality_test.dir/tests/sched_quality_test.cc.o"
+  "CMakeFiles/sched_quality_test.dir/tests/sched_quality_test.cc.o.d"
+  "sched_quality_test"
+  "sched_quality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

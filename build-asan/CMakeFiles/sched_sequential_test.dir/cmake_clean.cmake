@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_sequential_test.dir/tests/sched_sequential_test.cc.o"
+  "CMakeFiles/sched_sequential_test.dir/tests/sched_sequential_test.cc.o.d"
+  "sched_sequential_test"
+  "sched_sequential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_sequential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spraylist_test.dir/tests/spraylist_test.cc.o"
+  "CMakeFiles/spraylist_test.dir/tests/spraylist_test.cc.o.d"
+  "spraylist_test"
+  "spraylist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spraylist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

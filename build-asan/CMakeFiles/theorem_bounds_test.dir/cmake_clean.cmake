@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem_bounds_test.dir/tests/theorem_bounds_test.cc.o"
+  "CMakeFiles/theorem_bounds_test.dir/tests/theorem_bounds_test.cc.o.d"
+  "theorem_bounds_test"
+  "theorem_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_concurrency_test.dir/tests/util_concurrency_test.cc.o"
+  "CMakeFiles/util_concurrency_test.dir/tests/util_concurrency_test.cc.o.d"
+  "util_concurrency_test"
+  "util_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
