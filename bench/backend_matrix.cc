@@ -9,18 +9,25 @@
 // matching run through the engine on every backend. SSSP is outside the
 // deterministic framework class (§2.2) and its label-correcting executor
 // is keyed by 64-bit (distance, vertex) pairs over its own
-// BasicConcurrentMultiQueue — it is swept per thread count against the
-// multiqueue-c2 row only and marked "-" elsewhere.
+// BasicConcurrentMultiQueue — it is swept per (thread count, pop-batch)
+// against the multiqueue-c2 row only and marked "-" elsewhere.
 //
-// The pop-batch axis sweeps batched task acquisition (labels claimed per
-// scheduler touch): batch k>1 pays one sample/lock round trip per k pops
-// on backends with a native batched claim, at an O(k*q) rank-error cost
-// the quality columns make visible next to the throughput gain.
+// The pop-batch axis sweeps batching on BOTH scheduler sides (labels
+// claimed per acquisition touch, kNotReady re-insertions flushed as one
+// batched insert run): batch k>1 pays one sample/lock round trip per k
+// scheduler touches on backends with native batch ops, at an O(k*q)
+// rank-error cost the quality columns make visible next to the throughput
+// gain. SSSP's executor batches the same way (pop_batch keys per claim,
+// relaxations re-inserted via one bulk_insert).
+//
+// --json=<path> additionally writes every row as a JSON array — the
+// machine-readable form CI uploads as the BENCH_backend_matrix.json
+// artifact, seeding the perf trajectory.
 //
 // Usage: backend_matrix [--n=4000] [--m=24000] [--threads=1,4]
 //                       [--pop-batch=1,8]
 //                       [--backends=all|name,name,...]
-//                       [--quality=1] [--seed=1]
+//                       [--quality=1] [--seed=1] [--json=path]
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -66,6 +73,39 @@ void print_row(const Row& r) {
   } else {
     std::printf("%10s %9s\n", "-", "-");
   }
+}
+
+/// Writes the collected rows as a JSON array (one object per row; quality
+/// fields are null when not measured). No external deps — every field is a
+/// number or a name from the registry, so plain fprintf suffices.
+bool write_json(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open --json path '%s'\n", path);
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "  {\"workload\": \"%s\", \"backend\": \"%s\", "
+                 "\"threads\": %u, \"pop_batch\": %u, \"seconds\": %.6f, "
+                 "\"tasks_per_s\": %.1f, \"iters_per_task\": %.4f, "
+                 "\"wasted_frac\": %.6f, ",
+                 r.workload, r.backend.c_str(), r.threads, r.pop_batch,
+                 r.seconds, r.tasks_per_s, r.iters_per_task, r.wasted_frac);
+    if (r.mean_rank >= 0.0) {
+      std::fprintf(f, "\"mean_rank\": %.4f, \"max_rank\": %llu}",
+                   r.mean_rank,
+                   static_cast<unsigned long long>(r.max_rank));
+    } else {
+      std::fprintf(f, "\"mean_rank\": null, \"max_rank\": null}");
+    }
+    std::fprintf(f, "%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
 }
 
 /// One framework run of `problem` on `backend`: timed plain run for
@@ -170,21 +210,27 @@ int main(int argc, char** argv) {
               "backend", "threads", "batch", "seconds", "tasks/s",
               "iters/task", "wasted", "mean-rank", "max-rank");
 
+  std::vector<Row> rows;
+  const auto emit = [&rows](Row row) {
+    print_row(row);
+    rows.push_back(std::move(row));
+  };
+
   for (const std::int64_t t : thread_list) {
     const auto threads = static_cast<unsigned>(t < 1 ? 1 : t);
     for (const std::int64_t b : batch_list) {
       const auto pop_batch = static_cast<unsigned>(std::clamp<std::int64_t>(
           b, 1, relax::engine::JobConfig::kMaxPopBatch));
       for (const BackendInfo* backend : backends) {
-        print_row(run_framework(
+        emit(run_framework(
             "mis", *backend, threads, pop_batch, pri,
             [&] { return relax::algorithms::AtomicMisProblem(g, pri); },
             quality, seed));
-        print_row(run_framework(
+        emit(run_framework(
             "coloring", *backend, threads, pop_batch, pri,
             [&] { return relax::algorithms::AtomicColoringProblem(g, pri); },
             quality, seed));
-        print_row(run_framework(
+        emit(run_framework(
             "matching", *backend, threads, pop_batch, edge_pri,
             [&] {
               return relax::algorithms::AtomicMatchingProblem(incidence,
@@ -192,19 +238,18 @@ int main(int argc, char** argv) {
             },
             quality, seed));
         // SSSP rides its own 64-bit-key MultiQueue (see header note): one
-        // representative row per thread count, attached to multiqueue-c2
-        // (its label-correcting executor has no pop-batch knob, so the row
-        // is emitted once per thread count on the first batch value).
-        if (backend->name == "multiqueue-c2" && b == batch_list.front()) {
+        // row per (thread count, pop-batch), attached to multiqueue-c2 —
+        // its label-correcting executor batches both scheduler sides with
+        // the same pop_batch the framework rows sweep.
+        if (backend->name == "multiqueue-c2") {
           relax::algorithms::SsspStats sstats;
-          (void)relax::algorithms::parallel_relaxed_sssp(g, weights, 0,
-                                                         threads, 4, seed,
-                                                         &sstats);
+          (void)relax::algorithms::parallel_relaxed_sssp(
+              g, weights, 0, threads, 4, seed, pop_batch, &sstats);
           Row row;
           row.workload = "sssp";
           row.backend = std::string(backend->name);
           row.threads = threads;
-          row.pop_batch = 1;
+          row.pop_batch = pop_batch;
           row.seconds = sstats.seconds;
           row.tasks_per_s =
               sstats.seconds > 0.0 ? g.num_vertices() / sstats.seconds : 0.0;
@@ -218,10 +263,13 @@ int main(int argc, char** argv) {
                   : 0.0;
           row.mean_rank = -1.0;
           row.max_rank = 0;
-          print_row(row);
+          emit(row);
         }
       }
     }
   }
+
+  const std::string json_path = cli.get_string("json", "");
+  if (!json_path.empty() && !write_json(json_path.c_str(), rows)) return 1;
   return 0;
 }

@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
       relax::algorithms::SsspStats stats;
       const auto dist = relax::algorithms::parallel_relaxed_sssp(
           g, weights, kSource, static_cast<unsigned>(tc), 4, seed + t,
-          &stats);
+          /*pop_batch=*/1, &stats);
       if (dist != reference) {
         std::fprintf(stderr, "ERROR: SSSP distances mismatch!\n");
         return 1;
@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
     relax::algorithms::SsspStats stats;
     const auto dist = relax::algorithms::parallel_relaxed_sssp(
         g, weights, kSource, static_cast<unsigned>(hw), factor, seed,
-        &stats);
+        /*pop_batch=*/1, &stats);
     if (dist != reference) {
       std::fprintf(stderr, "ERROR: SSSP distances mismatch!\n");
       return 1;

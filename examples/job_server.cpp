@@ -22,7 +22,7 @@
 //
 // Build & run:  ./examples/job_server [--requests=32] [--threads=0]
 //                                     [--inflight=4] [--audit=8]
-//                                     [--pop-batch=1]
+//                                     [--pop-batch=1|auto[:max]]
 //                                     [--backend=multiqueue-c2|...|mix]
 #include <algorithm>
 #include <cstdio>
@@ -61,9 +61,9 @@ int main(int argc, char** argv) {
   const int inflight =
       std::max(1, static_cast<int>(cli.get_int("inflight", 4)));
   const int audit_every = static_cast<int>(cli.get_int("audit", 8));
-  const auto pop_batch = static_cast<std::uint32_t>(
-      std::clamp<std::int64_t>(cli.get_int("pop-batch", 1), 1,
-                               relax::engine::JobConfig::kMaxPopBatch));
+  const auto pb =
+      relax::engine::parse_pop_batch_flag(cli.get_string("pop-batch", "1"));
+  const std::uint32_t pop_batch = pb.batch;
 
   // Resolve the backend rotation: one fixed registry backend, or the whole
   // registry round-robin with --backend=mix.
@@ -95,8 +95,10 @@ int main(int argc, char** argv) {
   opts.max_in_flight = static_cast<unsigned>(inflight);
   relax::engine::SchedulingEngine engine(opts);
   std::printf(
-      "job_server: %u workers, %d jobs in flight, %d requests, pop-batch %u\n",
-      engine.width(), inflight, requests, pop_batch);
+      "job_server: %u workers, %d jobs in flight, %d requests, pop-batch "
+      "%u%s\n",
+      engine.width(), inflight, requests, pop_batch,
+      pb.adaptive ? " (adaptive)" : "");
 
   relax::util::Timer clock;
   std::vector<Request> window;
@@ -138,6 +140,7 @@ int main(int argc, char** argv) {
     relax::engine::JobConfig cfg;
     cfg.seed = static_cast<std::uint64_t>(r) + 1;
     cfg.pop_batch = pop_batch;
+    cfg.pop_batch_auto = pb.adaptive;
     cfg.monitor_relaxation = audit_every > 0 && r % audit_every == 0;
     switch (r % 3) {
       case 0:

@@ -7,7 +7,7 @@
 // trade-off: wasted (stale) pops versus parallel speedup, with exactness
 // of the distances verified against sequential Dijkstra.
 //
-// Usage: road_network_sssp [--side=1200] [--threads=0]
+// Usage: road_network_sssp [--side=1200] [--threads=0] [--pop-batch=1]
 #include <cstdio>
 
 #include "algorithms/sssp.h"
@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const relax::util::CommandLine cli(argc, argv);
   const auto side = static_cast<std::uint32_t>(cli.get_int("side", 1200));
   const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  const auto pop_batch = static_cast<unsigned>(cli.get_int("pop-batch", 1));
 
   std::printf("building a %ux%u road grid...\n", side, side);
   const auto g = relax::graph::grid(side, side);
@@ -33,7 +34,8 @@ int main(int argc, char** argv) {
 
   relax::algorithms::SsspStats stats;
   const auto dist = relax::algorithms::parallel_relaxed_sssp(
-      g, weights, depot, threads, /*queue_factor=*/4, /*seed=*/3, &stats);
+      g, weights, depot, threads, /*queue_factor=*/4, /*seed=*/3, pop_batch,
+      &stats);
   std::printf("relaxed parallel SSSP: %.3fs (%.1fx)\n", stats.seconds,
               seq_time / stats.seconds);
   std::printf("  pops: %llu, stale (wasted): %llu (%.2f%%), relaxations: "

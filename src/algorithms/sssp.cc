@@ -1,6 +1,8 @@
 #include "algorithms/sssp.h"
 
+#include <algorithm>
 #include <atomic>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -61,9 +63,13 @@ std::vector<std::uint32_t> dijkstra(const graph::Graph& g,
 std::vector<std::uint32_t> parallel_relaxed_sssp(
     const graph::Graph& g, const std::vector<std::uint32_t>& weights,
     graph::Vertex source, unsigned num_threads, unsigned queue_factor,
-    std::uint64_t seed, SsspStats* stats_out) {
+    std::uint64_t seed, unsigned pop_batch, SsspStats* stats_out) {
   const unsigned threads =
       num_threads == 0 ? util::hardware_threads() : num_threads;
+  // Clamp defensively (mirroring engine::JobConfig::kMaxPopBatch): a
+  // negative CLI value cast to unsigned would otherwise make each worker
+  // reserve a multi-GiB pop buffer. Far above any useful batch.
+  const unsigned batch = std::clamp(pop_batch, 1u, 1u << 16);
   std::vector<std::atomic<std::uint32_t>> dist(g.num_vertices());
   for (auto& d : dist) d.store(kUnreachable, std::memory_order_relaxed);
   dist[source].store(0, std::memory_order_relaxed);
@@ -73,8 +79,11 @@ std::vector<std::uint32_t> parallel_relaxed_sssp(
   queue.insert(static_cast<std::uint64_t>(source));
 
   // Termination: pending = queued-but-unprocessed entries. Incremented
-  // before each insert, decremented after a pop is fully handled; zero
-  // means no thread can generate more work.
+  // before each insert (including buffered ones: the increment happens at
+  // relaxation time, before the key ever sits in a local buffer, so the
+  // count can never drop to zero while keys await their flush), and
+  // decremented only after a popped batch is fully handled AND its
+  // re-insertions flushed; zero means no thread can generate more work.
   std::atomic<std::int64_t> pending{1};
   std::vector<SsspStats> per_thread(threads);
   util::Timer timer;
@@ -87,18 +96,31 @@ std::vector<std::uint32_t> parallel_relaxed_sssp(
         auto handle = queue.get_handle();
         // Stack-local; written back once (no false sharing between workers).
         SsspStats stats;
+        std::vector<std::uint64_t> popped;
+        std::vector<std::uint64_t> reinsert;
+        popped.reserve(batch);
         while (pending.load(std::memory_order_acquire) > 0) {
-          const auto key = handle.approx_get_min();
-          if (!key) {
+          popped.clear();
+          if (batch <= 1) {
+            if (const auto key = handle.approx_get_min())
+              popped.push_back(*key);
+          } else {
+            handle.approx_get_min_batch(batch, popped);
+          }
+          if (popped.empty()) {
             util::cpu_relax();
             continue;
           }
-          ++stats.pops;
-          const auto d = static_cast<std::uint32_t>(*key >> 32);
-          const auto v = static_cast<graph::Vertex>(*key & 0xffffffffu);
-          if (d > dist[v].load(std::memory_order_acquire)) {
-            ++stats.stale_pops;
-          } else {
+          ++stats.batches;
+          reinsert.clear();
+          for (const std::uint64_t key : popped) {
+            ++stats.pops;
+            const auto d = static_cast<std::uint32_t>(key >> 32);
+            const auto v = static_cast<graph::Vertex>(key & 0xffffffffu);
+            if (d > dist[v].load(std::memory_order_acquire)) {
+              ++stats.stale_pops;
+              continue;
+            }
             const auto offset = g.arc_offset(v);
             const auto nb = g.neighbors(v);
             for (std::size_t j = 0; j < nb.size(); ++j) {
@@ -110,13 +132,25 @@ std::vector<std::uint32_t> parallel_relaxed_sssp(
                         cur, nd, std::memory_order_acq_rel)) {
                   ++stats.relaxations;
                   pending.fetch_add(1, std::memory_order_acq_rel);
-                  handle.insert((static_cast<std::uint64_t>(nd) << 32) | u);
+                  reinsert.push_back((static_cast<std::uint64_t>(nd) << 32) |
+                                     u);
                   break;
                 }
               }
             }
           }
-          pending.fetch_sub(1, std::memory_order_acq_rel);
+          // Batched re-insert: the whole run of successful relaxations goes
+          // back in one bulk_insert (one lock + one merge per chunk)
+          // instead of one lock + heap sift per key. Must happen before the
+          // pending decrement for the popped keys — see the invariant note
+          // above.
+          if (reinsert.size() == 1) {
+            handle.insert(reinsert.front());
+          } else if (!reinsert.empty()) {
+            handle.bulk_insert(std::span<const std::uint64_t>(reinsert));
+          }
+          pending.fetch_sub(static_cast<std::int64_t>(popped.size()),
+                            std::memory_order_acq_rel);
         }
         per_thread[t] = stats;
       });
@@ -127,6 +161,7 @@ std::vector<std::uint32_t> parallel_relaxed_sssp(
       stats_out->pops += s.pops;
       stats_out->stale_pops += s.stale_pops;
       stats_out->relaxations += s.relaxations;
+      stats_out->batches += s.batches;
     }
     stats_out->seconds = timer.seconds();
   }

@@ -37,15 +37,24 @@ struct SsspStats {
   std::uint64_t pops = 0;
   std::uint64_t stale_pops = 0;  // wasted work due to relaxation/concurrency
   std::uint64_t relaxations = 0;
+  std::uint64_t batches = 0;  // scheduler acquisition round trips
   double seconds = 0.0;
 };
 
 /// Multi-threaded label-correcting SSSP over a relaxed concurrent
 /// MultiQueue ((distance, vertex) packed into 64-bit keys). Produces exact
 /// distances (monotone convergence); stats report the relaxation overhead.
+///
+/// pop_batch > 1 batches BOTH scheduler sides, exactly like the framework
+/// executors (engine/job.h): up to pop_batch keys are claimed per
+/// approx_get_min_batch round trip, and the successful relaxations they
+/// generate are re-inserted as one bulk_insert run. Label correction is
+/// insensitive to the extra relaxation (distances converge monotonically
+/// for any pop order); the price is more stale pops, which stats make
+/// visible next to the throughput gain.
 std::vector<std::uint32_t> parallel_relaxed_sssp(
     const graph::Graph& g, const std::vector<std::uint32_t>& weights,
     graph::Vertex source, unsigned num_threads, unsigned queue_factor,
-    std::uint64_t seed, SsspStats* stats = nullptr);
+    std::uint64_t seed, unsigned pop_batch = 1, SsspStats* stats = nullptr);
 
 }  // namespace relax::algorithms

@@ -49,6 +49,10 @@ struct ParallelOptions {
                                  // (batched acquisition; rank cost scales
                                  // to O(pop_batch * q), see
                                  // sched::batched_rank_bound)
+  bool pop_batch_auto = false;   // adaptive claim size: pop_batch becomes
+                                 // the cap, each worker scales between 1
+                                 // (near drain) and the cap (under load)
+                                 // from observed occupancy
   std::uint64_t seed = 1;        // scheduler randomness
   bool pin_threads = true;
 
@@ -75,6 +79,7 @@ inline engine::JobConfig job_config(const ParallelOptions& opts) {
   cfg.choices = opts.choices;
   cfg.relaxation_k = opts.relaxation_k;
   cfg.pop_batch = opts.pop_batch;
+  cfg.pop_batch_auto = opts.pop_batch_auto;
   cfg.seed = opts.seed;
   return cfg;
 }

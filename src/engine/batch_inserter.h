@@ -2,12 +2,14 @@
 //
 // Loading a job's n initial labels one handle.insert() at a time pays a
 // sub-queue lock + heap sift per label — measurable at admission rates of
-// many jobs per second. BatchInserter buffers labels and flushes them with
-// the scheduler handle's bulk_insert (one lock + one merge per chunk; see
-// ConcurrentMultiQueue::bulk_insert) when the handle supports it, falling
-// back to per-label inserts for schedulers without a batched path (SprayList,
-// LockedScheduler wrappers — including the RelaxationMonitor audit path,
-// whose mirror must observe every individual insert anyway).
+// many jobs per second. BatchInserter buffers labels and flushes them
+// through sched::insert_batch — the backend's native batched insert where
+// one exists (the MultiQueue's chunked sorted merge, the lock-free list's
+// CAS-spliced run, the SprayList's one-descent forward-linked run, one
+// lock acquisition for LockedScheduler adapters), per-label inserts
+// elsewhere. The RelaxedJob's kNotReady re-insertion buffer drains through
+// the same primitive, so admission and re-insertion share one batched
+// insert path.
 //
 // The flush target is *live*: pops and inserts from other workers may be in
 // flight, which is what lets the engine overlap a job's admission with its
@@ -42,13 +44,7 @@ class BatchInserter {
 
   void flush() {
     if (buffer_.empty()) return;
-    if constexpr (requires(Handle h, std::span<const sched::Priority> s) {
-                    h.bulk_insert(s);
-                  }) {
-      handle_->bulk_insert(std::span<const sched::Priority>(buffer_));
-    } else {
-      for (const auto p : buffer_) handle_->insert(p);
-    }
+    sched::insert_batch(*handle_, std::span<const sched::Priority>(buffer_));
     buffer_.clear();
   }
 

@@ -32,6 +32,24 @@
 // buffered label is its task's only live pop, so retirement counting can
 // never reach n while labels sit buffered.
 //
+// Re-insertion is batched symmetrically: each touch's kNotReady labels
+// accumulate in a worker-local buffer and flush through
+// sched::insert_batch (the backend's native batched insert where one
+// exists) once per scheduler touch — one batched claim out, one batched
+// insert back. Flushing per touch (not per slice) keeps the captivity
+// window short: a buffered label is invisible to every other worker, and
+// holding a dependency chain across a whole slice lets an ill-timed OS
+// preemption stall the peers into failed-delete churn. A buffered
+// re-insertion is an unretired task, so the retirement sum cannot reach n
+// while it sits here; a defensive flush at slice end guarantees no label
+// ever outlives its slice outside the scheduler.
+//
+// With JobConfig::pop_batch_auto the claimed batch size adapts per worker
+// from observed occupancy: a full batch doubles the next claim (up to the
+// pop_batch cap — sustained load), a short or empty claim resets it to 1
+// (the chosen sub-structure is running dry; near drain, large batches only
+// buy rank error, see sched::batched_rank_bound).
+//
 // Variants:
 //   RelaxedJob<P, Queue>        relaxed loop over a caller-owned scheduler
 //                               (anything with per-thread handles or a plain
@@ -52,10 +70,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <charconv>
 #include <cstdint>
 #include <numeric>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/execution_stats.h"
@@ -95,9 +115,49 @@ struct JobConfig {
                                    // amortizes the sample/lock/CAS round
                                    // trip over k pops at an O(k * q) rank
                                    // cost (see sched::batched_rank_bound)
+  /// Adaptive batch sizing (CLI: --pop-batch=auto[:max]): pop_batch becomes
+  /// the cap and each worker picks its claim size from observed occupancy —
+  /// full batches double the next claim toward the cap, short or empty
+  /// claims (the sampled sub-structure ran dry: the near-drain signal)
+  /// reset it to 1 so a draining queue is not charged the O(k*q) rank cost
+  /// for throughput it can no longer deliver.
+  bool pop_batch_auto = false;
+  /// Cap used by --pop-batch=auto when no explicit max is given.
+  static constexpr std::uint32_t kDefaultAutoPopBatch = 64;
   bool monitor_relaxation = false;  // audit mode: serialize + measure quality
   std::uint32_t monitor_stride = 64;  // inversion tracking sample stride
 };
+
+/// Parsed form of a --pop-batch CLI value. `batch` is the fixed size, or
+/// the adaptive cap when `adaptive` is set.
+struct PopBatchFlag {
+  std::uint32_t batch = 1;
+  bool adaptive = false;
+};
+
+/// Parses --pop-batch=<k>|auto|auto:<max>. Unparseable values degrade to
+/// the unbatched default ({1, false}); numbers are clamped to
+/// [1, kMaxPopBatch] so reported == effective.
+inline PopBatchFlag parse_pop_batch_flag(std::string_view value) {
+  PopBatchFlag flag;
+  if (value == "auto") {
+    return PopBatchFlag{JobConfig::kDefaultAutoPopBatch, true};
+  }
+  if (value.starts_with("auto:")) {
+    flag.adaptive = true;
+    value.remove_prefix(5);
+  }
+  std::uint64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    return PopBatchFlag{flag.adaptive ? JobConfig::kDefaultAutoPopBatch : 1,
+                        flag.adaptive};
+  }
+  flag.batch = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+      parsed, 1, JobConfig::kMaxPopBatch));
+  return flag;
+}
 
 class Job {
  public:
@@ -190,16 +250,21 @@ class RelaxedJob : public TaskJobBase {
         // otherwise make activate() reserve a multi-GiB buffer per worker.
         // The slice budget caps the effective batch per claim anyway.
         pop_batch_(std::clamp<std::uint32_t>(cfg.pop_batch, 1,
-                                             JobConfig::kMaxPopBatch)) {}
+                                             JobConfig::kMaxPopBatch)),
+        adaptive_(cfg.pop_batch_auto) {}
 
   void activate(unsigned pool_width) override {
     TaskJobBase::activate(pool_width);
-    // Worker-local label buffers for the batched pop path. Labels only ever
-    // live here between a pop_batch claim and the processing loop a few
-    // lines below it — never across a run_slice return.
-    buffers_ =
-        std::vector<util::Padded<std::vector<sched::Priority>>>(pool_width);
-    for (auto& buf : buffers_) buf->reserve(pop_batch_);
+    // Worker-local state for the batched paths. Popped labels only ever
+    // live in `popped` between a pop_batch claim and the processing loop a
+    // few lines below it — never across a run_slice return. kNotReady
+    // labels accumulate in `reinsert` and are always flushed back into the
+    // scheduler before the slice returns.
+    workers_ = std::vector<util::Padded<WorkerState>>(pool_width);
+    for (auto& ws : workers_) {
+      ws->popped.reserve(pop_batch_);
+      ws->reinsert.reserve(pop_batch_);
+    }
     // Schedulers with a quiescent bulk_load but no live bulk_insert
     // (LockFreeMultiQueue, whose sorted sub-lists degrade to O(n) per
     // ascending insert) get their whole initial load here, while the job is
@@ -224,15 +289,28 @@ class RelaxedJob : public TaskJobBase {
     bool progress = admit_chunk(handle);
     auto& stats = *stats_[worker];
     auto& my_retired = *retired_[worker];
-    auto& buffer = *buffers_[worker];
+    auto& ws = *workers_[worker];
+    auto& buffer = ws.popped;
     std::uint32_t iters = 0;
     while (!done_.load(std::memory_order_acquire) && iters < budget) {
-      // Claim up to pop_batch labels in one scheduler touch, capped by the
-      // remaining budget so the buffer is always fully drained before the
-      // slice returns.
+      // Claim up to pop_batch labels (or the worker's adaptive size) in one
+      // scheduler touch, capped by the remaining budget so the buffer is
+      // always fully drained before the slice returns.
       buffer.clear();
-      sched::pop_batch(
-          handle, std::min<std::uint32_t>(pop_batch_, budget - iters), buffer);
+      const std::uint32_t want = adaptive_ ? ws.adaptive_k : pop_batch_;
+      const std::uint32_t claim = std::min<std::uint32_t>(want, budget - iters);
+      sched::pop_batch(handle, claim, buffer);
+      if (adaptive_) {
+        // Occupancy feedback: the batch came from ONE sub-structure, so a
+        // full claim means that sub-structure held at least `want` labels
+        // (load — grow toward the cap) and a short one means it ran dry
+        // (near drain — fall back to single pops and their tight envelope).
+        if (buffer.size() < claim) {
+          ws.adaptive_k = 1;
+        } else if (claim == want && want < pop_batch_) {
+          ws.adaptive_k = std::min(pop_batch_, want * 2);
+        }
+      }
       if (buffer.empty()) {
         ++stats.empty_polls;
         check_done();
@@ -249,7 +327,8 @@ class RelaxedJob : public TaskJobBase {
       // buffered label is its task's only live pop (labels are unique in
       // the scheduler), so that task cannot retire elsewhere and the
       // retirement sum cannot reach n — termination can never fire while
-      // labels sit here, provided none survive this loop.
+      // labels sit here, provided none survive this loop. The same holds
+      // for ws.reinsert: a buffered re-insertion is an unretired task.
       for (const sched::Priority label : buffer) {
         ++iters;
         ++stats.iterations;
@@ -261,7 +340,7 @@ class RelaxedJob : public TaskJobBase {
             break;
           case core::Outcome::kNotReady:
             ++stats.failed_deletes;
-            handle.insert(label);
+            ws.reinsert.push_back(label);
             break;
           case core::Outcome::kRetired:
             ++stats.dead_skips;
@@ -269,12 +348,42 @@ class RelaxedJob : public TaskJobBase {
             break;
         }
       }
+      // Flush the touch's kNotReady run before the next claim: one batched
+      // insert per batched pop (the symmetric round trip). Holding the run
+      // any longer makes those labels invisible to every other worker —
+      // on an oversubscribed host a descheduled worker mid-slice would
+      // hold dependency chains captive for a scheduler quantum while its
+      // peers churn failed deletes against them.
+      flush_reinserts(handle, ws);
     }
+    // A no-op today (every touch flushed above), but the invariant — no
+    // label may ever outlive its slice outside the scheduler — must hold
+    // even if flushing ever becomes conditional, so drain defensively
+    // before the final termination check and the slice return.
+    flush_reinserts(handle, ws);
     check_done();
     return progress;
   }
 
  private:
+  struct WorkerState {
+    std::vector<sched::Priority> popped;    // batched-pop landing buffer
+    std::vector<sched::Priority> reinsert;  // kNotReady labels awaiting flush
+    std::uint32_t adaptive_k = 1;           // current claim size (auto mode)
+  };
+
+  /// Flushes the worker's buffered kNotReady labels back into the
+  /// scheduler as one batched insert (the backend's native path where one
+  /// exists; singleton runs take the plain insert — see
+  /// sched::insert_batch).
+  template <typename Handle>
+  void flush_reinserts(Handle& handle, WorkerState& ws) {
+    if (ws.reinsert.empty()) return;
+    sched::insert_batch(handle,
+                        std::span<const sched::Priority>(ws.reinsert));
+    ws.reinsert.clear();
+  }
+
   /// Claims one chunk of the initial label range and inserts it. Multiple
   /// workers admit concurrently; the queue is live throughout.
   template <typename Handle>
@@ -297,7 +406,8 @@ class RelaxedJob : public TaskJobBase {
   Queue* queue_;
   std::uint32_t batch_;
   std::uint32_t pop_batch_;
-  std::vector<util::Padded<std::vector<sched::Priority>>> buffers_;
+  bool adaptive_;
+  std::vector<util::Padded<WorkerState>> workers_;
   std::atomic<std::uint64_t> load_cursor_{0};
 };
 

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "sched/dary_heap.h"
+#include "sched/sampling.h"
 #include "sched/scheduler.h"
 #include "util/padded.h"
 #include "util/rng.h"
@@ -92,6 +93,13 @@ class BasicConcurrentMultiQueue {
     /// sub-queue lock per chunk instead of per key). Safe concurrently with
     /// any handle operation; see bulk_insert below.
     void bulk_insert(std::span<const Key> keys) {
+      mq_->bulk_insert(keys, rng_);
+    }
+    /// Native batched insert (the uniform name sched::insert_batch
+    /// dispatches on): the chunked sorted-run merge of bulk_insert — sort
+    /// each chunk, one lock per target sub-queue, one splice into the
+    /// sorted base array.
+    void insert_batch(std::span<const Key> keys) {
       mq_->bulk_insert(keys, rng_);
     }
     std::optional<Key> approx_get_min() { return mq_->approx_get_min(rng_); }
@@ -143,6 +151,8 @@ class BasicConcurrentMultiQueue {
     util::Rng rng(seed_ ^ sequential_ops_++);
     bulk_insert(keys, rng);
   }
+  /// Uniform-name alias for the generic sched::insert_batch dispatch.
+  void insert_batch(std::span<const Key> keys) { bulk_insert(keys); }
 
   /// Single-threaded convenience interface (satisfies SequentialScheduler
   /// modulo seeding); used by tests. Not for concurrent use — use handles.
@@ -243,28 +253,49 @@ class BasicConcurrentMultiQueue {
     }
   };
 
-  /// Live-queue batched insert, the admission fast path for the engine:
-  /// unlike bulk_load (quiescent-only), this may run concurrently with any
-  /// number of handle inserts/pops and other bulk_inserts. The batch is cut
-  /// into contiguous chunks spread over sub-queues starting at a random
-  /// offset; each chunk takes its sub-queue's lock once and merges into the
-  /// sorted base array, so subsequent pops stay O(1) cursor advances and the
-  /// per-key cost is one sort/merge share instead of a lock + heap sift.
+  /// Live-queue batched insert, the admission + re-insertion fast path for
+  /// the engine: unlike bulk_load (quiescent-only), this may run
+  /// concurrently with any number of handle inserts/pops and other
+  /// bulk_inserts. The batch is sorted once and dealt *round-robin*
+  /// (strided) over its target sub-queues starting at a random offset —
+  /// each target receives the still-sorted subsequence c, c+chunks, ...,
+  /// takes its lock once, and merges it into the sorted base array. Pops
+  /// stay O(1) cursor advances and the per-key cost is one sort/merge
+  /// share instead of a lock + heap sift.
+  ///
+  /// The strided deal (rather than contiguous slices) is load-bearing for
+  /// relaxation quality: contiguous slices put each sub-queue's share ~one
+  /// whole slice apart in priority, so every two-choice pop during the
+  /// batch's lifetime is off by O(slice) ranks — the audited mean rank
+  /// error scales with the admission chunk (hundreds at chunk 1024).
+  /// Interleaving keeps neighbouring keys in different sub-queues, exactly
+  /// like bulk_load's round-robin placement, so the batch perturbs the
+  /// two-choice process by O(chunks), not O(batch).
   void bulk_insert(std::span<const Key> keys, util::Rng& rng) {
     if (keys.empty()) return;
     const std::size_t q = queues_.size();
-    // Never fewer than two chunks: dumping a whole small batch into a
+    // Never fewer than two targets: dumping a whole small batch into a
     // single random sub-queue transiently skews that queue (and the rank
     // distribution every two-choice pop samples from) until pops rebalance
     // it. q >= 2 always holds, so small batches still spread.
     const std::size_t chunks = std::min<std::size_t>(
         q, std::max<std::size_t>(
                2, (keys.size() + kMinBulkChunk - 1) / kMinBulkChunk));
-    const std::size_t chunk = (keys.size() + chunks - 1) / chunks;
-    const std::size_t start = util::bounded(rng, q);
-    for (std::size_t c = 0, off = 0; off < keys.size(); ++c, off += chunk) {
-      const auto slice =
-          keys.subspan(off, std::min(chunk, keys.size() - off));
+    // Already-sorted runs (the common case: admission streams labels in
+    // ascending order) are dealt straight from the caller's span; only
+    // unsorted runs pay a copy + sort.
+    std::span<const Key> sorted = keys;
+    std::vector<Key> scratch;
+    if (!std::is_sorted(keys.begin(), keys.end())) {
+      scratch.assign(keys.begin(), keys.end());
+      std::sort(scratch.begin(), scratch.end());
+      sorted = scratch;
+    }
+    const std::size_t start = sampling::pick_uniform(TopPolicy{this}, rng);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      if (c >= sorted.size()) break;  // more targets than keys
+      // This target's strided share: ceil((size - c) / chunks) elements.
+      const std::size_t share = (sorted.size() - c + chunks - 1) / chunks;
       auto& sq = *queues_[(start + c) % q];
       sq.lock.lock();
       std::lock_guard<util::Spinlock> guard(sq.lock, std::adopt_lock);
@@ -277,11 +308,13 @@ class BasicConcurrentMultiQueue {
         sq.compactions.fetch_add(1, std::memory_order_release);
       }
       const auto mid = static_cast<std::ptrdiff_t>(sq.base.size());
-      sq.base.insert(sq.base.end(), slice.begin(), slice.end());
-      std::sort(sq.base.begin() + mid, sq.base.end());
-      // Admission streams labels in ascending order, so a batch usually
-      // lands entirely above the live tail — then the concatenation is
-      // already sorted and the O(live) merge can be skipped.
+      sq.base.reserve(sq.base.size() + share);
+      for (std::size_t i = c; i < sorted.size(); i += chunks)
+        sq.base.push_back(sorted[i]);
+      // The strided subsequence is already sorted. Admission streams labels
+      // in ascending order, so a batch usually lands entirely above the
+      // live tail — then the concatenation is already sorted and the
+      // O(live) merge can be skipped.
       if (mid > static_cast<std::ptrdiff_t>(sq.cursor) &&
           sq.base[static_cast<std::size_t>(mid)] < sq.base[static_cast<std::size_t>(mid) - 1]) {
         std::inplace_merge(
@@ -294,7 +327,7 @@ class BasicConcurrentMultiQueue {
 
   void insert(Key p, util::Rng& rng) {
     for (;;) {
-      auto& sq = *queues_[util::bounded(rng, queues_.size())];
+      auto& sq = *queues_[sampling::pick_uniform(TopPolicy{this}, rng)];
       if (!sq.lock.try_lock()) continue;  // pick a fresh victim instead
       std::lock_guard<util::Spinlock> guard(sq.lock, std::adopt_lock);
       sq.heap.push(p);
@@ -303,78 +336,26 @@ class BasicConcurrentMultiQueue {
     }
   }
 
-  /// Best of `choices_` sampled sub-queues (c = 2 is the classic
-  /// power-of-two-choices rule; larger c tightens the rank distribution at
-  /// the cost of extra top-cache probes — the ablation axis the
-  /// multiqueue-c{2,4,8} registry backends expose).
-  struct Sampled {
-    std::size_t index;
-    Key top;
+  /// Sampling policy over the lock-free top caches (sched/sampling.h): the
+  /// probe is one atomic load, nullopt iff the cached top is the empty
+  /// sentinel. Staleness only perturbs the choice distribution — claims
+  /// re-verify under the sub-queue lock.
+  struct TopPolicy {
+    const BasicConcurrentMultiQueue* mq;
+    [[nodiscard]] std::size_t count() const noexcept {
+      return mq->queues_.size();
+    }
+    [[nodiscard]] std::optional<Key> peek(std::size_t i) const {
+      const Key t = mq->queues_[i]->top.load(std::memory_order_acquire);
+      if (t == kEmptyTop) return std::nullopt;
+      return t;
+    }
   };
-  Sampled sample_best(util::Rng& rng) const {
-    const std::size_t q = queues_.size();
-    std::size_t best = util::bounded(rng, q);
-    Key tbest = queues_[best]->top.load(std::memory_order_acquire);
-    for (unsigned c = 1; c < choices_; ++c) {
-      std::size_t cand = util::bounded(rng, q - 1);
-      if (cand >= best) ++cand;  // distinct from the current best
-      const Key tc = queues_[cand]->top.load(std::memory_order_acquire);
-      if (tc < tbest) {
-        best = cand;
-        tbest = tc;
-      }
-    }
-    return Sampled{best, tbest};
-  }
-
-  /// Full top-cache scan beginning at `start` (wrapping): index of the
-  /// first sub-queue whose cached top is non-empty, or queues_.size() when
-  /// the whole scan agrees the queue is empty. Callers pass a random start:
-  /// a fixed origin funnels every thread of a near-empty queue onto the
-  /// lowest-index non-empty sub-queue (lock contention + a pop bias toward
-  /// whatever happens to live there).
-  std::size_t scan_nonempty(std::size_t start) const {
-    const std::size_t q = queues_.size();
-    for (std::size_t i = 0; i < q; ++i) {
-      const std::size_t idx = (start + i) % q;
-      if (queues_[idx]->top.load(std::memory_order_acquire) != kEmptyTop)
-        return idx;
-    }
-    return q;
-  }
-
-  /// Victim-selection loop shared by the single and batched pop paths:
-  /// sample best-of-c sub-queues, falling back to a randomized full scan
-  /// after probe_limit_ consecutive empty samples. `claim(sub_queue)`
-  /// attempts the pop(s); a falsy result means "lost the race — resample".
-  /// Returns `empty` only when a full scan observed every sub-queue empty.
-  template <typename R, typename Claim>
-  R select_and_claim(util::Rng& rng, R empty, Claim claim) {
-    int empty_probes = 0;
-    for (;;) {
-      if (empty_probes >= probe_limit_) {
-        // Random sampling keeps missing: scan every top cache once. Only
-        // report empty when the whole scan agrees; otherwise aim straight
-        // at a non-empty sub-queue (may race and come back here).
-        const std::size_t found =
-            scan_nonempty(util::bounded(rng, queues_.size()));
-        if (found == queues_.size()) return empty;
-        empty_probes = 0;
-        if (R r = claim(*queues_[found])) return r;
-        continue;
-      }
-      const Sampled s = sample_best(rng);
-      if (s.top == kEmptyTop) {
-        ++empty_probes;
-        continue;
-      }
-      if (R r = claim(*queues_[s.index])) return r;
-    }
-  }
 
   std::optional<Key> approx_get_min(util::Rng& rng) {
-    return select_and_claim(rng, std::optional<Key>{},
-                            [this](SubQueue& sq) { return try_pop(sq); });
+    return sampling::select_and_claim(
+        TopPolicy{this}, rng, choices_, probe_limit_, std::optional<Key>{},
+        [this](std::size_t idx) { return try_pop(*queues_[idx]); });
   }
 
   /// Batched pop: same victim selection as approx_get_min, but the winning
@@ -387,9 +368,9 @@ class BasicConcurrentMultiQueue {
   std::size_t approx_get_min_batch(std::size_t k, std::vector<Key>& out,
                                    util::Rng& rng) {
     if (k == 0) return 0;
-    return select_and_claim(rng, std::size_t{0}, [&](SubQueue& sq) {
-      return try_pop_batch(sq, k, out);
-    });
+    return sampling::select_and_claim(
+        TopPolicy{this}, rng, choices_, probe_limit_, std::size_t{0},
+        [&](std::size_t idx) { return try_pop_batch(*queues_[idx], k, out); });
   }
 
   std::optional<Key> try_pop(SubQueue& sq) {

@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sched/scheduler.h"
@@ -29,14 +30,18 @@ namespace relax::sched {
 
 /// Forwarding shim for backends without per-thread handles. The wrapped
 /// scheduler must itself be safe for concurrent calls (LockedScheduler).
-/// The batched pop forwards to the backend's native batch when it has one
-/// (LockedScheduler amortizes its lock over the batch) and degrades to
-/// one-at-a-time pops otherwise, so every backend — locked, sim,
-/// deterministic — accepts batched acquisition with unchanged semantics.
+/// The batched pop and batched insert forward to the backend's native
+/// batch ops when it has them (LockedScheduler amortizes its lock over the
+/// batch) and degrade to one-at-a-time ops otherwise, so every backend —
+/// locked, sim, deterministic — accepts batching on both sides with
+/// unchanged semantics.
 template <typename Queue>
 struct DirectHandle {
   Queue* queue;
   void insert(Priority p) { queue->insert(p); }
+  void insert_batch(std::span<const Priority> keys) {
+    sched::insert_batch(*queue, keys);
+  }
   std::optional<Priority> approx_get_min() {
     return queue->approx_get_min();
   }
@@ -63,6 +68,9 @@ class SequentialView {
  public:
   explicit SequentialView(Queue& queue) : queue_(&queue) {}
   void insert(Priority p) { queue_->insert(p); }
+  void insert_batch(std::span<const Priority> keys) {
+    sched::insert_batch(*queue_, keys);
+  }
   std::optional<Priority> approx_get_min() {
     return queue_->approx_get_min();
   }

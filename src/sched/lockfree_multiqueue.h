@@ -35,6 +35,7 @@
 #include <span>
 #include <vector>
 
+#include "sched/sampling.h"
 #include "sched/scheduler.h"
 #include "util/padded.h"
 #include "util/rng.h"
@@ -77,6 +78,13 @@ class LockFreeMultiQueue {
   class Handle {
    public:
     void insert(Priority p) { mq_->insert(p, rng_); }
+    /// Native batched insert: CAS-splices the sorted run into ONE sub-list
+    /// in a single forward walk — one list traversal plus k link CASes
+    /// instead of k traversals, amortizing like the MultiQueue's chunked
+    /// merge. Safe concurrently with any handle operation.
+    void insert_batch(std::span<const Priority> keys) {
+      mq_->insert_batch(keys, rng_);
+    }
     std::optional<Priority> approx_get_min() {
       return mq_->approx_get_min(rng_);
     }
@@ -131,6 +139,10 @@ class LockFreeMultiQueue {
   void insert(Priority p) {
     util::Rng rng(seed_ ^ sequential_ops_++);
     insert(p, rng);
+  }
+  void insert_batch(std::span<const Priority> keys) {
+    util::Rng rng(seed_ ^ sequential_ops_++);
+    insert_batch(keys, rng);
   }
   std::optional<Priority> approx_get_min() {
     util::Rng rng(seed_ ^ sequential_ops_++);
@@ -197,12 +209,20 @@ class LockFreeMultiQueue {
     Node* curr;
   };
 
-  Window search(SubList& list, Priority key) {
-  retry:
+  /// Search starting from `start` instead of the head — the amortization
+  /// seam for the batched insert: successive keys of a sorted run resume
+  /// from the previous key's link position, so the run costs one walk. A
+  /// `start` that has itself been claimed (its next is marked) cannot serve
+  /// as a predecessor; the walk then restarts from the sentinel, which is
+  /// never marked.
+  Window search_from(SubList& list, Node* start, Priority key) {
     for (;;) {
-      Node* pred = list.head;
+      Node* pred = start;
       std::uintptr_t pred_next = pred->next.load(std::memory_order_acquire);
-      // The sentinel is never marked, so pred_next's mark bit is clear.
+      if (marked(pred_next)) {
+        start = list.head;
+        continue;  // start died underneath us: fall back to a full walk
+      }
       Node* curr = ptr_of(pred_next);
       while (curr != nullptr) {
         const std::uintptr_t curr_next =
@@ -212,23 +232,28 @@ class LockFreeMultiQueue {
           const std::uintptr_t unlinked = pack(ptr_of(curr_next), false);
           if (!pred->next.compare_exchange_strong(
                   pred_next, unlinked, std::memory_order_acq_rel)) {
-            goto retry;  // pred changed (or got marked): restart the walk
+            break;  // pred changed (or got marked): restart the walk
           }
           pred_next = unlinked;
           curr = ptr_of(curr_next);
           continue;
         }
-        if (curr->key >= key) break;
+        if (curr->key >= key) return Window{pred, pred_next, curr};
         pred = curr;
         pred_next = curr_next;
         curr = ptr_of(curr_next);
       }
-      return Window{pred, pred_next, curr};
+      if (curr == nullptr) return Window{pred, pred_next, nullptr};
+      // Helping CAS failed: restart (re-validating `start`).
     }
   }
 
+  Window search(SubList& list, Priority key) {
+    return search_from(list, list.head, key);
+  }
+
   void insert(Priority p, util::Rng& rng) {
-    auto& list = queues_[util::bounded(rng, queues_.size())].value;
+    auto& list = queues_[sampling::pick_uniform(PeekPolicy{this}, rng)].value;
     Node* node = allocate(p);
     for (;;) {
       Window w = search(list, p);
@@ -243,8 +268,49 @@ class LockFreeMultiQueue {
     }
   }
 
+  /// Native batched insert (ROADMAP: "a CAS-splice of a sorted run into one
+  /// sub-list would amortize like the MultiQueue's merge"): sorts the run,
+  /// picks ONE uniform random sub-list, and links the keys in ascending
+  /// order in a single forward pass — each key's search resumes from the
+  /// node just linked (whose key is <= the next key), so the batch costs
+  /// one list traversal plus k link CASes instead of k traversals. Safe
+  /// concurrently with inserts, claims, and other batched inserts; a
+  /// claimed-or-raced resume point falls back to a head walk inside
+  /// search_from.
+  void insert_batch(std::span<const Priority> keys, util::Rng& rng) {
+    if (keys.empty()) return;
+    auto& list = queues_[sampling::pick_uniform(PeekPolicy{this}, rng)].value;
+    // Already-sorted runs splice straight from the caller's span; only
+    // unsorted runs pay a copy + sort.
+    std::span<const Priority> sorted = keys;
+    std::vector<Priority> scratch;
+    if (!std::is_sorted(keys.begin(), keys.end())) {
+      scratch.assign(keys.begin(), keys.end());
+      std::sort(scratch.begin(), scratch.end());
+      sorted = scratch;
+    }
+    Node* resume = list.head;
+    for (const Priority p : sorted) {
+      Node* node = allocate(p);
+      for (;;) {
+        Window w = search_from(list, resume, p);
+        node->next.store(pack(w.curr, false), std::memory_order_relaxed);
+        std::uintptr_t expected = w.pred_next;
+        if (w.pred->next.compare_exchange_strong(expected, pack(node, false),
+                                                 std::memory_order_acq_rel)) {
+          resume = node;
+          break;
+        }
+        // Lost the race at pred: re-search from the last linked node (it
+        // may itself have been claimed; search_from handles that).
+      }
+    }
+    list.count.fetch_add(static_cast<std::int64_t>(sorted.size()),
+                         std::memory_order_release);
+  }
+
   /// First unmarked key of a sub-list, or nullopt. Read-only.
-  std::optional<Priority> peek(SubList& list) const {
+  std::optional<Priority> peek(const SubList& list) const {
     Node* curr =
         ptr_of(list.head->next.load(std::memory_order_acquire));
     while (curr != nullptr) {
@@ -311,78 +377,34 @@ class LockFreeMultiQueue {
     return got;
   }
 
-  /// Full sub-list scan beginning at `start` (wrapping); queues_.size()
-  /// when everything is empty. A randomized start keeps near-empty-queue
-  /// traffic from funnelling onto the lowest-index non-empty sub-list.
-  std::size_t scan_nonempty(std::size_t start) {
-    const std::size_t q = queues_.size();
-    for (std::size_t i = 0; i < q; ++i) {
-      const std::size_t idx = (start + i) % q;
-      if (peek(queues_[idx].value)) return idx;
+  /// Sampling policy over the sub-list heads (sched/sampling.h): the probe
+  /// is a read-only head walk past the marked prefix. No locks — claims
+  /// re-verify via their own CAS.
+  struct PeekPolicy {
+    const LockFreeMultiQueue* mq;
+    [[nodiscard]] std::size_t count() const noexcept {
+      return mq->queues_.size();
     }
-    return q;
-  }
-
-  struct Sampled {
-    std::size_t index;
-    bool nonempty;
+    [[nodiscard]] std::optional<Priority> peek(std::size_t i) const {
+      return mq->peek(mq->queues_[i].value);
+    }
   };
-  Sampled sample_best(util::Rng& rng) {
-    const std::size_t q = queues_.size();
-    std::size_t a = util::bounded(rng, q);
-    std::size_t b = a;
-    if (choices_ >= 2 && q > 1) {
-      b = util::bounded(rng, q - 1);
-      if (b >= a) ++b;
-    }
-    const auto ta = peek(queues_[a].value);
-    const auto tb = peek(queues_[b].value);
-    if (!ta && !tb) return Sampled{a, false};
-    return Sampled{(!ta || (tb && *tb < *ta)) ? b : a, true};
-  }
-
-  /// Victim-selection loop shared by the single and batched claim paths:
-  /// sample best-of-choices sub-lists, falling back to a randomized full
-  /// scan after probe_limit_ consecutive empty samples. `claim(sub_list)`
-  /// attempts the head claim(s); a falsy result means "lost the race —
-  /// resample". Returns `empty` only when a full scan observed every
-  /// sub-list empty.
-  template <typename R, typename Claim>
-  R select_and_claim(util::Rng& rng, R empty, Claim claim) {
-    int empty_probes = 0;
-    for (;;) {
-      if (empty_probes >= probe_limit_) {
-        // Random sampling keeps missing: scan every sub-list once. Only
-        // report empty when the whole scan agrees; otherwise pop from the
-        // first non-empty list found (may race and come back here).
-        const std::size_t found =
-            scan_nonempty(util::bounded(rng, queues_.size()));
-        if (found == queues_.size()) return empty;
-        empty_probes = 0;
-        if (R r = claim(queues_[found].value)) return r;
-        continue;
-      }
-      const Sampled s = sample_best(rng);
-      if (!s.nonempty) {
-        ++empty_probes;
-        continue;
-      }
-      if (R r = claim(queues_[s.index].value)) return r;
-      // Lost the claim race; resample.
-    }
-  }
 
   std::optional<Priority> approx_get_min(util::Rng& rng) {
-    return select_and_claim(rng, std::optional<Priority>{},
-                            [this](SubList& list) { return pop_min(list); });
+    return sampling::select_and_claim(
+        PeekPolicy{this}, rng, choices_, probe_limit_,
+        std::optional<Priority>{},
+        [this](std::size_t idx) { return pop_min(queues_[idx].value); });
   }
 
   std::size_t approx_get_min_batch(std::size_t k, std::vector<Priority>& out,
                                    util::Rng& rng) {
     if (k == 0) return 0;
-    return select_and_claim(rng, std::size_t{0}, [&](SubList& list) {
-      return pop_min_batch(list, k, out);
-    });
+    return sampling::select_and_claim(
+        PeekPolicy{this}, rng, choices_, probe_limit_, std::size_t{0},
+        [&](std::size_t idx) {
+          return pop_min_batch(queues_[idx].value, k, out);
+        });
   }
 
   static constexpr int kProbeLimit = 16;

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -43,6 +44,19 @@ class RelaxationMonitor {
     mirror_.insert(p);
     if (p % stride_ == 0) tracked_.emplace(p, 0);
     inner_.insert(p);
+  }
+
+  /// Batched insert, measured: the mirror observes every key individually
+  /// (a batched insert is k inserts as far as Definition 1 is concerned —
+  /// inserts carry no rank), then the run is handed to the wrapped
+  /// scheduler's own batched path so the audit measures the same splice
+  /// the production path runs.
+  void insert_batch(std::span<const Priority> keys) {
+    for (const Priority p : keys) {
+      mirror_.insert(p);
+      if (p % stride_ == 0) tracked_.emplace(p, 0);
+    }
+    sched::insert_batch(inner_, keys);
   }
 
   std::optional<Priority> approx_get_min() {

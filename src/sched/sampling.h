@@ -1,0 +1,113 @@
+// Shared victim-selection machinery for sampled sub-structure schedulers.
+//
+// ConcurrentMultiQueue and LockFreeMultiQueue are the same stochastic
+// process over different primitives: q sub-structures, a cheap per-index
+// emptiness/head probe, best-of-c sampling on the pop side, a uniform
+// random target on the insert side, and a randomized full scan as the
+// emptiness fallback. This header hoists that loop so a sampling-policy
+// change (probe limits, scan randomization, batch target selection) lands
+// once instead of drifting per backend — the structural duplication called
+// out in ROADMAP item 6.
+//
+// A backend plugs in with a lightweight Policy value:
+//
+//   std::size_t count() const;            // number of sub-structures
+//   std::optional<K> peek(std::size_t i); // head key, nullopt == empty
+//
+// where K is any <-comparable key type (the MultiQueue's top-cache Key, the
+// lock-free list's head Priority). peek must be safe without locks — it
+// only guides the choice; claims re-verify under their own synchronization.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace relax::sched::sampling {
+
+struct Sampled {
+  std::size_t index;
+  bool nonempty;
+};
+
+/// Best of `choices` sampled sub-structures (c = 2 is the classic
+/// power-of-two-choices rule; larger c tightens the rank distribution at
+/// the cost of extra probes; 1 degrades to uniform single sampling with no
+/// rank bound — the ablation knob). Candidates are drawn distinct from the
+/// current best; an empty probe compares as +infinity.
+template <typename Policy>
+Sampled sample_best(const Policy& policy, unsigned choices, util::Rng& rng) {
+  const std::size_t q = policy.count();
+  std::size_t best = util::bounded(rng, q);
+  auto tbest = policy.peek(best);
+  for (unsigned c = 1; c < choices && q > 1; ++c) {
+    std::size_t cand = util::bounded(rng, q - 1);
+    if (cand >= best) ++cand;  // distinct from the current best
+    auto tc = policy.peek(cand);
+    if (tc && (!tbest || *tc < *tbest)) {
+      best = cand;
+      tbest = std::move(tc);
+    }
+  }
+  return Sampled{best, tbest.has_value()};
+}
+
+/// Full probe scan beginning at `start` (wrapping): index of the first
+/// sub-structure whose probe is non-empty, or count() when the whole scan
+/// agrees the scheduler is empty. Callers pass a random start: a fixed
+/// origin funnels every thread of a near-empty scheduler onto the
+/// lowest-index non-empty sub-structure (contention plus a pop bias toward
+/// whatever happens to live there).
+template <typename Policy>
+std::size_t scan_nonempty(const Policy& policy, std::size_t start) {
+  const std::size_t q = policy.count();
+  for (std::size_t i = 0; i < q; ++i) {
+    const std::size_t idx = (start + i) % q;
+    if (policy.peek(idx)) return idx;
+  }
+  return q;
+}
+
+/// Uniform random insert target: one sub-structure per insert (or per
+/// batched insert run — the whole run lands in one sub-structure, which is
+/// what makes a batched splice one coordination round trip).
+template <typename Policy>
+std::size_t pick_uniform(const Policy& policy, util::Rng& rng) {
+  return util::bounded(rng, policy.count());
+}
+
+/// The victim-selection loop shared by single and batched claim paths:
+/// sample best-of-`choices` sub-structures, falling back to a randomized
+/// full scan after `probe_limit` consecutive empty samples. `claim(index)`
+/// attempts the pop(s) on that sub-structure; a falsy result means "lost
+/// the race — resample". Returns `empty` only when a full scan observed
+/// every sub-structure empty.
+template <typename R, typename Policy, typename Claim>
+R select_and_claim(const Policy& policy, util::Rng& rng, unsigned choices,
+                   int probe_limit, R empty, Claim claim) {
+  int empty_probes = 0;
+  for (;;) {
+    if (empty_probes >= probe_limit) {
+      // Random sampling keeps missing: scan every probe once. Only report
+      // empty when the whole scan agrees; otherwise aim straight at a
+      // non-empty sub-structure (may race and come back here).
+      const std::size_t found =
+          scan_nonempty(policy, util::bounded(rng, policy.count()));
+      if (found == policy.count()) return empty;
+      empty_probes = 0;
+      if (R r = claim(found)) return r;
+      continue;
+    }
+    const Sampled s = sample_best(policy, choices, rng);
+    if (!s.nonempty) {
+      ++empty_probes;
+      continue;
+    }
+    if (R r = claim(s.index)) return r;
+    // Lost the claim race; resample.
+  }
+}
+
+}  // namespace relax::sched::sampling

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <limits>
+#include <vector>
 
 namespace relax::sched {
 namespace {
@@ -68,6 +69,68 @@ int SprayList::find(Priority key, Node** preds, Node** succs) {
   return found_level;
 }
 
+void SprayList::find_from(Priority key, Node** preds, Node** succs) {
+  // Like find, but each level's walk may start from the better of the
+  // carried-over predecessor and the caller's per-level hint. Every hint
+  // was a predecessor for a key <= `key`, so hint->key < key always holds
+  // and the walk never has to move backwards. A hint that has since been
+  // unlinked still works as a starting point: its forward pointers are
+  // frozen at unlink time and re-join the live list (nodes are only freed
+  // at destruction), and any stale position it produces is caught by
+  // try_insert_at's validation.
+  Node* pred = head_;
+  for (int level = kMaxLevel; level >= 0; --level) {
+    Node* hint = preds[level];
+    if (hint != nullptr && hint != head_ && hint->key > pred->key) pred = hint;
+    Node* curr = pred->next[level].load(std::memory_order_acquire);
+    while (curr != tail_ && curr->key < key) {
+      pred = curr;
+      curr = pred->next[level].load(std::memory_order_acquire);
+    }
+    preds[level] = pred;
+    succs[level] = curr;
+  }
+}
+
+bool SprayList::try_insert_at(Priority key, int top_level, Node* const* preds,
+                              Node* const* succs) {
+  // Lock predecessors bottom-up and validate.
+  Node* locked[kMaxLevel + 1];
+  int num_locked = 0;
+  bool valid = true;
+  Node* last_locked = nullptr;
+  for (int level = 0; valid && level <= top_level; ++level) {
+    Node* pred = preds[level];
+    Node* succ = succs[level];
+    if (pred != last_locked) {  // avoid re-locking the same node
+      pred->lock.lock();
+      locked[num_locked++] = pred;
+      last_locked = pred;
+    }
+    // A *marked* pred is fine to link after — logically deleted nodes
+    // stay physically present until the prefix cleaner reaches them, and
+    // refusing them as predecessors would livelock every insert whose
+    // key lands just past a marked node. Only an *unlinked* pred is
+    // dangerous: its outgoing pointers are dead, so a node hung off it
+    // would be unreachable.
+    valid = !pred->unlinked.load(std::memory_order_acquire) &&
+            pred->next[level].load(std::memory_order_acquire) == succ;
+  }
+  if (!valid) {
+    for (int i = num_locked - 1; i >= 0; --i) locked[i]->lock.unlock();
+    return false;
+  }
+  Node* node = allocate(key, top_level);
+  for (int level = 0; level <= top_level; ++level)
+    node->next[level].store(succs[level], std::memory_order_relaxed);
+  for (int level = 0; level <= top_level; ++level)
+    preds[level]->next[level].store(node, std::memory_order_release);
+  node->fully_linked.store(true, std::memory_order_release);
+  for (int i = num_locked - 1; i >= 0; --i) locked[i]->lock.unlock();
+  size_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
 void SprayList::insert(Priority key, util::Rng& rng) {
   const int top_level = random_level(rng);
   Node* preds[kMaxLevel + 1];
@@ -78,42 +141,36 @@ void SprayList::insert(Priority key, util::Rng& rng) {
     // nodes). We do not need the "wait for fully_linked twin" path of exact
     // sets: equal keys simply sit adjacent.
     find(key, preds, succs);
+    if (try_insert_at(key, top_level, preds, succs)) return;
+  }
+}
 
-    // Lock predecessors bottom-up and validate.
-    Node* locked[kMaxLevel + 1];
-    int num_locked = 0;
-    bool valid = true;
-    Node* last_locked = nullptr;
-    for (int level = 0; valid && level <= top_level; ++level) {
-      Node* pred = preds[level];
-      Node* succ = succs[level];
-      if (pred != last_locked) {  // avoid re-locking the same node
-        pred->lock.lock();
-        locked[num_locked++] = pred;
-        last_locked = pred;
-      }
-      // A *marked* pred is fine to link after — logically deleted nodes
-      // stay physically present until the prefix cleaner reaches them, and
-      // refusing them as predecessors would livelock every insert whose
-      // key lands just past a marked node. Only an *unlinked* pred is
-      // dangerous: its outgoing pointers are dead, so a node hung off it
-      // would be unreachable.
-      valid = !pred->unlinked.load(std::memory_order_acquire) &&
-              pred->next[level].load(std::memory_order_acquire) == succ;
+void SprayList::insert_batch(std::span<const Priority> keys, util::Rng& rng) {
+  // One descent for the whole run: the keys are sorted ascending and each
+  // key's search resumes from the previous key's predecessors (find_from),
+  // so the batch pays roughly one head-to-landing traversal plus one
+  // forward link per key instead of a full descent per key. On a failed
+  // optimistic link the hints are discarded and that key falls back to a
+  // fresh head search — correctness never depends on hint freshness.
+  if (keys.empty()) return;
+  // Already-sorted runs link straight from the caller's span; only
+  // unsorted runs pay a copy + sort.
+  std::span<const Priority> sorted = keys;
+  std::vector<Priority> scratch;
+  if (!std::is_sorted(keys.begin(), keys.end())) {
+    scratch.assign(keys.begin(), keys.end());
+    std::sort(scratch.begin(), scratch.end());
+    sorted = scratch;
+  }
+  Node* preds[kMaxLevel + 1];
+  Node* succs[kMaxLevel + 1];
+  for (int level = 0; level <= kMaxLevel; ++level) preds[level] = head_;
+  for (const Priority key : sorted) {
+    const int top_level = random_level(rng);
+    find_from(key, preds, succs);
+    while (!try_insert_at(key, top_level, preds, succs)) {
+      find(key, preds, succs);  // hints went stale: full search
     }
-    if (!valid) {
-      for (int i = num_locked - 1; i >= 0; --i) locked[i]->lock.unlock();
-      continue;  // retry
-    }
-    Node* node = allocate(key, top_level);
-    for (int level = 0; level <= top_level; ++level)
-      node->next[level].store(succs[level], std::memory_order_relaxed);
-    for (int level = 0; level <= top_level; ++level)
-      preds[level]->next[level].store(node, std::memory_order_release);
-    node->fully_linked.store(true, std::memory_order_release);
-    for (int i = num_locked - 1; i >= 0; --i) locked[i]->lock.unlock();
-    size_.fetch_add(1, std::memory_order_release);
-    return;
   }
 }
 

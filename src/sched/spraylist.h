@@ -47,6 +47,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sched/scheduler.h"
@@ -86,6 +87,14 @@ class SprayList {
   class Handle {
    public:
     void insert(Priority key) { list_->insert(key, rng_); }
+    /// Native batched insert: one skip-list descent for the sorted run,
+    /// each subsequent key's search resuming from the previous key's
+    /// predecessors instead of the head — k links for roughly one
+    /// descent's worth of traversal. Safe concurrently with sprays,
+    /// inserts, and other batched inserts.
+    void insert_batch(std::span<const Priority> keys) {
+      list_->insert_batch(keys, rng_);
+    }
     std::optional<Priority> approx_get_min() { return list_->spray(rng_); }
     /// Batched claim: one spray descent, then up to `k` successive CAS
     /// claims walking forward from the landing point. Appends to `out`;
@@ -111,6 +120,9 @@ class SprayList {
 
   /// Single-threaded convenience API (SequentialScheduler-compatible).
   void insert(Priority key) { insert(key, seq_rng_); }
+  void insert_batch(std::span<const Priority> keys) {
+    insert_batch(keys, seq_rng_);
+  }
   std::optional<Priority> approx_get_min() { return spray(seq_rng_); }
   std::size_t approx_get_min_batch(std::size_t k, std::vector<Priority>& out) {
     return spray_batch(k, out, seq_rng_);
@@ -139,6 +151,7 @@ class SprayList {
   };
 
   void insert(Priority key, util::Rng& rng);
+  void insert_batch(std::span<const Priority> keys, util::Rng& rng);
   std::optional<Priority> spray(util::Rng& rng);
   std::size_t spray_batch(std::size_t k, std::vector<Priority>& out,
                           util::Rng& rng);
@@ -158,6 +171,21 @@ class SprayList {
   /// Standard lazy-skiplist search: fills preds/succs per level for `key`.
   /// Returns the level of the first exact key match or -1.
   int find(Priority key, Node** preds, Node** succs);
+
+  /// Search that resumes from a previous (smaller-or-equal key) search's
+  /// predecessors instead of the head — the amortization seam for the
+  /// batched insert. `preds` holds the resume hints on entry and is updated
+  /// in place; hints may be stale (marked or even unlinked nodes): the walk
+  /// only ever moves forward in key order, and try_insert_at's lock-and-
+  /// validate step rejects any position that is no longer linked.
+  void find_from(Priority key, Node** preds, Node** succs);
+
+  /// One optimistic link attempt at the positions `preds`/`succs` describe:
+  /// locks predecessors bottom-up, validates them, links a new node of
+  /// `top_level` towers. Returns false (nothing linked) when validation
+  /// fails — the caller re-searches and retries.
+  bool try_insert_at(Priority key, int top_level, Node* const* preds,
+                     Node* const* succs);
 
   /// Physically unlinks a marked node. Only the prefix cleaner calls this
   /// (serialized by cleaner_lock_), so each node is unlinked at most once.

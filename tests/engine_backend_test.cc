@@ -110,6 +110,55 @@ TEST(EngineBackend, BatchedAcquisitionProducesTheSequentialMis) {
   }
 }
 
+// Batched re-insertion + adaptive claim sizing (--pop-batch=auto): every
+// backend still decides exactly the sequential MIS when kNotReady labels
+// are buffered and flushed as insert_batch runs and the per-worker claim
+// size floats between 1 and the cap. A label stranded in a re-insertion
+// buffer would hang wait(); a duplicated one breaks the counting.
+TEST(EngineBackend, AdaptiveBatchingProducesTheSequentialMis) {
+  const MisFixture fix;
+  SchedulingEngine eng(engine_opts(4, 2));
+  for (const sched::BackendInfo& info : sched::backend_registry()) {
+    SCOPED_TRACE(std::string("backend: ") + std::string(info.name));
+    algorithms::AtomicMisProblem problem(fix.g, fix.pri);
+    JobConfig cfg;
+    cfg.seed = 71;
+    cfg.pop_batch = 64;  // the adaptive cap
+    cfg.pop_batch_auto = true;
+    const auto stats =
+        eng.submit_relaxed_backend(problem, fix.pri, info, cfg).wait();
+    EXPECT_EQ(problem.result(), fix.expected);
+    EXPECT_TRUE(algorithms::verify_mis(fix.g, problem.result()));
+    EXPECT_EQ(stats.processed + stats.dead_skips, fix.g.num_vertices());
+    EXPECT_EQ(stats.iterations,
+              stats.processed + stats.failed_deletes + stats.dead_skips);
+  }
+}
+
+TEST(EngineBackend, PopBatchFlagParsing) {
+  const auto fixed = parse_pop_batch_flag("8");
+  EXPECT_EQ(fixed.batch, 8u);
+  EXPECT_FALSE(fixed.adaptive);
+
+  const auto adaptive = parse_pop_batch_flag("auto");
+  EXPECT_EQ(adaptive.batch, JobConfig::kDefaultAutoPopBatch);
+  EXPECT_TRUE(adaptive.adaptive);
+
+  const auto capped = parse_pop_batch_flag("auto:128");
+  EXPECT_EQ(capped.batch, 128u);
+  EXPECT_TRUE(capped.adaptive);
+
+  // Degenerate values degrade safely: reported == effective.
+  EXPECT_EQ(parse_pop_batch_flag("0").batch, 1u);
+  EXPECT_EQ(parse_pop_batch_flag("garbage").batch, 1u);
+  EXPECT_FALSE(parse_pop_batch_flag("garbage").adaptive);
+  EXPECT_EQ(parse_pop_batch_flag("auto:junk").batch,
+            JobConfig::kDefaultAutoPopBatch);
+  EXPECT_TRUE(parse_pop_batch_flag("auto:junk").adaptive);
+  EXPECT_EQ(parse_pop_batch_flag("99999999").batch,
+            JobConfig::kMaxPopBatch);
+}
+
 // A monitored batched job measures the batch-aware Definition 1 envelope
 // in situ: mean rank error stays within a generous multiple of
 // batched_rank_bound even under real concurrency.

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -100,6 +101,89 @@ TEST(LockFreeMultiQueue, TwoChoiceRankStaysNearHead) {
   // Two-choice process: mean rank O(q), exponential tails (PODC'17).
   EXPECT_LT(sum / kN, 4.0 * kQueues);
   EXPECT_LT(static_cast<double>(beyond) / kN, 0.01);
+}
+
+TEST(LockFreeMultiQueue, InsertBatchIntoSingleListKeepsExactOrder) {
+  // One sub-list degrades to an exact sorted list, so after CAS-splicing
+  // shuffled runs the drain must come out in strictly ascending order —
+  // any mis-link from the forward-resumed search would surface here.
+  constexpr std::uint32_t kN = 2000;
+  LockFreeMultiQueue mq(1, 31);
+  util::Rng rng(7);
+  const auto labels = util::random_permutation(kN, rng);
+  constexpr std::size_t kRun = 64;
+  for (std::uint32_t off = 0; off < kN; off += kRun) {
+    mq.insert_batch(std::span<const Priority>(
+        labels.data() + off, std::min<std::size_t>(kRun, kN - off)));
+  }
+  EXPECT_EQ(mq.size(), kN);
+  for (Priority expect = 0; expect < kN; ++expect)
+    EXPECT_EQ(mq.approx_get_min(), expect);
+  EXPECT_TRUE(mq.empty());
+}
+
+TEST(LockFreeMultiQueue, InsertBatchWithDuplicatesAndSingletons) {
+  LockFreeMultiQueue mq(2, 33);
+  const std::vector<Priority> run = {5, 1, 5, 9, 1, 1};
+  mq.insert_batch(run);
+  mq.insert_batch(std::span<const Priority>(run.data(), 1));  // singleton
+  mq.insert_batch({});                                        // empty: no-op
+  EXPECT_EQ(mq.size(), run.size() + 1);
+  std::vector<Priority> popped;
+  while (auto p = mq.approx_get_min()) popped.push_back(*p);
+  std::sort(popped.begin(), popped.end());
+  EXPECT_EQ(popped, (std::vector<Priority>{1, 1, 1, 5, 5, 5, 9}));
+}
+
+TEST(LockFreeMultiQueue, ConcurrentInsertBatchDrainExactlyOnce) {
+  // Sorted-run splices racing batched head claims on the same sub-lists:
+  // the forward-resumed link CAS must never lose a key to a concurrent
+  // claim (the search_from fallback path) or double-link one.
+  constexpr std::uint32_t kN = 40000;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint32_t kRun = 32;
+  LockFreeMultiQueue mq(4 * kThreads, 19);
+  std::vector<std::atomic<int>> got(kN);
+  for (auto& g : got) g.store(0);
+  std::atomic<std::uint32_t> produced{0};
+  std::atomic<std::uint32_t> consumed{0};
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        auto handle = mq.get_handle();
+        util::Rng rng(100 + t);
+        std::vector<Priority> run;
+        std::vector<Priority> buf;
+        for (;;) {
+          const auto lo = produced.fetch_add(kRun);
+          if (lo >= kN) break;
+          run.clear();
+          for (std::uint32_t i = lo; i < std::min(lo + kRun, kN); ++i)
+            run.push_back(i);
+          util::shuffle(std::span<Priority>(run), rng);
+          handle.insert_batch(run);
+          // Interleave a batched claim to race the two paths.
+          buf.clear();
+          handle.approx_get_min_batch(4, buf);
+          for (const Priority p : buf) {
+            got[p].fetch_add(1);
+            consumed.fetch_add(1);
+          }
+        }
+        while (consumed.load() < kN) {
+          buf.clear();
+          if (handle.approx_get_min_batch(8, buf) == 0) continue;
+          for (const Priority p : buf) {
+            got[p].fetch_add(1);
+            consumed.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(consumed.load(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(got[i].load(), 1);
 }
 
 TEST(LockFreeMultiQueue, ConcurrentInsertDrainExactlyOnce) {

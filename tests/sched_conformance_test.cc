@@ -18,8 +18,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <iterator>
 #include <numeric>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -145,6 +147,46 @@ TEST(SchedConformance, BatchedDrainIsAPermutationOfInserts) {
       ASSERT_LE(got, kBatch);
       popped.insert(popped.end(), buf.begin(), buf.end());
     }
+    ASSERT_EQ(popped.size(), kN);
+    std::sort(popped.begin(), popped.end());
+    for (std::uint32_t i = 0; i < kN; ++i) EXPECT_EQ(popped[i], i);
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.size(), 0u);
+  });
+}
+
+// Insert-side batching conformance: sched::insert_batch over every backend
+// — native sorted-run splices on the scalable structures (MultiQueue
+// chunked merge, lock-free list CAS-splice, SprayList one-descent run),
+// one lock per batch on the locked adapters, per-key shim elsewhere — must
+// deliver exactly the inserted label multiset back out, whatever mix of
+// batch sizes built it.
+TEST(SchedConformance, InsertBatchDrainIsAPermutationOfInserts) {
+  constexpr std::uint32_t kN = 2048;
+  for_each_backend(kN, 4, [&](const BackendInfo&, auto& queue) {
+    std::vector<Priority> labels(kN);
+    std::iota(labels.begin(), labels.end(), 0u);
+    util::Rng rng(23);
+    util::shuffle(std::span<Priority>(labels), rng);
+
+    auto handle = make_handle(queue);
+    // Mixed batch sizes, including 1 and a run larger than any sub-queue
+    // chunk, so both the splice and the degenerate paths are exercised.
+    constexpr std::size_t kChunks[] = {1, 7, 64, 3, 200, 1, 500};
+    std::size_t off = 0, chunk_ix = 0;
+    while (off < kN) {
+      const std::size_t len =
+          std::min<std::size_t>(kChunks[chunk_ix++ % std::size(kChunks)],
+                                kN - off);
+      insert_batch(handle,
+                   std::span<const Priority>(labels.data() + off, len));
+      off += len;
+    }
+    EXPECT_EQ(queue.size(), kN);
+
+    std::vector<Priority> popped;
+    popped.reserve(kN);
+    while (const auto p = queue.approx_get_min()) popped.push_back(*p);
     ASSERT_EQ(popped.size(), kN);
     std::sort(popped.begin(), popped.end());
     for (std::uint32_t i = 0; i < kN; ++i) EXPECT_EQ(popped[i], i);
@@ -294,6 +336,83 @@ TEST(SchedConformance, ConcurrentBatchedDrainKeepsEveryLabelExactlyOnce) {
             pop_batch(handle, kBatch, buf);
             for (const Priority p : buf) record(p);
           }
+        }
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(60);
+        std::uint32_t dry_polls = 0;
+        while (popped.load(std::memory_order_relaxed) < kN) {
+          buf.clear();
+          if (pop_batch(handle, kBatch, buf) > 0) {
+            for (const Priority p : buf) record(p);
+            dry_polls = 0;
+          } else if ((++dry_polls & 0xfff) == 0 &&
+                     std::chrono::steady_clock::now() > deadline) {
+            break;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    EXPECT_EQ(popped.load(), kN);
+    EXPECT_EQ(duplicates.load(), 0u);
+    EXPECT_EQ(out_of_range.load(), 0u);
+    for (std::uint32_t p = 0; p < kN; ++p) {
+      ASSERT_EQ(seen[p].load(), 1u) << "label " << p;
+    }
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.size(), 0u);
+    EXPECT_EQ(queue.approx_get_min(), std::nullopt);
+  });
+}
+
+// Full batching symmetry under concurrency: workers admit their label
+// ranges through insert_batch runs while draining through pop_batch —
+// racing sorted-run splices against batched head claims on every backend.
+// The counting invariant must survive: every label delivered exactly once,
+// scheduler definitively empty after.
+TEST(SchedConformance, ConcurrentMixedBatchedOpsKeepEveryLabelExactlyOnce) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint32_t kPerThread = 2500;
+  constexpr std::uint32_t kN = kThreads * kPerThread;
+  constexpr std::size_t kInsertRun = 16;
+  constexpr std::size_t kBatch = 8;
+  for_each_backend(kN, kThreads, [&](const BackendInfo&, auto& queue) {
+    std::vector<std::atomic<std::uint8_t>> seen(kN);
+    std::atomic<std::uint32_t> popped{0};
+    std::atomic<std::uint32_t> duplicates{0};
+    std::atomic<std::uint32_t> out_of_range{0};
+
+    auto record = [&](Priority p) {
+      if (p >= kN) {
+        out_of_range.fetch_add(1, std::memory_order_relaxed);
+      } else if (seen[p].fetch_add(1, std::memory_order_relaxed) != 0) {
+        duplicates.fetch_add(1, std::memory_order_relaxed);
+      }
+      popped.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        auto handle = make_handle(queue);
+        std::vector<Priority> run;
+        std::vector<Priority> buf;
+        // Shuffle this worker's range so the sorted-run splice sees
+        // non-trivial runs instead of pre-sorted input.
+        std::vector<Priority> mine(kPerThread);
+        std::iota(mine.begin(), mine.end(), t * kPerThread);
+        util::Rng rng(1000 + t);
+        util::shuffle(std::span<Priority>(mine), rng);
+        for (std::uint32_t i = 0; i < kPerThread; i += kInsertRun) {
+          const std::size_t len =
+              std::min<std::size_t>(kInsertRun, kPerThread - i);
+          insert_batch(handle,
+                       std::span<const Priority>(mine.data() + i, len));
+          buf.clear();
+          pop_batch(handle, kBatch, buf);
+          for (const Priority p : buf) record(p);
         }
         const auto deadline =
             std::chrono::steady_clock::now() + std::chrono::seconds(60);

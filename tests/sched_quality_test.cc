@@ -7,6 +7,9 @@
 // against its nominal Definition 1 bound.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -228,6 +231,56 @@ TEST(BackendQuality, BatchedPopsStayWithinBatchAwareEnvelope) {
         // per-pop cap: batching must not loosen a hard rank guarantee.
         EXPECT_LT(ranks.max_value(), expected_rank_bound(info, params));
       }
+    });
+  }
+}
+
+// The batched Definition 1 envelope must also hold when the *insert* side
+// is batched: labels enter through RelaxationMonitor::insert_batch (the
+// backend's native sorted-run splice where one exists) in mixed-size runs,
+// and leave through batched pops. A batched insert concentrates its run in
+// one sub-structure, so this pins down that the transient skew never blows
+// the k-scaled rank envelope — the whole-system symmetry claim of the
+// insert-side batching work.
+TEST(BackendQuality, BatchedInsertsStayWithinBatchAwareEnvelope) {
+  constexpr std::uint32_t kN = 20000;
+  constexpr std::size_t kBatch = 8;
+  for (const BackendInfo& info : backend_registry()) {
+    SCOPED_TRACE(std::string("backend: ") + std::string(info.name));
+    BackendParams params;
+    params.threads = 8;
+    params.queue_factor = 4;
+    params.seed = 103;
+    params.capacity = kN;
+    const std::uint64_t bound = batched_rank_bound(info, params, kBatch);
+    dispatch_backend(info, params, [&](auto tag, auto&&... args) {
+      using Queue = typename decltype(tag)::type;
+      Queue queue(std::forward<decltype(args)>(args)...);
+      RelaxationMonitor<SequentialView<Queue>> mon(SequentialView<Queue>(queue),
+                                                   kN, 16);
+      std::vector<Priority> labels(kN);
+      for (Priority p = 0; p < kN; ++p) labels[p] = p;
+      util::Rng rng(29);
+      util::shuffle(std::span<Priority>(labels), rng);
+      // Mixed run lengths: single inserts, engine-style re-insertion runs,
+      // and admission-sized chunks.
+      constexpr std::size_t kRuns[] = {1, 8, 64, 3, 256};
+      std::size_t off = 0, run_ix = 0;
+      while (off < kN) {
+        const std::size_t len = std::min<std::size_t>(
+            kRuns[run_ix++ % std::size(kRuns)], kN - off);
+        mon.insert_batch(std::span<const Priority>(labels.data() + off, len));
+        off += len;
+      }
+      std::vector<Priority> buf;
+      while (mon.approx_get_min_batch(kBatch, buf) > 0) buf.clear();
+      const auto& ranks = mon.rank_histogram();
+      // Counting: every batched insert reached the mirror and the backend
+      // exactly once — nothing lost or invented by the splice paths.
+      ASSERT_EQ(ranks.total(), kN);
+      EXPECT_EQ(mon.inversion_histogram().total(), kN / 16);
+      EXPECT_LE(ranks.mean(), 2.0 * static_cast<double>(bound));
+      EXPECT_LT(ranks.tail_fraction_at_least(8 * bound), 0.02);
     });
   }
 }

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iterator>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -50,6 +52,95 @@ TEST(SprayList, ReinsertionOfSameKey) {
   list.insert(5);  // re-insert while the marked twin may still be present
   EXPECT_EQ(list.approx_get_min(), 5u);
   EXPECT_TRUE(list.empty());
+}
+
+TEST(SprayList, InsertBatchDrainsAllExactlyOnce) {
+  // Batched insert (one descent, forward-linked run with hint-resumed
+  // searches): shuffled mixed-size runs, including duplicates, must all
+  // come back out exactly once.
+  constexpr std::uint32_t kN = 4000;
+  SprayList list(4, 21);
+  util::Rng rng(9);
+  auto labels = util::random_permutation(kN, rng);
+  constexpr std::size_t kRuns[] = {1, 5, 64, 300};
+  std::size_t off = 0, ix = 0;
+  while (off < kN) {
+    const std::size_t len =
+        std::min<std::size_t>(kRuns[ix++ % std::size(kRuns)], kN - off);
+    list.insert_batch(std::span<const Priority>(labels.data() + off, len));
+    off += len;
+  }
+  EXPECT_EQ(list.size(), kN);
+  std::vector<char> seen(kN, 0);
+  std::uint32_t count = 0;
+  while (auto p = list.approx_get_min()) {
+    ASSERT_LT(*p, kN);
+    ASSERT_FALSE(seen[*p]) << "duplicate " << *p;
+    seen[*p] = 1;
+    ++count;
+  }
+  EXPECT_EQ(count, kN);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(SprayList, InsertBatchWithDuplicateKeys) {
+  SprayList list(2, 23);
+  const std::vector<Priority> run = {7, 7, 3, 7, 3};
+  list.insert_batch(run);
+  std::vector<Priority> popped;
+  while (auto p = list.approx_get_min()) popped.push_back(*p);
+  std::sort(popped.begin(), popped.end());
+  EXPECT_EQ(popped, (std::vector<Priority>{3, 3, 7, 7, 7}));
+}
+
+TEST(SprayList, ConcurrentInsertBatchExactlyOnce) {
+  // Batched inserts racing sprays and each other: the hint-resumed
+  // optimistic links must fall back cleanly when a predecessor is claimed
+  // or unlinked mid-run.
+  constexpr std::uint32_t kN = 20000;
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint32_t kRun = 25;
+  SprayList list(kThreads, 27);
+  std::vector<std::atomic<int>> got(kN);
+  for (auto& g : got) g.store(0);
+  std::atomic<std::uint32_t> produced{0};
+  std::atomic<std::uint32_t> consumed{0};
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        auto handle = list.get_handle();
+        util::Rng rng(300 + t);
+        std::vector<Priority> run;
+        std::vector<Priority> buf;
+        for (;;) {
+          const auto lo = produced.fetch_add(kRun);
+          if (lo >= kN) break;
+          run.clear();
+          for (std::uint32_t i = lo; i < std::min(lo + kRun, kN); ++i)
+            run.push_back(i);
+          util::shuffle(std::span<Priority>(run), rng);
+          handle.insert_batch(run);
+          buf.clear();
+          handle.approx_get_min_batch(4, buf);
+          for (const Priority p : buf) {
+            got[p].fetch_add(1);
+            consumed.fetch_add(1);
+          }
+        }
+        while (consumed.load() < kN) {
+          buf.clear();
+          if (handle.approx_get_min_batch(8, buf) == 0) continue;
+          for (const Priority p : buf) {
+            got[p].fetch_add(1);
+            consumed.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(consumed.load(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(got[i].load(), 1);
 }
 
 TEST(SprayList, BiasTowardSmallKeys) {

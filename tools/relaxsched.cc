@@ -65,9 +65,11 @@ using relax::graph::Graph;
                            (any registry name; see list below)
                                                            [multiqueue-c2]
   --queue-factor=<c>       MultiQueue sub-queues per thread [4]
-  --pop-batch=<k>          labels claimed per scheduler touch (parallel
+  --pop-batch=<k>|auto[:max]  labels claimed per scheduler touch (parallel
                            mode; k>1 amortizes lock/sample cost at an
-                           O(k*q) rank-error envelope)            [1]
+                           O(k*q) rank-error envelope; auto adapts per
+                           worker between 1 near drain and the max — 64
+                           unless given — under load)             [1]
   --sched=multiqueue|spray|topk|kbounded   (seq-relaxed)    [multiqueue]
   --k=<relaxation>         relaxation factor (seq-relaxed,
                            and kbounded-family backends)    [8]
@@ -133,9 +135,10 @@ relax::core::ParallelOptions parallel_opts(
   relax::core::ParallelOptions opts;
   opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
   opts.queue_factor = static_cast<unsigned>(cli.get_int("queue-factor", 4));
-  opts.pop_batch = static_cast<std::uint32_t>(
-      std::clamp<std::int64_t>(cli.get_int("pop-batch", 1), 1,
-                               relax::engine::JobConfig::kMaxPopBatch));
+  const auto pb =
+      relax::engine::parse_pop_batch_flag(cli.get_string("pop-batch", "1"));
+  opts.pop_batch = pb.batch;
+  opts.pop_batch_auto = pb.adaptive;
   if (cli.has("k"))
     opts.relaxation_k = static_cast<std::uint32_t>(cli.get_int("k", 0));
   opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
@@ -294,15 +297,19 @@ int main(int argc, char** argv) {
     const auto weights =
         relax::algorithms::synthetic_edge_weights(g, seed + 3);
     relax::algorithms::SsspStats stats;
+    // One parsing path for --pop-batch (parallel_opts). SSSP's standalone
+    // executor has no adaptive controller; auto resolves to its cap (a
+    // fixed batch of that size).
+    const relax::core::ParallelOptions sssp_opts = parallel_opts(cli);
     const auto dist = relax::algorithms::parallel_relaxed_sssp(
-        g, weights, 0, static_cast<unsigned>(cli.get_int("threads", 0)),
-        static_cast<unsigned>(cli.get_int("queue-factor", 4)), seed,
-        &stats);
+        g, weights, 0, sssp_opts.num_threads, sssp_opts.queue_factor, seed,
+        sssp_opts.pop_batch, &stats);
     std::printf(
-        "sssp: %.4f s | pops=%llu stale=%llu relaxations=%llu\n",
+        "sssp: %.4f s | pops=%llu stale=%llu relaxations=%llu batches=%llu\n",
         stats.seconds, static_cast<unsigned long long>(stats.pops),
         static_cast<unsigned long long>(stats.stale_pops),
-        static_cast<unsigned long long>(stats.relaxations));
+        static_cast<unsigned long long>(stats.relaxations),
+        static_cast<unsigned long long>(stats.batches));
     if (cli.get_bool("verify", true)) {
       if (dist != relax::algorithms::dijkstra(g, weights, 0)) {
         std::fprintf(stderr, "VERIFY FAILED vs Dijkstra\n");
