@@ -18,17 +18,20 @@
 // scheduler touches on backends with native batch ops, at an O(k*q)
 // rank-error cost the quality columns make visible next to the throughput
 // gain. SSSP's executor batches the same way (pop_batch keys per claim,
-// relaxations re-inserted via one bulk_insert).
+// relaxations re-inserted via one bulk_insert). The axis accepts the same
+// vocabulary as the CLIs — fixed sizes, `auto`, and `auto:<max>` — so the
+// occupancy-aware adaptive controller gets its own rows next to the fixed
+// caps it is supposed to track (printed as a<max> in the batch column).
 //
 // --json=<path> additionally writes every row as a JSON array — the
 // machine-readable form CI uploads as the BENCH_backend_matrix.json
-// artifact, seeding the perf trajectory.
+// artifact, seeding the perf trajectory (tools/bench_diff.py compares two
+// of these cell by cell).
 //
 // Usage: backend_matrix [--n=4000] [--m=24000] [--threads=1,4]
-//                       [--pop-batch=1,8]
+//                       [--pop-batch=1,8,auto:8]
 //                       [--backends=all|name,name,...]
 //                       [--quality=1] [--seed=1] [--json=path]
-#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -55,6 +58,7 @@ struct Row {
   std::string backend;
   unsigned threads;
   unsigned pop_batch;
+  bool pop_batch_auto;
   double seconds;
   double tasks_per_s;
   double iters_per_task;
@@ -63,10 +67,17 @@ struct Row {
   std::uint64_t max_rank;
 };
 
+/// The batch column: a fixed size prints as the number, an adaptive row as
+/// a<cap> (e.g. a8 == --pop-batch=auto:8).
+std::string batch_label(const Row& r) {
+  return (r.pop_batch_auto ? "a" : "") + std::to_string(r.pop_batch);
+}
+
 void print_row(const Row& r) {
-  std::printf("%-9s %-20s %7u %6u %9.4f %12.0f %10.3f %8.2f%%", r.workload,
-              r.backend.c_str(), r.threads, r.pop_batch, r.seconds,
-              r.tasks_per_s, r.iters_per_task, 100.0 * r.wasted_frac);
+  std::printf("%-9s %-20s %7u %6s %9.4f %12.0f %10.3f %8.2f%%", r.workload,
+              r.backend.c_str(), r.threads, batch_label(r).c_str(),
+              r.seconds, r.tasks_per_s, r.iters_per_task,
+              100.0 * r.wasted_frac);
   if (r.mean_rank >= 0.0) {
     std::printf("%10.2f %9llu\n", r.mean_rank,
                 static_cast<unsigned long long>(r.max_rank));
@@ -89,11 +100,13 @@ bool write_json(const char* path, const std::vector<Row>& rows) {
     const Row& r = rows[i];
     std::fprintf(f,
                  "  {\"workload\": \"%s\", \"backend\": \"%s\", "
-                 "\"threads\": %u, \"pop_batch\": %u, \"seconds\": %.6f, "
+                 "\"threads\": %u, \"pop_batch\": %u, "
+                 "\"pop_batch_auto\": %s, \"seconds\": %.6f, "
                  "\"tasks_per_s\": %.1f, \"iters_per_task\": %.4f, "
                  "\"wasted_frac\": %.6f, ",
                  r.workload, r.backend.c_str(), r.threads, r.pop_batch,
-                 r.seconds, r.tasks_per_s, r.iters_per_task, r.wasted_frac);
+                 r.pop_batch_auto ? "true" : "false", r.seconds,
+                 r.tasks_per_s, r.iters_per_task, r.wasted_frac);
     if (r.mean_rank >= 0.0) {
       std::fprintf(f, "\"mean_rank\": %.4f, \"max_rank\": %llu}",
                    r.mean_rank,
@@ -113,7 +126,8 @@ bool write_json(const char* path, const std::vector<Row>& rows) {
 /// Definition 1 quality columns.
 template <typename MakeProblem>
 Row run_framework(const char* workload, const BackendInfo& backend,
-                  unsigned threads, unsigned pop_batch,
+                  unsigned threads,
+                  const relax::engine::PopBatchFlag& pop_batch,
                   const relax::graph::Priorities& pri,
                   MakeProblem make_problem, bool quality,
                   std::uint64_t seed) {
@@ -125,7 +139,8 @@ Row run_framework(const char* workload, const BackendInfo& backend,
 
   relax::engine::JobConfig cfg;
   cfg.seed = seed;
-  cfg.pop_batch = pop_batch;
+  cfg.pop_batch = pop_batch.batch;
+  cfg.pop_batch_auto = pop_batch.adaptive;
 
   auto problem = make_problem();
   const std::uint32_t n = problem.num_tasks();
@@ -136,7 +151,8 @@ Row run_framework(const char* workload, const BackendInfo& backend,
   row.workload = workload;
   row.backend = std::string(backend.name);
   row.threads = threads;
-  row.pop_batch = pop_batch;
+  row.pop_batch = pop_batch.batch;
+  row.pop_batch_auto = pop_batch.adaptive;
   row.seconds = stats.seconds;
   row.tasks_per_s = stats.seconds > 0.0 ? n / stats.seconds : 0.0;
   row.iters_per_task =
@@ -160,6 +176,21 @@ Row run_framework(const char* workload, const BackendInfo& backend,
   return row;
 }
 
+/// Comma-splits a CLI list flag (both the --pop-batch and --backends axes
+/// speak this form).
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const std::size_t comma = value.find(',', pos);
+    tokens.push_back(value.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return tokens;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,7 +200,22 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const bool quality = cli.get_bool("quality", true);
   const auto thread_list = cli.get_int_list("threads", {1, 4});
-  const auto batch_list = cli.get_int_list("pop-batch", {1, 8});
+
+  // The pop-batch axis speaks the CLI vocabulary (fixed | auto | auto:max)
+  // so adaptive rows sit next to the fixed caps they should track.
+  std::vector<relax::engine::PopBatchFlag> batch_list;
+  for (const std::string& token :
+       split_csv(cli.get_string("pop-batch", "1,8,auto:8"))) {
+    const auto pb = relax::engine::parse_pop_batch_flag(token);
+    if (!pb.valid) {
+      std::fprintf(stderr,
+                   "invalid --pop-batch entry '%s': expected a positive "
+                   "integer, 'auto', or 'auto:<max>'\n",
+                   token.c_str());
+      return 2;
+    }
+    batch_list.push_back(pb);
+  }
 
   const std::string backend_flag = cli.get_string("backends", "all");
   std::vector<const BackendInfo*> backends;
@@ -177,11 +223,7 @@ int main(int argc, char** argv) {
     for (const auto& info : relax::sched::backend_registry())
       backends.push_back(&info);
   } else {
-    std::size_t pos = 0;
-    while (pos <= backend_flag.size()) {
-      const std::size_t comma = backend_flag.find(',', pos);
-      const std::string name = backend_flag.substr(
-          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    for (const std::string& name : split_csv(backend_flag)) {
       const auto* info = relax::sched::find_backend(name);
       if (info == nullptr) {
         std::fprintf(stderr, "unknown backend '%s'; valid: %s\n",
@@ -190,8 +232,6 @@ int main(int argc, char** argv) {
         return 2;
       }
       backends.push_back(info);
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
     }
   }
 
@@ -218,9 +258,7 @@ int main(int argc, char** argv) {
 
   for (const std::int64_t t : thread_list) {
     const auto threads = static_cast<unsigned>(t < 1 ? 1 : t);
-    for (const std::int64_t b : batch_list) {
-      const auto pop_batch = static_cast<unsigned>(std::clamp<std::int64_t>(
-          b, 1, relax::engine::JobConfig::kMaxPopBatch));
+    for (const relax::engine::PopBatchFlag& pop_batch : batch_list) {
       for (const BackendInfo* backend : backends) {
         emit(run_framework(
             "mis", *backend, threads, pop_batch, pri,
@@ -240,16 +278,24 @@ int main(int argc, char** argv) {
         // SSSP rides its own 64-bit-key MultiQueue (see header note): one
         // row per (thread count, pop-batch), attached to multiqueue-c2 —
         // its label-correcting executor batches both scheduler sides with
-        // the same pop_batch the framework rows sweep.
+        // the same pop_batch (and the same adaptive controller) the
+        // framework rows sweep.
         if (backend->name == "multiqueue-c2") {
           relax::algorithms::SsspStats sstats;
-          (void)relax::algorithms::parallel_relaxed_sssp(
-              g, weights, 0, threads, 4, seed, pop_batch, &sstats);
+          relax::algorithms::SsspOptions sssp_opts;
+          sssp_opts.num_threads = threads;
+          sssp_opts.queue_factor = 4;
+          sssp_opts.seed = seed;
+          sssp_opts.pop_batch = pop_batch.batch;
+          sssp_opts.pop_batch_auto = pop_batch.adaptive;
+          (void)relax::algorithms::parallel_relaxed_sssp(g, weights, 0,
+                                                         sssp_opts, &sstats);
           Row row;
           row.workload = "sssp";
           row.backend = std::string(backend->name);
           row.threads = threads;
-          row.pop_batch = pop_batch;
+          row.pop_batch = pop_batch.batch;
+          row.pop_batch_auto = pop_batch.adaptive;
           row.seconds = sstats.seconds;
           row.tasks_per_s =
               sstats.seconds > 0.0 ? g.num_vertices() / sstats.seconds : 0.0;

@@ -61,8 +61,15 @@ int main(int argc, char** argv) {
   const int inflight =
       std::max(1, static_cast<int>(cli.get_int("inflight", 4)));
   const int audit_every = static_cast<int>(cli.get_int("audit", 8));
-  const auto pb =
-      relax::engine::parse_pop_batch_flag(cli.get_string("pop-batch", "1"));
+  const std::string pop_batch_value = cli.get_string("pop-batch", "1");
+  const auto pb = relax::engine::parse_pop_batch_flag(pop_batch_value);
+  if (!pb.valid) {
+    std::fprintf(stderr,
+                 "error: invalid --pop-batch '%s': expected a positive "
+                 "integer, 'auto', or 'auto:<max>'\n",
+                 pop_batch_value.c_str());
+    return 2;
+  }
   const std::uint32_t pop_batch = pb.batch;
 
   // Resolve the backend rotation: one fixed registry backend, or the whole

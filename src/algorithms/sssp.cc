@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "sched/batch_controller.h"
 #include "sched/concurrent_multiqueue.h"
 #include "sched/dary_heap.h"
 #include "util/rng.h"
@@ -62,20 +63,20 @@ std::vector<std::uint32_t> dijkstra(const graph::Graph& g,
 
 std::vector<std::uint32_t> parallel_relaxed_sssp(
     const graph::Graph& g, const std::vector<std::uint32_t>& weights,
-    graph::Vertex source, unsigned num_threads, unsigned queue_factor,
-    std::uint64_t seed, unsigned pop_batch, SsspStats* stats_out) {
-  const unsigned threads =
-      num_threads == 0 ? util::hardware_threads() : num_threads;
+    graph::Vertex source, const SsspOptions& options, SsspStats* stats_out) {
+  const unsigned threads = options.num_threads == 0
+                               ? util::hardware_threads()
+                               : options.num_threads;
   // Clamp defensively (mirroring engine::JobConfig::kMaxPopBatch): a
   // negative CLI value cast to unsigned would otherwise make each worker
   // reserve a multi-GiB pop buffer. Far above any useful batch.
-  const unsigned batch = std::clamp(pop_batch, 1u, 1u << 16);
+  const std::uint32_t batch = std::clamp(options.pop_batch, 1u, 1u << 16);
   std::vector<std::atomic<std::uint32_t>> dist(g.num_vertices());
   for (auto& d : dist) d.store(kUnreachable, std::memory_order_relaxed);
   dist[source].store(0, std::memory_order_relaxed);
 
-  sched::BasicConcurrentMultiQueue<std::uint64_t> queue(
-      queue_factor * threads, seed);
+  using Queue = sched::BasicConcurrentMultiQueue<std::uint64_t>;
+  Queue queue(options.queue_factor * threads, options.seed);
   queue.insert(static_cast<std::uint64_t>(source));
 
   // Termination: pending = queued-but-unprocessed entries. Incremented
@@ -93,7 +94,11 @@ std::vector<std::uint32_t> parallel_relaxed_sssp(
     for (unsigned t = 0; t < threads; ++t) {
       workers.emplace_back([&, t] {
         util::pin_thread_to_cpu(t);
+        // This thread's scheduler session: one handle plus one adaptive
+        // batch controller for the whole execution — the same
+        // occupancy-aware sizing the engine's jobs run (engine/job.h).
         auto handle = queue.get_handle();
+        sched::BatchController controller(batch, options.pop_batch_auto);
         // Stack-local; written back once (no false sharing between workers).
         SsspStats stats;
         std::vector<std::uint64_t> popped;
@@ -101,17 +106,26 @@ std::vector<std::uint32_t> parallel_relaxed_sssp(
         popped.reserve(batch);
         while (pending.load(std::memory_order_acquire) > 0) {
           popped.clear();
-          if (batch <= 1) {
+          const std::uint32_t want =
+              controller.next_claim(sched::QueueOccupancy<Queue>{&queue});
+          if (want <= 1) {
             if (const auto key = handle.approx_get_min())
               popped.push_back(*key);
           } else {
-            handle.approx_get_min_batch(batch, popped);
+            handle.approx_get_min_batch(want, popped);
           }
+          controller.feedback(want,
+                              static_cast<std::uint32_t>(popped.size()));
           if (popped.empty()) {
             util::cpu_relax();
             continue;
           }
           ++stats.batches;
+          stats.max_claim = std::max<std::uint64_t>(stats.max_claim, want);
+          stats.min_claim = stats.min_claim == 0
+                                ? want
+                                : std::min<std::uint64_t>(stats.min_claim,
+                                                          want);
           reinsert.clear();
           for (const std::uint64_t key : popped) {
             ++stats.pops;
@@ -162,6 +176,13 @@ std::vector<std::uint32_t> parallel_relaxed_sssp(
       stats_out->stale_pops += s.stale_pops;
       stats_out->relaxations += s.relaxations;
       stats_out->batches += s.batches;
+      stats_out->max_claim = std::max(stats_out->max_claim, s.max_claim);
+      if (s.min_claim != 0) {
+        stats_out->min_claim = stats_out->min_claim == 0
+                                   ? s.min_claim
+                                   : std::min(stats_out->min_claim,
+                                              s.min_claim);
+      }
     }
     stats_out->seconds = timer.seconds();
   }

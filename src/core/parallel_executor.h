@@ -50,9 +50,13 @@ struct ParallelOptions {
                                  // to O(pop_batch * q), see
                                  // sched::batched_rank_bound)
   bool pop_batch_auto = false;   // adaptive claim size: pop_batch becomes
-                                 // the cap, each worker scales between 1
+                                 // the cap, each worker's
+                                 // sched::BatchController scales between 1
                                  // (near drain) and the cap (under load)
-                                 // from observed occupancy
+                                 // from claim feedback + the backend's
+                                 // striped size(); honored by the engine
+                                 // jobs AND by SSSP's standalone executor
+                                 // (algorithms::SsspOptions mirrors it)
   std::uint64_t seed = 1;        // scheduler randomness
   bool pin_threads = true;
 

@@ -129,6 +129,11 @@ void SchedulingEngine::finish(const Admitted& admitted) {
   // quiescent and collect() is race-free.
   admitted.state->sealed.store(true);
   while (admitted.state->in_slice.load() != 0) util::cpu_relax();
+  // Quiescent: tear down the job's per-worker scheduler sessions (cached
+  // handles into a possibly caller-owned queue) before the ticket is
+  // fulfilled — a waiter returning from wait() may destroy that queue
+  // immediately, and no handle may outlive it.
+  admitted.job->retire();
   const core::ExecutionStats stats = admitted.job->collect();
   // Retire the job from the engine BEFORE fulfilling the ticket: a waiter
   // that returns from wait() must observe jobs_completed() counting this

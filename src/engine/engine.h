@@ -24,6 +24,10 @@
 // Lifetime: the problem, priorities, and any caller-owned queue passed to a
 // submit call must stay alive until that job's ticket is waited on (or the
 // engine is destroyed — the destructor drains all submitted jobs first).
+// Jobs hold per-worker scheduler *sessions* (cached handles, see
+// engine/job.h); the reap path calls Job::retire() after the last slice
+// returns and before the ticket is fulfilled, so no session outlives the
+// wait() that releases the caller's queue.
 #pragma once
 
 #include <atomic>

@@ -44,11 +44,26 @@
 // while it sits here; a defensive flush at slice end guarantees no label
 // ever outlives its slice outside the scheduler.
 //
+// Scheduler access is organized as per-worker *sessions*: each worker's
+// first slice for a job creates that worker's handle via sched::make_handle
+// and parks it in WorkerState; every later slice reuses it, so a job costs
+// at most one handle construction per worker instead of one per slice. The
+// session is torn down by retire(), which the engine calls exactly once
+// after the job finishes and all slices have returned — no handle ever
+// outlives the job's execution, so a caller may destroy a caller-owned
+// queue as soon as the ticket's wait() returns, exactly as before. The
+// caching is sound because a worker id maps to one pool thread for the
+// pool's whole lifetime (engine/worker_pool.h), so a cached handle is only
+// ever driven by the thread that created it.
+//
 // With JobConfig::pop_batch_auto the claimed batch size adapts per worker
-// from observed occupancy: a full batch doubles the next claim (up to the
-// pop_batch cap — sustained load), a short or empty claim resets it to 1
-// (the chosen sub-structure is running dry; near drain, large batches only
-// buy rank error, see sched::batched_rank_bound).
+// through a sched::BatchController session: a full batch doubles the next
+// claim (up to the pop_batch cap — sustained load), a short or empty claim
+// resets it to 1 (the chosen sub-structure is running dry; near drain,
+// large batches only buy rank error, see sched::batched_rank_bound), and
+// every few dozen claims the controller consults the backend's striped
+// size() to set the claim from *global* occupancy — a deep backlog jumps
+// straight to the cap, a near-drained scheduler pins single pops.
 //
 // Variants:
 //   RelaxedJob<P, Queue>        relaxed loop over a caller-owned scheduler
@@ -82,6 +97,7 @@
 #include "core/problem.h"
 #include "engine/batch_inserter.h"
 #include "graph/permutation.h"
+#include "sched/batch_controller.h"
 #include "sched/concurrent_multiqueue.h"
 #include "sched/faa_array_queue.h"
 #include "sched/handles.h"
@@ -116,11 +132,14 @@ struct JobConfig {
                                    // trip over k pops at an O(k * q) rank
                                    // cost (see sched::batched_rank_bound)
   /// Adaptive batch sizing (CLI: --pop-batch=auto[:max]): pop_batch becomes
-  /// the cap and each worker picks its claim size from observed occupancy —
-  /// full batches double the next claim toward the cap, short or empty
-  /// claims (the sampled sub-structure ran dry: the near-drain signal)
-  /// reset it to 1 so a draining queue is not charged the O(k*q) rank cost
-  /// for throughput it can no longer deliver.
+  /// the cap and each worker's sched::BatchController picks its claim size
+  /// from observed occupancy — full batches double the next claim toward
+  /// the cap, short or empty claims (the sampled sub-structure ran dry: the
+  /// near-drain signal) reset it to 1 so a draining queue is not charged
+  /// the O(k*q) rank cost for throughput it can no longer deliver, and an
+  /// occasional consult of the backend's striped size() jumps straight to
+  /// the cap under a deep backlog (or pins 1 when the whole scheduler is
+  /// near drain, whatever the per-worker feedback says).
   bool pop_batch_auto = false;
   /// Cap used by --pop-batch=auto when no explicit max is given.
   static constexpr std::uint32_t kDefaultAutoPopBatch = 64;
@@ -129,19 +148,27 @@ struct JobConfig {
 };
 
 /// Parsed form of a --pop-batch CLI value. `batch` is the fixed size, or
-/// the adaptive cap when `adaptive` is set.
+/// the adaptive cap when `adaptive` is set. `valid` is false when the
+/// input was unparseable or an explicit zero — `batch` still carries a
+/// safe degraded value (1, or the default auto cap) so library callers
+/// keep working, but CLI front-ends must reject the flag with a clear
+/// error instead of silently running a batch size the user never asked
+/// for (a zero cap flowing into the batch controller was satellite bug
+/// territory; see tools/relaxsched.cc and examples/job_server.cpp).
 struct PopBatchFlag {
   std::uint32_t batch = 1;
   bool adaptive = false;
+  bool valid = true;
 };
 
-/// Parses --pop-batch=<k>|auto|auto:<max>. Unparseable values degrade to
-/// the unbatched default ({1, false}); numbers are clamped to
-/// [1, kMaxPopBatch] so reported == effective.
+/// Parses --pop-batch=<k>|auto|auto:<max>. Unparseable or zero values
+/// degrade to the unbatched default (batch 1, or the default auto cap)
+/// with `valid` cleared; in-range numbers above kMaxPopBatch are clamped
+/// (and stay valid) so reported == effective.
 inline PopBatchFlag parse_pop_batch_flag(std::string_view value) {
   PopBatchFlag flag;
   if (value == "auto") {
-    return PopBatchFlag{JobConfig::kDefaultAutoPopBatch, true};
+    return PopBatchFlag{JobConfig::kDefaultAutoPopBatch, true, true};
   }
   if (value.starts_with("auto:")) {
     flag.adaptive = true;
@@ -150,12 +177,13 @@ inline PopBatchFlag parse_pop_batch_flag(std::string_view value) {
   std::uint64_t parsed = 0;
   const auto [ptr, ec] =
       std::from_chars(value.data(), value.data() + value.size(), parsed);
-  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+  if (ec != std::errc{} || ptr != value.data() + value.size() ||
+      parsed == 0) {
     return PopBatchFlag{flag.adaptive ? JobConfig::kDefaultAutoPopBatch : 1,
-                        flag.adaptive};
+                        flag.adaptive, /*valid=*/false};
   }
-  flag.batch = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
-      parsed, 1, JobConfig::kMaxPopBatch));
+  flag.batch = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(parsed, JobConfig::kMaxPopBatch));
   return flag;
 }
 
@@ -174,6 +202,14 @@ class Job {
   virtual bool run_slice(unsigned worker, std::uint32_t budget) = 0;
 
   [[nodiscard]] virtual bool finished() const noexcept = 0;
+
+  /// Called exactly once by the engine when the job is reaped: after
+  /// finished() is true and after every in-flight slice has returned, but
+  /// before the ticket is fulfilled. Jobs release their per-worker
+  /// scheduler sessions here (cached handles into a possibly caller-owned
+  /// queue), so no handle outlives the job's execution — the submitter may
+  /// destroy the queue the moment wait() returns.
+  virtual void retire() noexcept {}
 
   /// Merged statistics. Valid only after finished() is true and all slices
   /// have returned (the engine guarantees both before reaping).
@@ -239,6 +275,12 @@ class TaskJobBase : public Job {
 template <core::Problem P, typename Queue>
 class RelaxedJob : public TaskJobBase {
  public:
+  /// The per-worker scheduler access point: the backend's own handle when
+  /// it has one, a DirectHandle shim otherwise (sched/handles.h). Cached
+  /// in WorkerState for the job's lifetime — one make_handle per
+  /// (worker, job), not per slice.
+  using Handle = decltype(sched::make_handle(std::declval<Queue&>()));
+
   RelaxedJob(P& problem, const graph::Priorities& pri, Queue& queue,
              const JobConfig& cfg = {})
       : TaskJobBase(problem.num_tasks()),
@@ -255,22 +297,24 @@ class RelaxedJob : public TaskJobBase {
 
   void activate(unsigned pool_width) override {
     TaskJobBase::activate(pool_width);
-    // Worker-local state for the batched paths. Popped labels only ever
-    // live in `popped` between a pop_batch claim and the processing loop a
-    // few lines below it — never across a run_slice return. kNotReady
-    // labels accumulate in `reinsert` and are always flushed back into the
-    // scheduler before the slice returns.
+    // Worker-local session state. Popped labels only ever live in `popped`
+    // between a pop_batch claim and the processing loop a few lines below
+    // it — never across a run_slice return. kNotReady labels accumulate in
+    // `reinsert` and are always flushed back into the scheduler before the
+    // slice returns. The handle slot starts empty; each worker fills its
+    // own on its first slice (activation runs on the submitting thread,
+    // which must not construct handles the pool threads will drive).
     workers_ = std::vector<util::Padded<WorkerState>>(pool_width);
     for (auto& ws : workers_) {
       ws->popped.reserve(pop_batch_);
       ws->reinsert.reserve(pop_batch_);
+      ws->controller = sched::BatchController(pop_batch_, adaptive_);
     }
     // Schedulers with a quiescent bulk_load but no live bulk_insert
     // (LockFreeMultiQueue, whose sorted sub-lists degrade to O(n) per
     // ascending insert) get their whole initial load here, while the job is
     // still unpublished and the queue guaranteed quiescent. Everything else
     // is loaded cooperatively by the workers via admit_chunk.
-    using Handle = decltype(sched::make_handle(*queue_));
     if constexpr (requires(Queue& q, std::span<const sched::Priority> s) {
                     q.bulk_load(s);
                   } && !requires(Handle h, std::span<const sched::Priority> s) {
@@ -283,34 +327,36 @@ class RelaxedJob : public TaskJobBase {
     }
   }
 
+  /// Session teardown: drops every worker's cached handle (and with it the
+  /// last pointer a worker holds into a caller-owned queue). Called by the
+  /// engine after all slices have returned, so no handle is in use.
+  void retire() noexcept override {
+    for (auto& ws : workers_) ws->handle.reset();
+  }
+
   bool run_slice(unsigned worker, std::uint32_t budget) override {
     if (finished()) return false;
-    auto handle = sched::make_handle(*queue_);
+    auto& ws = *workers_[worker];
+    // First slice for this worker: open its session. Later slices reuse
+    // the cached handle — handle construction off the per-slice path.
+    if (!ws.handle) ws.handle.emplace(sched::make_handle(*queue_));
+    auto& handle = *ws.handle;
     bool progress = admit_chunk(handle);
     auto& stats = *stats_[worker];
     auto& my_retired = *retired_[worker];
-    auto& ws = *workers_[worker];
     auto& buffer = ws.popped;
     std::uint32_t iters = 0;
     while (!done_.load(std::memory_order_acquire) && iters < budget) {
-      // Claim up to pop_batch labels (or the worker's adaptive size) in one
-      // scheduler touch, capped by the remaining budget so the buffer is
-      // always fully drained before the slice returns.
+      // Claim up to pop_batch labels (or the session controller's adaptive
+      // size — claim feedback plus an occasional striped-size() occupancy
+      // consult) in one scheduler touch, capped by the remaining budget so
+      // the buffer is always fully drained before the slice returns.
       buffer.clear();
-      const std::uint32_t want = adaptive_ ? ws.adaptive_k : pop_batch_;
+      const std::uint32_t want =
+          ws.controller.next_claim(sched::QueueOccupancy<Queue>{queue_});
       const std::uint32_t claim = std::min<std::uint32_t>(want, budget - iters);
-      sched::pop_batch(handle, claim, buffer);
-      if (adaptive_) {
-        // Occupancy feedback: the batch came from ONE sub-structure, so a
-        // full claim means that sub-structure held at least `want` labels
-        // (load — grow toward the cap) and a short one means it ran dry
-        // (near drain — fall back to single pops and their tight envelope).
-        if (buffer.size() < claim) {
-          ws.adaptive_k = 1;
-        } else if (claim == want && want < pop_batch_) {
-          ws.adaptive_k = std::min(pop_batch_, want * 2);
-        }
-      }
+      const std::size_t got = sched::pop_batch(handle, claim, buffer);
+      ws.controller.feedback(claim, static_cast<std::uint32_t>(got));
       if (buffer.empty()) {
         ++stats.empty_polls;
         check_done();
@@ -366,10 +412,17 @@ class RelaxedJob : public TaskJobBase {
   }
 
  private:
+  /// One worker's scheduler session for this job: the cached handle, the
+  /// batched-path buffers, and the adaptive claim controller. Owned by the
+  /// job, keyed by the pool's stable worker id, and only ever touched by
+  /// that worker's thread (run_slice) or by the reaper after quiescence
+  /// (retire).
   struct WorkerState {
+    std::optional<Handle> handle;           // created on first slice,
+                                            // dropped by retire()
     std::vector<sched::Priority> popped;    // batched-pop landing buffer
     std::vector<sched::Priority> reinsert;  // kNotReady labels awaiting flush
-    std::uint32_t adaptive_k = 1;           // current claim size (auto mode)
+    sched::BatchController controller;      // claim sizing (auto mode)
   };
 
   /// Flushes the worker's buffered kNotReady labels back into the
@@ -431,6 +484,7 @@ class OwningRelaxedJob : public Job {
   bool run_slice(unsigned worker, std::uint32_t budget) override {
     return job_.run_slice(worker, budget);
   }
+  void retire() noexcept override { job_.retire(); }
   [[nodiscard]] bool finished() const noexcept override {
     return job_.finished();
   }
@@ -467,6 +521,7 @@ class MonitoredRelaxedJob : public Job {
   bool run_slice(unsigned worker, std::uint32_t budget) override {
     return job_.run_slice(worker, budget);
   }
+  void retire() noexcept override { job_.retire(); }
   [[nodiscard]] bool finished() const noexcept override {
     return job_.finished();
   }

@@ -37,6 +37,10 @@ void WorkerPool::stop() {
 }
 
 void WorkerPool::worker_main(unsigned worker) {
+  // `worker` is this thread's identity for the pool's whole lifetime —
+  // never reassigned, never shared — so owner-side state keyed by it
+  // (engine worker caches, per-worker scheduler sessions in jobs) needs no
+  // locking against other workers.
   if (pin_threads_) util::pin_thread_to_cpu(worker);
   for (;;) {
     std::uint64_t seen;

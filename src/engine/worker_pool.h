@@ -14,7 +14,11 @@
 //   * workers repeatedly call the owner-supplied work function with their
 //     stable worker id; returning false means "no work visible" and parks
 //     the worker on a condition variable until notify() — idle pools burn
-//     no CPU, unlike the executors' spin loops;
+//     no CPU, unlike the executors' spin loops. A worker id maps to ONE
+//     OS thread for the pool's entire lifetime; this identity is what lets
+//     jobs key per-worker scheduler sessions (cached thread-private
+//     handles, engine/job.h) off the id without any further
+//     synchronization;
 //   * notify() is cheap enough to call on every state change (epoch bump +
 //     notify_all); the epoch protocol means a wakeup between the work scan
 //     and the wait can never be lost.

@@ -1,0 +1,162 @@
+// Per-worker batch-size controller — the policy half of a scheduler
+// *session* (engine/job.h caches the other half, the per-worker handle).
+//
+// The claim-feedback rule started life inside RelaxedJob (PR 4): a full
+// batch doubles the next claim toward the cap (sustained load — amortize
+// the sample/lock/CAS round trip harder), a short or empty claim resets it
+// to 1 (the sampled sub-structure ran dry; near drain, large batches only
+// buy rank error, see sched::batched_rank_bound). Hoisted here it is
+// reusable by anything that pops in batches — the engine's job loop and
+// SSSP's standalone label-correcting executor both ride it — and it gains
+// an *occupancy* input: every consult_period claims the controller reads
+// the backend's striped size() (racy, O(q), and only advisory — exactly
+// like the sampling probes in sched/sampling.h) and overrides the
+// feedback ramp from global state:
+//
+//   live >= high watermark   deep backlog: jump straight to the cap
+//                            instead of doubling up through it
+//   live <= cap              one full claim could drain everything
+//                            visible: fall back to single pops and their
+//                            tight Definition 1 envelope, and PIN there
+//                            (feedback ramping suspended) until a later
+//                            consult observes the backlog recovering
+//
+// Between the two marks the claim-feedback ramp runs untouched. The
+// occupancy source is a policy value in the style of sampling.h's
+// count()/peek() policies:
+//
+//   std::optional<std::size_t> size() const;   // nullopt == unknown
+//
+// QueueOccupancy<Queue> adapts any backend: it reports the backend's
+// size() when one exists (all registry backends stripe it per
+// sub-structure, so the read is cheap and lock-free) and nullopt
+// otherwise, which keeps the controller pure claim-feedback.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace relax::sched {
+
+/// Occupancy policy over a backend pointer: the striped size() snapshot
+/// when the backend has one, nullopt otherwise. peek-style: no locks, no
+/// side effects; staleness only perturbs the claim-size choice.
+template <typename Queue>
+struct QueueOccupancy {
+  const Queue* queue;
+
+  [[nodiscard]] std::optional<std::size_t> size() const {
+    if constexpr (requires { queue->size(); }) {
+      return queue->size();
+    } else {
+      return std::nullopt;
+    }
+  }
+};
+
+/// Occupancy policy for callers without a global view (tests, backends
+/// that cannot count): the controller stays pure claim-feedback.
+struct NoOccupancy {
+  [[nodiscard]] std::optional<std::size_t> size() const {  // NOLINT
+    return std::nullopt;
+  }
+};
+
+/// One worker's claim-size state. Strictly thread-local (one controller
+/// per worker, like one handle per worker); all methods are O(1) except
+/// the every-consult_period occupancy read, whose cost is the policy's.
+class BatchController {
+ public:
+  /// Claims between occupancy consults. The consult is an O(q) striped-
+  /// counter walk; once per 64 claims it is noise next to the pops it
+  /// spans, while still reacting within one slice of a typical budget.
+  static constexpr std::uint32_t kDefaultConsultPeriod = 64;
+  /// High watermark as a multiple of the cap when none is given: a
+  /// backlog >= 16 caps cannot be drained by any single claim, so the
+  /// doubling ramp is pure latency — jump to the cap.
+  static constexpr std::uint32_t kDefaultLoadFactor = 16;
+
+  BatchController() = default;
+
+  /// cap: the largest claim ever issued (JobConfig::pop_batch). adaptive
+  /// off degrades next_claim to the fixed cap and feedback to a no-op, so
+  /// callers need no mode branches. high_watermark 0 derives
+  /// cap * kDefaultLoadFactor.
+  explicit BatchController(std::uint32_t cap, bool adaptive,
+                           std::uint64_t high_watermark = 0,
+                           std::uint32_t consult_period = kDefaultConsultPeriod)
+      : cap_(std::max<std::uint32_t>(cap, 1)),
+        adaptive_(adaptive),
+        high_(high_watermark != 0
+                  ? high_watermark
+                  : static_cast<std::uint64_t>(std::max<std::uint32_t>(cap, 1)) *
+                        kDefaultLoadFactor),
+        consult_period_(std::max<std::uint32_t>(consult_period, 1)) {}
+
+  /// The claim size for the next scheduler touch. Consults `occupancy`
+  /// every consult_period calls; an unknown occupancy (nullopt) leaves the
+  /// claim-feedback value (and any standing drain pin) untouched.
+  template <typename Occupancy>
+  [[nodiscard]] std::uint32_t next_claim(const Occupancy& occupancy) {
+    if (!adaptive_) return cap_;
+    if (++touches_ >= consult_period_) {
+      touches_ = 0;
+      if (const auto live = occupancy.size()) {
+        if (*live >= high_) {
+          k_ = cap_;  // deep backlog: skip the doubling ramp
+          drain_pinned_ = false;
+        } else if (*live <= cap_) {
+          // Near drain: single pops and their tight rank envelope. The pin
+          // STICKS until a later consult observes recovery — a handful of
+          // leftover items can still fill claims of 1, 2, 4, ..., and
+          // letting that feedback re-ramp to the cap against a nearly
+          // drained scheduler is exactly the O(k*q) rank charge this rule
+          // exists to avoid.
+          k_ = 1;
+          drain_pinned_ = true;
+        } else {
+          drain_pinned_ = false;  // backlog recovered: the ramp rules again
+        }
+      }
+    }
+    return k_;
+  }
+
+  /// Claim feedback. `asked` is what was actually requested from the
+  /// scheduler (callers may shrink next_claim()'s value against an
+  /// external budget — a budget-capped claim is not evidence of load, so
+  /// it never ramps); `got` is what the scheduler delivered. A short
+  /// claim means the chosen sub-structure ran dry: reset to 1. A full
+  /// un-shrunk claim doubles toward the cap — unless the last occupancy
+  /// consult pinned the controller near drain, in which case the ramp is
+  /// suppressed until a consult sees the backlog recover.
+  void feedback(std::uint32_t asked, std::uint32_t got) {
+    if (!adaptive_) return;
+    if (got < asked) {
+      k_ = 1;
+    } else if (!drain_pinned_ && asked >= k_ && k_ < cap_) {
+      k_ = std::min(cap_, k_ * 2);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t cap() const noexcept { return cap_; }
+  [[nodiscard]] bool adaptive() const noexcept { return adaptive_; }
+  /// The current claim size (what next_claim would return absent a
+  /// consult). Exposed for stats/tests.
+  [[nodiscard]] std::uint32_t current() const noexcept {
+    return adaptive_ ? k_ : cap_;
+  }
+
+ private:
+  std::uint32_t cap_ = 1;
+  bool adaptive_ = false;
+  std::uint64_t high_ = kDefaultLoadFactor;
+  std::uint32_t consult_period_ = kDefaultConsultPeriod;
+  std::uint32_t k_ = 1;        // current adaptive claim size
+  std::uint32_t touches_ = 0;  // claims since the last occupancy consult
+  bool drain_pinned_ = false;  // last consult saw near-drain: no ramping
+};
+
+}  // namespace relax::sched

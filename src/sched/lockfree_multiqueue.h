@@ -78,10 +78,12 @@ class LockFreeMultiQueue {
   class Handle {
    public:
     void insert(Priority p) { mq_->insert(p, rng_); }
-    /// Native batched insert: CAS-splices the sorted run into ONE sub-list
-    /// in a single forward walk — one list traversal plus k link CASes
-    /// instead of k traversals, amortizing like the MultiQueue's chunked
-    /// merge. Safe concurrently with any handle operation.
+    /// Native batched insert: CAS-splices the sorted run into a handful of
+    /// sub-lists (one for small runs, strided chunks of >= kMinSpliceChunk
+    /// keys for large ones), each chunk in a single forward walk — one
+    /// list traversal plus k link CASes per chunk instead of k traversals,
+    /// amortizing like the MultiQueue's chunked merge. Safe concurrently
+    /// with any handle operation.
     void insert_batch(std::span<const Priority> keys) {
       mq_->insert_batch(keys, rng_);
     }
@@ -165,6 +167,24 @@ class LockFreeMultiQueue {
   [[nodiscard]] std::uint32_t num_queues() const noexcept {
     return static_cast<std::uint32_t>(queues_.size());
   }
+
+  /// Per-sub-list element counts (the striped size): exact when quiescent,
+  /// a racy snapshot under concurrency. Monitoring/test seam — this is how
+  /// the insert_batch splice-spread regression observes placement.
+  [[nodiscard]] std::vector<std::size_t> per_list_sizes() const {
+    std::vector<std::size_t> sizes;
+    sizes.reserve(queues_.size());
+    for (const auto& q : queues_) {
+      const std::int64_t c = q.value.count.load(std::memory_order_acquire);
+      sizes.push_back(c > 0 ? static_cast<std::size_t>(c) : 0);
+    }
+    return sizes;
+  }
+
+  /// Minimum keys per spliced chunk of a batched insert: below this a
+  /// second list walk stops paying for itself and the whole run splices
+  /// into one sub-list (the single-round-trip design point of PR 4).
+  static constexpr std::size_t kMinSpliceChunk = 64;
 
  private:
   struct Node {
@@ -268,18 +288,53 @@ class LockFreeMultiQueue {
     }
   }
 
-  /// Native batched insert (ROADMAP: "a CAS-splice of a sorted run into one
-  /// sub-list would amortize like the MultiQueue's merge"): sorts the run,
-  /// picks ONE uniform random sub-list, and links the keys in ascending
-  /// order in a single forward pass — each key's search resumes from the
-  /// node just linked (whose key is <= the next key), so the batch costs
-  /// one list traversal plus k link CASes instead of k traversals. Safe
-  /// concurrently with inserts, claims, and other batched inserts; a
+  /// Splices the strided subsequence sorted[offset], sorted[offset+stride],
+  /// ... into `list` in one forward pass: each key's search resumes from
+  /// the node just linked (whose key is <= the next key), so the chunk
+  /// costs one list traversal plus its link CASes instead of one traversal
+  /// per key. Safe concurrently with inserts, claims, and other splices; a
   /// claimed-or-raced resume point falls back to a head walk inside
   /// search_from.
+  void splice_run(SubList& list, std::span<const Priority> sorted,
+                  std::size_t offset, std::size_t stride) {
+    Node* resume = list.head;
+    std::int64_t linked = 0;
+    for (std::size_t i = offset; i < sorted.size(); i += stride) {
+      const Priority p = sorted[i];
+      Node* node = allocate(p);
+      for (;;) {
+        Window w = search_from(list, resume, p);
+        node->next.store(pack(w.curr, false), std::memory_order_relaxed);
+        std::uintptr_t expected = w.pred_next;
+        if (w.pred->next.compare_exchange_strong(expected, pack(node, false),
+                                                 std::memory_order_acq_rel)) {
+          resume = node;
+          ++linked;
+          break;
+        }
+        // Lost the race at pred: re-search from the last linked node (it
+        // may itself have been claimed; search_from handles that).
+      }
+    }
+    if (linked > 0) list.count.fetch_add(linked, std::memory_order_release);
+  }
+
+  /// Native batched insert (ROADMAP: "a CAS-splice of a sorted run would
+  /// amortize like the MultiQueue's merge"): sorts the run and CAS-splices
+  /// it via splice_run. Small runs target ONE uniform random sub-list —
+  /// the single-coordination-round-trip that makes batching pay. Runs much
+  /// larger than kMinSpliceChunk are dealt *strided* over several adjacent
+  /// sub-lists, exactly like ConcurrentMultiQueue::bulk_insert's chunking:
+  /// parking a whole large run on one sub-list makes that list's head the
+  /// run's global minimum neighbourhood for many pops, so every two-choice
+  /// sample that misses it is off by O(run) ranks until pops rebalance —
+  /// transient skew that inflates the audited mean rank error. Strided
+  /// chunks keep neighbouring keys in different sub-lists (each chunk is
+  /// still sorted, so the one-walk splice applies per chunk) and perturb
+  /// the sampling process by O(chunks), not O(run).
   void insert_batch(std::span<const Priority> keys, util::Rng& rng) {
     if (keys.empty()) return;
-    auto& list = queues_[sampling::pick_uniform(PeekPolicy{this}, rng)].value;
+    const std::size_t q = queues_.size();
     // Already-sorted runs splice straight from the caller's span; only
     // unsorted runs pay a copy + sort.
     std::span<const Priority> sorted = keys;
@@ -289,24 +344,13 @@ class LockFreeMultiQueue {
       std::sort(scratch.begin(), scratch.end());
       sorted = scratch;
     }
-    Node* resume = list.head;
-    for (const Priority p : sorted) {
-      Node* node = allocate(p);
-      for (;;) {
-        Window w = search_from(list, resume, p);
-        node->next.store(pack(w.curr, false), std::memory_order_relaxed);
-        std::uintptr_t expected = w.pred_next;
-        if (w.pred->next.compare_exchange_strong(expected, pack(node, false),
-                                                 std::memory_order_acq_rel)) {
-          resume = node;
-          break;
-        }
-        // Lost the race at pred: re-search from the last linked node (it
-        // may itself have been claimed; search_from handles that).
-      }
-    }
-    list.count.fetch_add(static_cast<std::int64_t>(sorted.size()),
-                         std::memory_order_release);
+    // Floor division: every chunk carries >= kMinSpliceChunk keys, and
+    // runs below 2 * kMinSpliceChunk keep the single-list splice.
+    const std::size_t chunks = std::min<std::size_t>(
+        q, std::max<std::size_t>(1, sorted.size() / kMinSpliceChunk));
+    const std::size_t start = sampling::pick_uniform(PeekPolicy{this}, rng);
+    for (std::size_t c = 0; c < chunks; ++c)
+      splice_run(queues_[(start + c) % q].value, sorted, c, chunks);
   }
 
   /// First unmarked key of a sub-list, or nullopt. Read-only.

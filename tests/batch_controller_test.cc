@@ -1,0 +1,170 @@
+// sched::BatchController — the per-worker claim-sizing half of a scheduler
+// session: the claim-feedback ramp hoisted out of RelaxedJob (full batch
+// doubles toward the cap, short batch resets to 1) plus the occupancy
+// consult that overrides the ramp from the backend's striped size() (deep
+// backlog jumps to the cap, near drain pins 1).
+#include "sched/batch_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+
+namespace relax::sched {
+namespace {
+
+/// Injectable occupancy: whatever the test says the backend holds.
+struct FakeOccupancy {
+  std::optional<std::size_t> live;
+  [[nodiscard]] std::optional<std::size_t> size() const { return live; }
+};
+
+TEST(BatchController, FixedModeAlwaysReturnsCap) {
+  BatchController fixed(8, /*adaptive=*/false);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fixed.next_claim(NoOccupancy{}), 8u);
+    // Feedback is a no-op in fixed mode, whatever the claims returned.
+    fixed.feedback(8, i % 9);
+  }
+  EXPECT_EQ(fixed.current(), 8u);
+}
+
+TEST(BatchController, ClaimFeedbackDoublesTowardCapAndResets) {
+  // Consult period high enough that occupancy never interferes.
+  BatchController ctl(64, /*adaptive=*/true, /*high_watermark=*/0,
+                      /*consult_period=*/1000000);
+  // Ramp: 1 -> 2 -> 4 -> ... -> 64, then saturate at the cap.
+  std::uint32_t expect = 1;
+  for (int i = 0; i < 10; ++i) {
+    const std::uint32_t want = ctl.next_claim(NoOccupancy{});
+    EXPECT_EQ(want, expect);
+    ctl.feedback(want, want);  // full claim
+    expect = expect < 64 ? expect * 2 : 64;
+  }
+  EXPECT_EQ(ctl.next_claim(NoOccupancy{}), 64u);
+  // Short claim: the sampled sub-structure ran dry — back to single pops.
+  ctl.feedback(64, 3);
+  EXPECT_EQ(ctl.next_claim(NoOccupancy{}), 1u);
+}
+
+TEST(BatchController, BudgetCappedClaimNeverRamps) {
+  BatchController ctl(64, /*adaptive=*/true, 0, /*consult_period=*/1000000);
+  ctl.feedback(1, 1);
+  ctl.feedback(2, 2);
+  ASSERT_EQ(ctl.next_claim(NoOccupancy{}), 4u);
+  // The caller shrank the claim against an external budget (asked 2 of the
+  // 4 on offer) and the scheduler delivered all of it. Not evidence of
+  // load: the claim size must neither ramp nor reset.
+  ctl.feedback(2, 2);
+  EXPECT_EQ(ctl.next_claim(NoOccupancy{}), 4u);
+}
+
+TEST(BatchController, DeepBacklogJumpsStraightToCap) {
+  BatchController ctl(64, /*adaptive=*/true, /*high_watermark=*/1000,
+                      /*consult_period=*/1);
+  // No feedback ramp has run, but the backend reports a deep backlog: the
+  // very next consult sets the claim to the cap.
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{5000}), 64u);
+}
+
+TEST(BatchController, NearDrainOccupancyResetsToOne) {
+  BatchController ctl(64, /*adaptive=*/true, /*high_watermark=*/100000,
+                      /*consult_period=*/1);
+  // Ramp up under load first (occupancy comfortably between the marks
+  // leaves the feedback value alone).
+  for (std::uint32_t want = 1; want < 64;) {
+    EXPECT_EQ(ctl.next_claim(FakeOccupancy{50000}), want);
+    ctl.feedback(want, want);
+    want *= 2;
+  }
+  // live <= cap: one full claim could drain everything visible — the
+  // consult pins single pops regardless of the ramp.
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{64}), 1u);
+}
+
+TEST(BatchController, DrainPinSticksUntilOccupancyRecovers) {
+  BatchController ctl(64, /*adaptive=*/true, /*high_watermark=*/100000,
+                      /*consult_period=*/4);
+  ctl.feedback(1, 1);  // ramp to 2 before any consult
+  // Claims 1-3: mid-range occupancy, no consult yet.
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{50000}), 2u);
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{50000}), 2u);
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{50000}), 2u);
+  // Claim 4 consults, sees near-drain: pinned at 1.
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{60}), 1u);
+  // A few leftover items keep filling single claims; the pin must hold
+  // through the whole consult period AND through a still-drained consult
+  // (claim 4 of this stretch) — re-ramping against a nearly drained
+  // scheduler is the O(k*q) rank charge the rule exists to avoid.
+  for (int i = 0; i < 4; ++i) {
+    ctl.feedback(1, 1);
+    EXPECT_EQ(ctl.next_claim(FakeOccupancy{60}), 1u) << "claim " << i;
+  }
+  // Backlog recovers. Claims 1-3 of the next period: consult hasn't fired,
+  // still pinned; claim 4 consults mid-range occupancy and unpins, after
+  // which full claims ramp again.
+  for (int i = 0; i < 4; ++i) {
+    ctl.feedback(1, 1);
+    EXPECT_EQ(ctl.next_claim(FakeOccupancy{5000}), 1u) << "claim " << i;
+  }
+  ctl.feedback(1, 1);  // unpinned by the consult above: ramps to 2
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{5000}), 2u);
+}
+
+TEST(BatchController, MidRangeOccupancyLeavesRampUntouched) {
+  BatchController ctl(64, /*adaptive=*/true, /*high_watermark=*/100000,
+                      /*consult_period=*/1);
+  ctl.feedback(1, 1);
+  ctl.feedback(2, 2);
+  // Between cap and high watermark: the claim-feedback value rules.
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{5000}), 4u);
+}
+
+TEST(BatchController, UnknownOccupancyStaysPureClaimFeedback) {
+  BatchController ctl(16, /*adaptive=*/true, /*high_watermark=*/1,
+                      /*consult_period=*/1);
+  // Every consult fires, but size() is unknown — the ramp must behave
+  // exactly as without occupancy.
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{std::nullopt}), 1u);
+  ctl.feedback(1, 1);
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{std::nullopt}), 2u);
+  ctl.feedback(2, 1);  // short
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{std::nullopt}), 1u);
+}
+
+TEST(BatchController, ConsultPeriodRateLimitsTheSizeReads) {
+  BatchController ctl(64, /*adaptive=*/true, /*high_watermark=*/10,
+                      /*consult_period=*/4);
+  // Backlog far above the watermark, but the first three claims must not
+  // consult (stay at the feedback value 1); the fourth does and jumps.
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{100000}), 1u);
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{100000}), 1u);
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{100000}), 1u);
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{100000}), 64u);
+}
+
+TEST(BatchController, ZeroCapIsClampedToOne) {
+  // A zero cap must not flow into the claim path (satellite bug: CLI zero
+  // values are rejected up front, but the controller still defends).
+  BatchController ctl(0, /*adaptive=*/true);
+  EXPECT_EQ(ctl.cap(), 1u);
+  EXPECT_EQ(ctl.next_claim(NoOccupancy{}), 1u);
+  BatchController fixed(0, /*adaptive=*/false);
+  EXPECT_EQ(fixed.next_claim(NoOccupancy{}), 1u);
+}
+
+TEST(QueueOccupancy, ReportsBackendSizeWhenPresent) {
+  struct WithSize {
+    [[nodiscard]] std::size_t size() const { return 7; }
+  } backend;
+  EXPECT_EQ(QueueOccupancy<WithSize>{&backend}.size(), 7u);
+}
+
+TEST(QueueOccupancy, UnknownWithoutBackendSize) {
+  struct NoSize {
+  } backend;
+  EXPECT_EQ(QueueOccupancy<NoSize>{&backend}.size(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace relax::sched

@@ -139,24 +139,45 @@ TEST(EngineBackend, PopBatchFlagParsing) {
   const auto fixed = parse_pop_batch_flag("8");
   EXPECT_EQ(fixed.batch, 8u);
   EXPECT_FALSE(fixed.adaptive);
+  EXPECT_TRUE(fixed.valid);
 
   const auto adaptive = parse_pop_batch_flag("auto");
   EXPECT_EQ(adaptive.batch, JobConfig::kDefaultAutoPopBatch);
   EXPECT_TRUE(adaptive.adaptive);
+  EXPECT_TRUE(adaptive.valid);
 
   const auto capped = parse_pop_batch_flag("auto:128");
   EXPECT_EQ(capped.batch, 128u);
   EXPECT_TRUE(capped.adaptive);
+  EXPECT_TRUE(capped.valid);
 
-  // Degenerate values degrade safely: reported == effective.
+  // Degenerate values degrade safely (reported == effective) AND carry
+  // valid == false so CLI front-ends can reject them with a clear error
+  // instead of running a batch size the user never asked for.
   EXPECT_EQ(parse_pop_batch_flag("0").batch, 1u);
+  EXPECT_FALSE(parse_pop_batch_flag("0").valid);
   EXPECT_EQ(parse_pop_batch_flag("garbage").batch, 1u);
   EXPECT_FALSE(parse_pop_batch_flag("garbage").adaptive);
+  EXPECT_FALSE(parse_pop_batch_flag("garbage").valid);
   EXPECT_EQ(parse_pop_batch_flag("auto:junk").batch,
             JobConfig::kDefaultAutoPopBatch);
   EXPECT_TRUE(parse_pop_batch_flag("auto:junk").adaptive);
+  EXPECT_FALSE(parse_pop_batch_flag("auto:junk").valid);
+
+  // A zero adaptive cap would flow straight into the batch controller:
+  // must parse as invalid (degraded to the default cap, still adaptive).
+  const auto zero_cap = parse_pop_batch_flag("auto:0");
+  EXPECT_FALSE(zero_cap.valid);
+  EXPECT_TRUE(zero_cap.adaptive);
+  EXPECT_EQ(zero_cap.batch, JobConfig::kDefaultAutoPopBatch);
+
+  // Oversized values clamp and stay valid (documented behaviour).
   EXPECT_EQ(parse_pop_batch_flag("99999999").batch,
             JobConfig::kMaxPopBatch);
+  EXPECT_TRUE(parse_pop_batch_flag("99999999").valid);
+  EXPECT_TRUE(parse_pop_batch_flag("1").valid);
+  EXPECT_FALSE(parse_pop_batch_flag("").valid);
+  EXPECT_FALSE(parse_pop_batch_flag("-3").valid);
 }
 
 // A monitored batched job measures the batch-aware Definition 1 envelope

@@ -18,6 +18,7 @@
 #include "algorithms/mis.h"
 #include "engine/engine.h"
 #include "graph/generators.h"
+#include "sched/concurrent_multiqueue.h"
 #include "sched/kbounded.h"
 #include "sched/spraylist.h"
 
@@ -214,6 +215,64 @@ TEST(SchedulingEngine, PluggableSchedulersStayDeterministic) {
     eng.submit_relaxed_on(problem, pri, kbounded, job_cfg(1)).wait();
     EXPECT_EQ(problem.result(), expected);
   }
+}
+
+// ConcurrentMultiQueue wrapper whose handle constructions are counted: the
+// seam proving sched::make_handle runs at most once per (worker, job) now
+// that handles live in per-worker scheduler sessions instead of being
+// rebuilt every run_slice.
+class CountingHandleQueue {
+ public:
+  CountingHandleQueue(std::uint32_t queues, std::uint64_t seed)
+      : inner_(queues, seed) {}
+
+  auto get_handle() {
+    handles_created_.fetch_add(1, std::memory_order_relaxed);
+    return inner_.get_handle();
+  }
+  [[nodiscard]] std::size_t size() const { return inner_.size(); }
+  [[nodiscard]] std::uint64_t handles_created() const {
+    return handles_created_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  sched::ConcurrentMultiQueue inner_;
+  std::atomic<std::uint64_t> handles_created_{0};
+};
+
+// Scheduler-session lifetime: a worker's cached handle survives across all
+// of its slices (handle constructions bounded by the pool width, while the
+// tiny slice budget forces hundreds of slices), and a second job over the
+// SAME caller-owned queue rebuilds fresh sessions after the first job's
+// retirement — again at most one handle per worker.
+TEST(SchedulingEngine, HandleCreatedAtMostOncePerWorkerPerJob) {
+  const Graph g = graph::gnm(3000, 20000, 83);
+  const auto pri = graph::random_priorities(3000, 89);
+  const auto expected = algorithms::sequential_greedy_mis(g, pri);
+  CountingHandleQueue queue(8, 97);
+  auto opts = engine_opts(2, 1);
+  opts.slice_budget = 16;  // >> slices than workers: caching must show
+  SchedulingEngine eng(opts);
+  {
+    algorithms::AtomicMisProblem problem(g, pri);
+    const auto stats =
+        eng.submit_relaxed_on(problem, pri, queue, job_cfg(1)).wait();
+    EXPECT_EQ(problem.result(), expected);
+    // The job genuinely ran in many slices (>= iterations / budget), so a
+    // per-slice make_handle would have created hundreds of handles.
+    EXPECT_GE(stats.iterations, 3000u);
+  }
+  const std::uint64_t first = queue.handles_created();
+  EXPECT_GE(first, 1u);
+  EXPECT_LE(first, 2u);  // at most one per worker
+  {
+    algorithms::AtomicMisProblem problem(g, pri);
+    eng.submit_relaxed_on(problem, pri, queue, job_cfg(2)).wait();
+    EXPECT_EQ(problem.result(), expected);
+  }
+  const std::uint64_t second = queue.handles_created() - first;
+  EXPECT_GE(second, 1u);  // retirement dropped job 1's sessions: rebuilt
+  EXPECT_LE(second, 2u);
 }
 
 // Opt-in audit mode: stats must carry Definition 1 quality samples, and the

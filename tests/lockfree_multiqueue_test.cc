@@ -135,6 +135,100 @@ TEST(LockFreeMultiQueue, InsertBatchWithDuplicatesAndSingletons) {
   EXPECT_EQ(popped, (std::vector<Priority>{1, 1, 1, 5, 5, 5, 9}));
 }
 
+TEST(LockFreeMultiQueue, LargeInsertBatchSpreadsAcrossSubLists) {
+  // Splice-skew regression: a run much larger than a per-list share must
+  // NOT land on one sub-list (the old behaviour — that list's head then
+  // owns the run's whole minimum neighbourhood and every two-choice sample
+  // that misses it is off by O(run) ranks until pops rebalance). Large
+  // runs are dealt strided over several sub-lists like the MultiQueue's
+  // chunked bulk_insert: 1024 keys / kMinSpliceChunk = 16 chunks, capped
+  // at q = 8 -> every sub-list gets exactly 128 keys.
+  constexpr std::uint32_t kQueues = 8, kN = 1024;
+  LockFreeMultiQueue mq(kQueues, 41);
+  util::Rng rng(11);
+  const auto run = util::random_permutation(kN, rng);
+  mq.insert_batch(run);
+  EXPECT_EQ(mq.size(), kN);
+  const auto sizes = mq.per_list_sizes();
+  ASSERT_EQ(sizes.size(), kQueues);
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    EXPECT_EQ(sizes[i], kN / kQueues) << "sub-list " << i;
+  // The strided deal interleaves: each sub-list holds one residue class of
+  // the sorted run, so every sub-list drains ascending and the whole
+  // multiset comes out exactly once.
+  std::vector<char> seen(kN, 0);
+  std::uint32_t count = 0;
+  while (auto p = mq.approx_get_min()) {
+    ASSERT_FALSE(seen[*p]) << "duplicate " << *p;
+    seen[*p] = 1;
+    ++count;
+  }
+  EXPECT_EQ(count, kN);
+}
+
+TEST(LockFreeMultiQueue, SmallInsertBatchKeepsSingleListSplice) {
+  // Below 2 * kMinSpliceChunk the run stays on ONE sub-list — the single
+  // coordination round trip that makes small-batch splicing pay.
+  LockFreeMultiQueue mq(8, 43);
+  std::vector<Priority> run(LockFreeMultiQueue::kMinSpliceChunk + 30);
+  std::iota(run.begin(), run.end(), 0u);
+  mq.insert_batch(run);
+  const auto sizes = mq.per_list_sizes();
+  std::size_t nonempty = 0;
+  for (const std::size_t s : sizes) nonempty += s > 0 ? 1 : 0;
+  EXPECT_EQ(nonempty, 1u);
+  EXPECT_EQ(mq.size(), run.size());
+}
+
+TEST(LockFreeMultiQueue, ConcurrentLargeInsertBatchDrainExactlyOnce) {
+  // Large chunked splices racing batched claims and each other: every key
+  // delivered exactly once whatever sub-list its chunk landed on.
+  constexpr std::uint32_t kN = 32768;
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint32_t kRun = 512;  // >> kMinSpliceChunk: multi-chunk
+  LockFreeMultiQueue mq(8, 47);
+  std::vector<std::atomic<int>> got(kN);
+  for (auto& g : got) g.store(0);
+  std::atomic<std::uint32_t> produced{0};
+  std::atomic<std::uint32_t> consumed{0};
+  {
+    std::vector<std::jthread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        auto handle = mq.get_handle();
+        util::Rng rng(300 + t);
+        std::vector<Priority> run;
+        std::vector<Priority> buf;
+        for (;;) {
+          const auto lo = produced.fetch_add(kRun);
+          if (lo >= kN) break;
+          run.clear();
+          for (std::uint32_t i = lo; i < std::min(lo + kRun, kN); ++i)
+            run.push_back(i);
+          util::shuffle(std::span<Priority>(run), rng);
+          handle.insert_batch(run);
+          buf.clear();
+          handle.approx_get_min_batch(16, buf);
+          for (const Priority p : buf) {
+            got[p].fetch_add(1);
+            consumed.fetch_add(1);
+          }
+        }
+        while (consumed.load() < kN) {
+          buf.clear();
+          if (handle.approx_get_min_batch(16, buf) == 0) continue;
+          for (const Priority p : buf) {
+            got[p].fetch_add(1);
+            consumed.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(consumed.load(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(got[i].load(), 1);
+}
+
 TEST(LockFreeMultiQueue, ConcurrentInsertBatchDrainExactlyOnce) {
   // Sorted-run splices racing batched head claims on the same sub-lists:
   // the forward-resumed link CAS must never lose a key to a concurrent

@@ -98,7 +98,44 @@ TEST(ParallelRelaxedSssp, BatchedPopsAndReinsertsStayExact) {
     // than pops (a mean batch > 1), and never more round trips than pops.
     EXPECT_GT(stats.batches, 0u);
     EXPECT_LT(stats.batches, stats.pops);
+    // Fixed mode asks for exactly pop_batch every touch.
+    EXPECT_EQ(stats.min_claim, 8u);
+    EXPECT_EQ(stats.max_claim, 8u);
   }
+}
+
+TEST(ParallelRelaxedSssp, AdaptiveBatchingReportsVaryingClaims) {
+  // --pop-batch=auto end to end: the standalone executor runs the same
+  // occupancy-aware BatchController as the engine jobs, so the requested
+  // claim size must actually float — every worker starts at 1 and ramps
+  // under load — instead of silently degrading to a fixed cap (the PR 4
+  // behaviour this guards against).
+  const Graph g = graph::gnm(4000, 24000, 51);
+  const auto w = synthetic_edge_weights(g, 52, 100);
+  const auto expected = dijkstra(g, w, 0);
+  SsspOptions opts;
+  opts.num_threads = 4;
+  opts.queue_factor = 4;
+  opts.seed = 53;
+  opts.pop_batch = 32;  // the adaptive cap
+  opts.pop_batch_auto = true;
+  SsspStats stats;
+  EXPECT_EQ(parallel_relaxed_sssp(g, w, 0, opts, &stats), expected);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_EQ(stats.min_claim, 1u);   // everyone starts at a single pop
+  EXPECT_GT(stats.max_claim, 1u);   // and the ramp engaged under load
+  EXPECT_LE(stats.max_claim, 32u);  // never beyond the cap
+}
+
+TEST(ParallelRelaxedSssp, AdaptiveSingleThreadMatchesDijkstra) {
+  const Graph g = graph::gnm(1500, 9000, 55);
+  const auto w = synthetic_edge_weights(g, 56, 50);
+  SsspOptions opts;
+  opts.num_threads = 1;
+  opts.seed = 57;
+  opts.pop_batch = 16;
+  opts.pop_batch_auto = true;
+  EXPECT_EQ(parallel_relaxed_sssp(g, w, 0, opts), dijkstra(g, w, 0));
 }
 
 TEST(ParallelRelaxedSssp, BatchedSingleThreadMatchesDijkstra) {

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_backend_matrix.json snapshots cell by cell.
+
+Closes the perf-trajectory loop: CI uploads one BENCH_backend_matrix.json
+artifact per commit (bench/backend_matrix.cc --json=...), and this script
+diffs the current snapshot against the previous run's, flagging every
+backend x workload x threads x pop-batch cell whose throughput
+(tasks_per_s) dropped by more than --max-drop (default 25%).
+
+Cells are keyed by (workload, backend, threads, pop_batch, pop_batch_auto);
+cells present in only one snapshot are reported informationally and never
+fail the check (axes legitimately grow and shrink across commits).
+
+Exit status: 0 when clean or when the baseline is missing/unreadable (first
+run on a branch must not fail CI); 1 when regressions were found AND --fail
+was given. Without --fail, regressions are emitted as GitHub Actions
+::warning annotations — shared CI runners are noisy enough that a hard gate
+on a single run would mostly catch scheduler jitter, so the default is a
+loud warning; flip on --fail for a quiet dedicated perf box.
+
+Usage:
+  tools/bench_diff.py BASELINE.json CURRENT.json [--max-drop=0.25] [--fail]
+
+No dependencies beyond the Python 3 standard library.
+"""
+
+import argparse
+import json
+import sys
+
+
+def cell_key(row):
+    return (
+        row.get("workload"),
+        row.get("backend"),
+        row.get("threads"),
+        row.get("pop_batch"),
+        bool(row.get("pop_batch_auto", False)),
+    )
+
+
+def fmt_key(key):
+    workload, backend, threads, batch, auto = key
+    batch_s = f"auto:{batch}" if auto else str(batch)
+    return f"{workload} x {backend} @ t={threads} batch={batch_s}"
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        rows = json.load(f)
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: expected a JSON array of rows")
+    cells = {}
+    for row in rows:
+        key = cell_key(row)
+        # Duplicate keys would silently shadow each other; keep the best
+        # run, matching how a human reads repeated bench rows.
+        prev = cells.get(key)
+        if prev is None or row.get("tasks_per_s", 0) > prev.get(
+            "tasks_per_s", 0
+        ):
+            cells[key] = row
+    return cells
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two backend_matrix JSON snapshots for throughput "
+        "regressions."
+    )
+    parser.add_argument("baseline", help="previous run's JSON artifact")
+    parser.add_argument("current", help="this run's JSON artifact")
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.25,
+        help="relative throughput drop that counts as a regression "
+        "(default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--fail",
+        action="store_true",
+        help="exit 1 on regressions (default: ::warning annotations only)",
+    )
+    parser.add_argument(
+        "--emit-ok",
+        metavar="PATH",
+        help="create PATH iff no regression was found (also when the "
+        "baseline was missing). Lets CI promote the current snapshot to "
+        "baseline only on clean runs, so a regressed run keeps being "
+        "compared against the last good baseline instead of being "
+        "normalized — without it, two consecutive sub-threshold drops "
+        "compound invisibly.",
+    )
+    args = parser.parse_args()
+
+    def emit_ok():
+        if args.emit_ok:
+            with open(args.emit_ok, "w", encoding="utf-8") as f:
+                f.write("ok\n")
+
+    try:
+        baseline = load_rows(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"no usable baseline ({e}); skipping bench diff")
+        emit_ok()  # nothing to regress against: seed the baseline
+        return 0
+    try:
+        current = load_rows(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"::error::cannot read current bench snapshot: {e}")
+        return 1
+
+    regressions = []
+    improvements = []
+    for key, row in sorted(current.items()):
+        old = baseline.get(key)
+        if old is None:
+            print(f"new cell (no baseline): {fmt_key(key)}")
+            continue
+        old_tps = old.get("tasks_per_s") or 0.0
+        new_tps = row.get("tasks_per_s") or 0.0
+        if old_tps <= 0.0:
+            continue
+        change = (new_tps - old_tps) / old_tps
+        if change < -args.max_drop:
+            regressions.append((key, old_tps, new_tps, change))
+        elif change > args.max_drop:
+            improvements.append((key, old_tps, new_tps, change))
+    for key in sorted(baseline.keys() - current.keys()):
+        print(f"cell dropped from matrix: {fmt_key(key)}")
+
+    for key, old_tps, new_tps, change in improvements:
+        print(
+            f"improvement: {fmt_key(key)}: {old_tps:.0f} -> {new_tps:.0f} "
+            f"tasks/s ({change:+.1%})"
+        )
+    level = "error" if args.fail else "warning"
+    for key, old_tps, new_tps, change in regressions:
+        print(
+            f"::{level}::throughput regression: {fmt_key(key)}: "
+            f"{old_tps:.0f} -> {new_tps:.0f} tasks/s ({change:+.1%}, "
+            f"threshold -{args.max_drop:.0%})"
+        )
+    print(
+        f"bench diff: {len(current)} cells compared, "
+        f"{len(regressions)} regression(s) beyond {args.max_drop:.0%}, "
+        f"{len(improvements)} improvement(s)"
+    )
+    if not regressions:
+        emit_ok()
+    return 1 if regressions and args.fail else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,10 +66,12 @@ using relax::graph::Graph;
                                                            [multiqueue-c2]
   --queue-factor=<c>       MultiQueue sub-queues per thread [4]
   --pop-batch=<k>|auto[:max]  labels claimed per scheduler touch (parallel
-                           mode; k>1 amortizes lock/sample cost at an
-                           O(k*q) rank-error envelope; auto adapts per
-                           worker between 1 near drain and the max — 64
-                           unless given — under load)             [1]
+                           mode, including --algo=sssp; k>1 amortizes
+                           lock/sample cost at an O(k*q) rank-error
+                           envelope; auto adapts per worker between 1 near
+                           drain and the max — 64 unless given — from
+                           claim feedback + global occupancy; 0 and
+                           non-numeric values are rejected)       [1]
   --sched=multiqueue|spray|topk|kbounded   (seq-relaxed)    [multiqueue]
   --k=<relaxation>         relaxation factor (seq-relaxed,
                            and kbounded-family backends)    [8]
@@ -135,8 +137,15 @@ relax::core::ParallelOptions parallel_opts(
   relax::core::ParallelOptions opts;
   opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
   opts.queue_factor = static_cast<unsigned>(cli.get_int("queue-factor", 4));
-  const auto pb =
-      relax::engine::parse_pop_batch_flag(cli.get_string("pop-batch", "1"));
+  const std::string pop_batch_value = cli.get_string("pop-batch", "1");
+  const auto pb = relax::engine::parse_pop_batch_flag(pop_batch_value);
+  if (!pb.valid) {
+    std::fprintf(stderr,
+                 "error: invalid --pop-batch '%s': expected a positive "
+                 "integer, 'auto', or 'auto:<max>'\n\n",
+                 pop_batch_value.c_str());
+    std::exit(2);
+  }
   opts.pop_batch = pb.batch;
   opts.pop_batch_auto = pb.adaptive;
   if (cli.has("k"))
@@ -297,19 +306,28 @@ int main(int argc, char** argv) {
     const auto weights =
         relax::algorithms::synthetic_edge_weights(g, seed + 3);
     relax::algorithms::SsspStats stats;
-    // One parsing path for --pop-batch (parallel_opts). SSSP's standalone
-    // executor has no adaptive controller; auto resolves to its cap (a
-    // fixed batch of that size).
-    const relax::core::ParallelOptions sssp_opts = parallel_opts(cli);
+    // One parsing path for --pop-batch (parallel_opts); auto is honored
+    // end to end — SSSP's standalone executor runs the same occupancy-
+    // aware BatchController as the engine jobs.
+    const relax::core::ParallelOptions popts = parallel_opts(cli);
+    relax::algorithms::SsspOptions sssp_opts;
+    sssp_opts.num_threads = popts.num_threads;
+    sssp_opts.queue_factor = popts.queue_factor;
+    sssp_opts.seed = seed;
+    sssp_opts.pop_batch = popts.pop_batch;
+    sssp_opts.pop_batch_auto = popts.pop_batch_auto;
     const auto dist = relax::algorithms::parallel_relaxed_sssp(
-        g, weights, 0, sssp_opts.num_threads, sssp_opts.queue_factor, seed,
-        sssp_opts.pop_batch, &stats);
+        g, weights, 0, sssp_opts, &stats);
     std::printf(
-        "sssp: %.4f s | pops=%llu stale=%llu relaxations=%llu batches=%llu\n",
+        "sssp: %.4f s | pops=%llu stale=%llu relaxations=%llu batches=%llu "
+        "claims=[%llu..%llu]%s\n",
         stats.seconds, static_cast<unsigned long long>(stats.pops),
         static_cast<unsigned long long>(stats.stale_pops),
         static_cast<unsigned long long>(stats.relaxations),
-        static_cast<unsigned long long>(stats.batches));
+        static_cast<unsigned long long>(stats.batches),
+        static_cast<unsigned long long>(stats.min_claim),
+        static_cast<unsigned long long>(stats.max_claim),
+        sssp_opts.pop_batch_auto ? " (adaptive)" : "");
     if (cli.get_bool("verify", true)) {
       if (dist != relax::algorithms::dijkstra(g, weights, 0)) {
         std::fprintf(stderr, "VERIFY FAILED vs Dijkstra\n");
