@@ -63,6 +63,7 @@ struct Row {
   double tasks_per_s;
   double iters_per_task;
   double wasted_frac;
+  double slice_p99_us;  // < 0: not measured (sssp rows — no engine slices)
   double mean_rank;     // < 0: not measured
   std::uint64_t max_rank;
 };
@@ -78,6 +79,11 @@ void print_row(const Row& r) {
               r.backend.c_str(), r.threads, batch_label(r).c_str(),
               r.seconds, r.tasks_per_s, r.iters_per_task,
               100.0 * r.wasted_frac);
+  if (r.slice_p99_us >= 0.0) {
+    std::printf("%10.1f", r.slice_p99_us);
+  } else {
+    std::printf("%10s", "-");
+  }
   if (r.mean_rank >= 0.0) {
     std::printf("%10.2f %9llu\n", r.mean_rank,
                 static_cast<unsigned long long>(r.max_rank));
@@ -107,6 +113,11 @@ bool write_json(const char* path, const std::vector<Row>& rows) {
                  r.workload, r.backend.c_str(), r.threads, r.pop_batch,
                  r.pop_batch_auto ? "true" : "false", r.seconds,
                  r.tasks_per_s, r.iters_per_task, r.wasted_frac);
+    if (r.slice_p99_us >= 0.0) {
+      std::fprintf(f, "\"slice_p99_us\": %.2f, ", r.slice_p99_us);
+    } else {
+      std::fprintf(f, "\"slice_p99_us\": null, ");
+    }
     if (r.mean_rank >= 0.0) {
       std::fprintf(f, "\"mean_rank\": %.4f, \"max_rank\": %llu}",
                    r.mean_rank,
@@ -161,6 +172,9 @@ Row run_framework(const char* workload, const BackendInfo& backend,
       stats.iterations > 0
           ? static_cast<double>(stats.failed_deletes) / stats.iterations
           : 0.0;
+  // Tail latency straight from the job's always-on slice histogram — no
+  // registry needed for the per-cell p99.
+  row.slice_p99_us = stats.slices > 0 ? stats.slice_percentile_us(99) : -1.0;
   row.mean_rank = -1.0;
   row.max_rank = 0;
   if (quality) {
@@ -246,9 +260,9 @@ int main(int argc, char** argv) {
               g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()),
               backends.size(), quality ? 1 : 0);
-  std::printf("%-9s %-20s %7s %6s %9s %12s %10s %9s %10s %9s\n", "workload",
-              "backend", "threads", "batch", "seconds", "tasks/s",
-              "iters/task", "wasted", "mean-rank", "max-rank");
+  std::printf("%-9s %-20s %7s %6s %9s %12s %10s %9s %10s %10s %9s\n",
+              "workload", "backend", "threads", "batch", "seconds", "tasks/s",
+              "iters/task", "wasted", "p99-us", "mean-rank", "max-rank");
 
   std::vector<Row> rows;
   const auto emit = [&rows](Row row) {
@@ -307,6 +321,7 @@ int main(int argc, char** argv) {
               sstats.pops > 0
                   ? static_cast<double>(sstats.stale_pops) / sstats.pops
                   : 0.0;
+          row.slice_p99_us = -1.0;  // standalone executor: no engine slices
           row.mean_rank = -1.0;
           row.max_rank = 0;
           emit(row);

@@ -20,10 +20,16 @@
 // — the audit requests report the matching O(pop_batch * q) rank-error
 // envelope, so the latency/quality trade is visible in the output.
 //
+// --metrics=<path|-> attaches an engine-wide obs::MetricsRegistry and dumps
+// it after the serving loop drains — the service "stats command": per-worker
+// slice/claim/park counters and latency percentiles in Prometheus text form
+// (JSON when the path ends in .json, stdout with '-').
+//
 // Build & run:  ./examples/job_server [--requests=32] [--threads=0]
 //                                     [--inflight=4] [--audit=8]
 //                                     [--pop-batch=1|auto[:max]]
 //                                     [--backend=multiqueue-c2|...|mix]
+//                                     [--metrics=<path|->]
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -36,6 +42,7 @@
 #include "engine/engine.h"
 #include "graph/generators.h"
 #include "graph/permutation.h"
+#include "obs/metrics.h"
 #include "sched/backend_registry.h"
 #include "util/cli.h"
 #include "util/timer.h"
@@ -97,9 +104,15 @@ int main(int argc, char** argv) {
   const auto edge_pri =
       relax::graph::random_priorities(incidence.num_edges(), 3);
 
+  // Telemetry sink outliving the engine; attached only when requested, so
+  // the default run pays no metric traffic at all.
+  const std::string metrics_path = cli.get_string("metrics", "");
+  relax::obs::MetricsRegistry registry;
+
   relax::engine::EngineOptions opts;
   opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
   opts.max_in_flight = static_cast<unsigned>(inflight);
+  if (!metrics_path.empty()) opts.metrics = &registry;
   relax::engine::SchedulingEngine engine(opts);
   std::printf(
       "job_server: %u workers, %d jobs in flight, %d requests, pop-batch "
@@ -182,5 +195,23 @@ int main(int argc, char** argv) {
       completed, total,
       total > 0.0 ? static_cast<double>(completed) / total : 0.0,
       completed > 0 ? latency_sum / completed : 0.0);
+
+  if (!metrics_path.empty()) {
+    const bool json = metrics_path.size() >= 5 &&
+                      metrics_path.compare(metrics_path.size() - 5, 5,
+                                           ".json") == 0;
+    const std::string text =
+        json ? registry.to_json() : registry.to_prometheus();
+    if (metrics_path == "-") {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    } else if (std::FILE* f = std::fopen(metrics_path.c_str(), "w")) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write '%s'\n",
+                   metrics_path.c_str());
+    }
+  }
   return 0;
 }

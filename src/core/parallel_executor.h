@@ -59,6 +59,11 @@ struct ParallelOptions {
                                  // (algorithms::SsspOptions mirrors it)
   std::uint64_t seed = 1;        // scheduler randomness
   bool pin_threads = true;
+  obs::MetricsRegistry* metrics = nullptr;  // optional caller-owned telemetry
+  obs::TraceRing* trace = nullptr;          // sinks, resized by the engine;
+                                            // they outlive the one-shot run,
+                                            // so snapshots/export happen
+                                            // after the call returns
 
   [[nodiscard]] unsigned threads() const {
     return num_threads == 0 ? util::hardware_threads() : num_threads;
@@ -74,6 +79,8 @@ inline engine::EngineOptions single_job_engine(const ParallelOptions& opts) {
   eo.num_threads = opts.threads();
   eo.pin_threads = opts.pin_threads;
   eo.max_in_flight = 1;
+  eo.metrics = opts.metrics;
+  eo.trace = opts.trace;
   return eo;
 }
 

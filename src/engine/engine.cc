@@ -3,14 +3,34 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
 #include "util/spinlock.h"
 #include "util/thread_pin.h"
+#include "util/timer.h"
 
 namespace relax::engine {
 
 unsigned EngineOptions::threads() const {
   return num_threads == 0 ? util::hardware_threads() : num_threads;
 }
+
+namespace {
+
+// Telemetry sinks must cover every worker id BEFORE the first worker runs
+// (pool workers park immediately and record park metrics); these run in the
+// pool_ member initializer, i.e. strictly before any thread is spawned.
+obs::MetricsRegistry* prepared_metrics(const EngineOptions& opts) {
+  if (opts.metrics != nullptr) opts.metrics->resize(opts.threads());
+  return opts.metrics;
+}
+
+obs::TraceRing* prepared_trace(const EngineOptions& opts) {
+  if (opts.trace != nullptr) opts.trace->resize(opts.threads());
+  return opts.trace;
+}
+
+}  // namespace
 
 core::ExecutionStats JobTicket::wait() {
   if (!state_)
@@ -30,7 +50,8 @@ SchedulingEngine::SchedulingEngine(EngineOptions opts)
     : opts_(opts),
       worker_caches_(opts.threads()),
       pool_(opts.threads(), opts.pin_threads,
-            [this](unsigned worker) { return work(worker); }) {
+            [this](unsigned worker) { return work(worker); },
+            prepared_metrics(opts), prepared_trace(opts)) {
   if (opts_.max_in_flight == 0) opts_.max_in_flight = 1;
   if (opts_.max_pending == 0) opts_.max_pending = 1;
   if (opts_.slice_budget == 0) opts_.slice_budget = 1;
@@ -51,9 +72,10 @@ JobTicket SchedulingEngine::submit(std::shared_ptr<Job> job) {
     space_cv_.wait(lock,
                    [&] { return pending_.size() < opts_.max_pending; });
     ++submitted_;
-    pending_.push_back(Admitted{std::move(job), state});
+    pending_.push_back(Admitted{std::move(job), state, submitted_});
     admit(lock);
   }
+  if (opts_.metrics != nullptr) opts_.metrics->jobs_submitted().add();
   pool_.notify();
   return JobTicket(std::move(state));
 }
@@ -94,6 +116,10 @@ bool SchedulingEngine::work(unsigned worker) {
   if (jobs.empty()) return false;  // park until the next submit
   bool any = false;
   const std::size_t k = jobs.size();
+  // Slice timing lives here, not in the jobs: the engine sees every slice
+  // of every job type through one choke point, so one timer covers them
+  // all and an unobserved engine pays nothing.
+  const bool observing = opts_.metrics != nullptr || opts_.trace != nullptr;
   for (std::size_t i = 0; i < k; ++i) {
     // Rotate by worker id so the pool fans out over jobs instead of
     // convoying on the first one.
@@ -106,7 +132,35 @@ bool SchedulingEngine::work(unsigned worker) {
     // write stat stripes concurrently with collect().
     admitted.state->in_slice.fetch_add(1);
     if (!admitted.state->sealed.load()) {
-      if (admitted.job->run_slice(worker, opts_.slice_budget)) any = true;
+      if (!observing) {
+        if (admitted.job->run_slice(worker, opts_.slice_budget)) any = true;
+      } else {
+        const std::uint64_t start_ns =
+            opts_.trace != nullptr ? opts_.trace->now_ns() : 0;
+        util::Timer slice_timer;
+        const bool progress =
+            admitted.job->run_slice(worker, opts_.slice_budget);
+        const std::uint64_t dur_ns =
+            static_cast<std::uint64_t>(slice_timer.seconds() * 1e9);
+        if (opts_.metrics != nullptr && worker < opts_.metrics->width()) {
+          auto& wm = opts_.metrics->worker(worker);
+          if (progress) {
+            wm.slices.add();
+            wm.slice_ns.record(dur_ns);
+          } else {
+            wm.idle_visits.add();
+          }
+        }
+        // Trace only slices that made progress: a starved multi-job engine
+        // emits thousands of microsecond-scale empty polls per second, and
+        // letting them churn the ring would evict the slices worth seeing.
+        if (progress && opts_.trace != nullptr &&
+            worker < opts_.trace->width()) {
+          opts_.trace->record(worker, obs::EventKind::kSlice, start_ns,
+                              dur_ns, admitted.id);
+        }
+        if (progress) any = true;
+      }
     }
     admitted.state->in_slice.fetch_sub(1);
     if (admitted.job->finished()) finish(admitted);
@@ -149,6 +203,7 @@ void SchedulingEngine::finish(const Admitted& admitted) {
     ++completed_;
     admit(lock);
   }
+  if (opts_.metrics != nullptr) opts_.metrics->jobs_completed().add();
   {
     std::lock_guard<std::mutex> guard(admitted.state->mu);
     admitted.state->stats = stats;

@@ -58,6 +58,16 @@ struct EngineOptions {
   unsigned max_in_flight = 4;    // jobs multiplexed over the pool at once
   std::uint32_t slice_budget = 256;  // scheduler iterations per job visit
 
+  /// Optional engine-wide telemetry sinks, caller-owned and off by default
+  /// (nullptr == zero overhead on every hot path). The engine resizes both
+  /// to its worker count before the pool starts, threads them into the
+  /// pool's park instrumentation, times every job slice into the registry
+  /// and trace ring, and injects them into each submitted job's JobConfig
+  /// (unless the caller already set per-job sinks there — caller wins).
+  /// Both must outlive the engine.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRing* trace = nullptr;
+
   [[nodiscard]] unsigned threads() const;
 };
 
@@ -114,15 +124,16 @@ class SchedulingEngine {
   template <core::Problem P>
   JobTicket submit_relaxed(P& problem, const graph::Priorities& pri,
                            const JobConfig& cfg = {}) {
-    const std::uint32_t queues = cfg.queue_factor * width();
-    if (cfg.monitor_relaxation) {
+    const JobConfig jc = with_observability(cfg);
+    const std::uint32_t queues = jc.queue_factor * width();
+    if (jc.monitor_relaxation) {
       return submit(
           std::make_shared<MonitoredRelaxedJob<P, sched::ConcurrentMultiQueue>>(
-              problem, pri, cfg, queues, cfg.seed, cfg.choices));
+              problem, pri, jc, queues, jc.seed, jc.choices));
     }
     return submit(
         std::make_shared<OwningRelaxedJob<P, sched::ConcurrentMultiQueue>>(
-            problem, pri, cfg, queues, cfg.seed, cfg.choices));
+            problem, pri, jc, queues, jc.seed, jc.choices));
   }
 
   /// Relaxed execution over any backend in the registry
@@ -134,7 +145,8 @@ class SchedulingEngine {
   JobTicket submit_relaxed_backend(P& problem, const graph::Priorities& pri,
                                    const sched::BackendInfo& backend,
                                    const JobConfig& cfg = {}) {
-    return submit(make_backend_job(backend, problem, pri, width(), cfg));
+    return submit(
+        make_backend_job(backend, problem, pri, width(), with_observability(cfg)));
   }
 
   /// Name-based form; throws std::invalid_argument (listing the valid
@@ -153,15 +165,16 @@ class SchedulingEngine {
   template <core::Problem P, typename Queue>
   JobTicket submit_relaxed_on(P& problem, const graph::Priorities& pri,
                               Queue& queue, const JobConfig& cfg = {}) {
-    return submit(std::make_shared<RelaxedJob<P, Queue>>(problem, pri, queue,
-                                                         cfg));
+    return submit(std::make_shared<RelaxedJob<P, Queue>>(
+        problem, pri, queue, with_observability(cfg)));
   }
 
   /// Exact-baseline execution (FAA ticket dispenser + bounded backoff-wait).
   template <core::Problem P>
   JobTicket submit_exact(P& problem, const graph::Priorities& pri,
                          const JobConfig& cfg = {}) {
-    return submit(std::make_shared<ExactJob<P>>(problem, pri, cfg));
+    return submit(
+        std::make_shared<ExactJob<P>>(problem, pri, with_observability(cfg)));
   }
 
   /// Number of pool workers.
@@ -174,7 +187,16 @@ class SchedulingEngine {
   struct Admitted {
     std::shared_ptr<Job> job;
     std::shared_ptr<JobTicket::State> state;
+    std::uint64_t id = 0;  // 1-based submission order; trace-event job label
   };
+
+  /// Fills unset per-job telemetry sinks from the engine-wide ones in
+  /// EngineOptions; a caller-provided JobConfig sink always wins.
+  [[nodiscard]] JobConfig with_observability(JobConfig cfg) const {
+    if (cfg.metrics == nullptr) cfg.metrics = opts_.metrics;
+    if (cfg.trace == nullptr) cfg.trace = opts_.trace;
+    return cfg;
+  }
 
   /// WorkerPool work function: visit every active job once.
   bool work(unsigned worker);

@@ -97,6 +97,8 @@
 #include "core/problem.h"
 #include "engine/batch_inserter.h"
 #include "graph/permutation.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
 #include "sched/batch_controller.h"
 #include "sched/concurrent_multiqueue.h"
 #include "sched/faa_array_queue.h"
@@ -145,6 +147,17 @@ struct JobConfig {
   static constexpr std::uint32_t kDefaultAutoPopBatch = 64;
   bool monitor_relaxation = false;  // audit mode: serialize + measure quality
   std::uint32_t monitor_stride = 64;  // inversion tracking sample stride
+
+  /// Telemetry sinks. Normally left null by callers and injected by the
+  /// engine from EngineOptions (SchedulingEngine::with_observability), so
+  /// every job submitted to an observed engine reports into the same
+  /// registry; a caller-set sink wins over the engine's. The hot path
+  /// accumulates into worker-locals and flushes once per slice, so an
+  /// attached registry costs a handful of relaxed adds per ~slice_budget
+  /// iterations (pinned by the obs overhead guard test). Both sinks must be
+  /// sized for the pool (width() >= pool width) and outlive the job.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRing* trace = nullptr;
 };
 
 /// Parsed form of a --pop-batch CLI value. `batch` is the fixed size, or
@@ -237,9 +250,20 @@ class TaskJobBase : public Job {
   }
 
   core::ExecutionStats collect() override {
-    core::ExecutionStats total;
-    for (const auto& s : stats_) total += *s;
-    total.seconds = done_seconds_;
+    // Stripes carry busy time (the sum of that worker's slice latencies) in
+    // `seconds`; merged_wall() accumulates everything and then overrides
+    // the total's seconds with the job's wall clock — the contract its name
+    // encodes. The stripes themselves become the per-worker breakdown.
+    std::vector<core::ExecutionStats> stripes;
+    stripes.reserve(stats_.size());
+    for (const auto& s : stats_) {
+      stripes.push_back(*s);
+      stripes.back().seconds =
+          static_cast<double>(stripes.back().slice_latency_ns.sum()) / 1e9;
+    }
+    core::ExecutionStats total = core::ExecutionStats::merged_wall(
+        std::span<const core::ExecutionStats>(stripes), done_seconds_);
+    total.per_worker = std::move(stripes);
     return total;
   }
 
@@ -293,7 +317,9 @@ class RelaxedJob : public TaskJobBase {
         // The slice budget caps the effective batch per claim anyway.
         pop_batch_(std::clamp<std::uint32_t>(cfg.pop_batch, 1,
                                              JobConfig::kMaxPopBatch)),
-        adaptive_(cfg.pop_batch_auto) {}
+        adaptive_(cfg.pop_batch_auto),
+        metrics_(cfg.metrics),
+        trace_(cfg.trace) {}
 
   void activate(unsigned pool_width) override {
     TaskJobBase::activate(pool_width);
@@ -336,6 +362,7 @@ class RelaxedJob : public TaskJobBase {
 
   bool run_slice(unsigned worker, std::uint32_t budget) override {
     if (finished()) return false;
+    util::Timer slice_timer;  // slice latency -> this worker's stripe
     auto& ws = *workers_[worker];
     // First slice for this worker: open its session. Later slices reuse
     // the cached handle — handle construction off the per-slice path.
@@ -345,6 +372,27 @@ class RelaxedJob : public TaskJobBase {
     auto& stats = *stats_[worker];
     auto& my_retired = *retired_[worker];
     auto& buffer = ws.popped;
+    // Telemetry is accumulated in plain locals and flushed once per slice
+    // (see flush_metrics) so the per-claim cost with a registry attached is
+    // plain-integer arithmetic, not atomics. Snapshot the stripe counters
+    // and controller tally now; the deltas at slice end are this slice's
+    // contribution.
+    obs::WorkerMetrics* wm =
+        metrics_ != nullptr && worker < metrics_->width()
+            ? &metrics_->worker(worker)
+            : nullptr;
+    obs::TraceRing* trace =
+        trace_ != nullptr && worker < trace_->width() ? trace_ : nullptr;
+    const std::uint64_t processed0 = stats.processed;
+    const std::uint64_t failed0 = stats.failed_deletes;
+    const std::uint64_t dead0 = stats.dead_skips;
+    const std::uint64_t empty0 = stats.empty_polls;
+    const sched::BatchController::Transitions trans0 =
+        ws.controller.transitions();
+    std::uint64_t claims_made = 0;
+    std::uint64_t labels_claimed = 0;
+    obs::Histogram claim_sizes;  // worker-local; merged into wm at slice end
+    std::uint32_t last_regime_claim = ws.controller.current();
     std::uint32_t iters = 0;
     while (!done_.load(std::memory_order_acquire) && iters < budget) {
       // Claim up to pop_batch labels (or the session controller's adaptive
@@ -357,6 +405,21 @@ class RelaxedJob : public TaskJobBase {
       const std::uint32_t claim = std::min<std::uint32_t>(want, budget - iters);
       const std::size_t got = sched::pop_batch(handle, claim, buffer);
       ws.controller.feedback(claim, static_cast<std::uint32_t>(got));
+      ++claims_made;
+      if (got > 0) {
+        labels_claimed += got;
+        claim_sizes.record(got);
+      }
+      if (trace != nullptr) {
+        trace->record(worker, obs::EventKind::kClaim, trace->now_ns(), 0,
+                      static_cast<std::uint32_t>(got));
+        const std::uint32_t regime_claim = ws.controller.current();
+        if (regime_claim != last_regime_claim) {
+          trace->record(worker, obs::EventKind::kRegime, trace->now_ns(), 0,
+                        regime_claim);
+          last_regime_claim = regime_claim;
+        }
+      }
       if (buffer.empty()) {
         ++stats.empty_polls;
         check_done();
@@ -408,6 +471,31 @@ class RelaxedJob : public TaskJobBase {
     // before the final termination check and the slice return.
     flush_reinserts(handle, ws);
     check_done();
+    // Slice telemetry: always into this worker's stripe (per-job slice
+    // latency percentiles — the starvation metric), and the slice's deltas
+    // into the engine registry when one is attached.
+    const std::uint64_t slice_ns =
+        static_cast<std::uint64_t>(slice_timer.seconds() * 1e9);
+    ++stats.slices;
+    stats.slice_latency_ns.record(slice_ns);
+    if (wm != nullptr) {
+      wm->claims.add(claims_made);
+      wm->pops.add(labels_claimed);
+      wm->claim_size.merge_from(claim_sizes);
+      wm->processed.add(stats.processed - processed0);
+      wm->failed_deletes.add(stats.failed_deletes - failed0);
+      wm->dead_skips.add(stats.dead_skips - dead0);
+      wm->empty_polls.add(stats.empty_polls - empty0);
+      // Every kNotReady label was flushed back exactly once this slice.
+      wm->reinserts.add(stats.failed_deletes - failed0);
+      const sched::BatchController::Transitions& tr =
+          ws.controller.transitions();
+      wm->regime_ramps.add(tr.ramps - trans0.ramps);
+      wm->regime_resets.add(tr.resets - trans0.resets);
+      wm->regime_backlog_jumps.add(tr.backlog_jumps - trans0.backlog_jumps);
+      wm->regime_drain_pins.add(tr.drain_pins - trans0.drain_pins);
+      wm->current_claim.set(ws.controller.current());
+    }
     return progress;
   }
 
@@ -460,6 +548,8 @@ class RelaxedJob : public TaskJobBase {
   std::uint32_t batch_;
   std::uint32_t pop_batch_;
   bool adaptive_;
+  obs::MetricsRegistry* metrics_;  // optional engine telemetry sink
+  obs::TraceRing* trace_;          // optional Chrome-trace event ring
   std::vector<util::Padded<WorkerState>> workers_;
   std::atomic<std::uint64_t> load_cursor_{0};
 };
@@ -572,6 +662,7 @@ class ExactJob : public TaskJobBase {
 
   bool run_slice(unsigned worker, std::uint32_t budget) override {
     if (finished()) return false;
+    util::Timer slice_timer;  // slice latency -> this worker's stripe
     auto& stats = *stats_[worker];
     auto& my_retired = *retired_[worker];
     auto& slot = *slots_[worker];
@@ -605,6 +696,9 @@ class ExactJob : public TaskJobBase {
       progress = true;
     }
     check_done();
+    ++stats.slices;
+    stats.slice_latency_ns.record(
+        static_cast<std::uint64_t>(slice_timer.seconds() * 1e9));
     return progress;
   }
 

@@ -2,12 +2,19 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
 #include "util/thread_pin.h"
+#include "util/timer.h"
 
 namespace relax::engine {
 
-WorkerPool::WorkerPool(unsigned num_threads, bool pin_threads, WorkFn work)
-    : work_(std::move(work)), pin_threads_(pin_threads) {
+WorkerPool::WorkerPool(unsigned num_threads, bool pin_threads, WorkFn work,
+                       obs::MetricsRegistry* metrics, obs::TraceRing* trace)
+    : work_(std::move(work)),
+      pin_threads_(pin_threads),
+      metrics_(metrics),
+      trace_(trace) {
   const unsigned n = num_threads == 0 ? 1 : num_threads;
   workers_.reserve(n);
   for (unsigned t = 0; t < n; ++t) {
@@ -53,9 +60,31 @@ void WorkerPool::worker_main(unsigned worker) {
       seen = epoch_;
     }
     if (work_(worker)) continue;
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
-    if (stop_) return;
+    // Telemetry at the park boundary only: count the park and, once woken,
+    // record how long this worker slept (its own padded slot / trace lane —
+    // no cross-worker traffic, and zero cost when no sink is attached).
+    const std::uint64_t park_start_ns =
+        trace_ != nullptr ? trace_->now_ns() : 0;
+    util::Timer parked;
+    const bool observing = metrics_ != nullptr || trace_ != nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+    }
+    if (observing) {
+      const std::uint64_t park_ns =
+          static_cast<std::uint64_t>(parked.seconds() * 1e9);
+      if (metrics_ != nullptr && worker < metrics_->width()) {
+        auto& wm = metrics_->worker(worker);
+        wm.parks.add();
+        wm.park_ns.record(park_ns);
+      }
+      if (trace_ != nullptr && worker < trace_->width()) {
+        trace_->record(worker, obs::EventKind::kPark, park_start_ns, park_ns,
+                       0);
+      }
+    }
   }
 }
 

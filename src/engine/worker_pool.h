@@ -34,6 +34,11 @@
 #include <thread>
 #include <vector>
 
+namespace relax::obs {
+class MetricsRegistry;
+class TraceRing;
+}  // namespace relax::obs
+
 namespace relax::engine {
 
 class WorkerPool {
@@ -45,8 +50,14 @@ class WorkerPool {
 
   /// num_threads is a resolved worker count (owners resolve 0 == "all
   /// hardware" themselves, see EngineOptions::threads(); 0 here is clamped
-  /// to 1, not re-resolved).
-  WorkerPool(unsigned num_threads, bool pin_threads, WorkFn work);
+  /// to 1, not re-resolved). `metrics` / `trace` are optional telemetry
+  /// sinks (already sized to >= num_threads workers by the owner): when
+  /// set, each park is counted and its duration recorded on the parking
+  /// worker's own lane — the pool's only observability cost, paid at the
+  /// park boundary, never on the work path.
+  WorkerPool(unsigned num_threads, bool pin_threads, WorkFn work,
+             obs::MetricsRegistry* metrics = nullptr,
+             obs::TraceRing* trace = nullptr);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -68,6 +79,8 @@ class WorkerPool {
 
   WorkFn work_;
   bool pin_threads_;
+  obs::MetricsRegistry* metrics_;  // optional, owner-owned
+  obs::TraceRing* trace_;          // optional, owner-owned
   std::mutex mu_;
   std::condition_variable cv_;
   std::uint64_t epoch_ = 0;  // bumped by notify(); guarded by mu_

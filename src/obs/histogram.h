@@ -1,0 +1,216 @@
+// Log2-bucketed histograms for engine telemetry.
+//
+// Two flavors over one bucket scheme:
+//
+//   Histogram        plain counters — single-writer (a worker's private
+//                    stripe) or externally quiesced data. Mergeable, and the
+//                    value type ExecutionStats embeds for per-job
+//                    slice-latency percentiles.
+//   AtomicHistogram  the registry's live form: record() is a handful of
+//                    relaxed fetch_adds on the owning worker's padded cache
+//                    lines, snapshot() reads them from any thread at any
+//                    time (each counter is individually atomic; a snapshot
+//                    taken mid-write is a consistent-enough instant for
+//                    monitoring, exactly like the striped size() reads the
+//                    schedulers already expose).
+//
+// Bucket b holds values v with bucket_floor(b) <= v <= bucket_ceil(b):
+// value 0 is bucket 0, otherwise b = bit_width(v), so bucket 1 = {1},
+// bucket 2 = {2,3}, bucket 3 = {4..7}, ... — 65 buckets cover all of
+// uint64. Percentiles interpolate linearly inside the boundary bucket, so
+// a reported quantile is exact for single-value buckets (0 and 1) and
+// within a factor of two everywhere else — plenty for latency telemetry,
+// where the interesting signal is orders of magnitude.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace relax::obs {
+
+inline constexpr unsigned kHistogramBuckets = 65;
+
+/// Bucket index for a value: 0 -> 0, otherwise bit_width(v) (the position
+/// of the highest set bit, 1-based).
+[[nodiscard]] constexpr unsigned bucket_index(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::bit_width(v));
+}
+
+/// Smallest value landing in bucket b.
+[[nodiscard]] constexpr std::uint64_t bucket_floor(unsigned b) noexcept {
+  return b <= 1 ? b : std::uint64_t{1} << (b - 1);
+}
+
+/// Largest value landing in bucket b.
+[[nodiscard]] constexpr std::uint64_t bucket_ceil(unsigned b) noexcept {
+  return b == 0 ? 0
+         : b >= 64
+             ? ~std::uint64_t{0}
+             : (std::uint64_t{1} << b) - 1;
+}
+
+/// Plain log2 histogram: single-writer or quiesced. Value-type (copyable,
+/// mergeable); this is what snapshots and ExecutionStats carry.
+class Histogram {
+ public:
+  void record(std::uint64_t v) noexcept {
+    ++buckets_[bucket_index(v)];
+    ++count_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const Histogram& o) noexcept {
+    for (unsigned b = 0; b < kHistogramBuckets; ++b)
+      buckets_[b] += o.buckets_[b];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+  [[nodiscard]] std::uint64_t bucket(unsigned b) const noexcept {
+    return b < kHistogramBuckets ? buckets_[b] : 0;
+  }
+
+  /// The p-th percentile (p in [0, 100]) as a linear interpolation inside
+  /// the bucket holding the p-th sample; 0 when the histogram is empty.
+  /// Single-value buckets (values 0 and 1) are exact; wider buckets are
+  /// correct to within their power-of-two span. The reported value never
+  /// exceeds max() (the top bucket interpolates toward the observed max,
+  /// not its theoretical ceiling).
+  [[nodiscard]] double percentile(double p) const noexcept {
+    if (count_ == 0) return 0.0;
+    if (p <= 0.0) {
+      for (unsigned b = 0; b < kHistogramBuckets; ++b)
+        if (buckets_[b] != 0) return static_cast<double>(bucket_floor(b));
+      return 0.0;
+    }
+    if (p >= 100.0) return static_cast<double>(max_);
+    const double target = p / 100.0 * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      const std::uint64_t next = seen + buckets_[b];
+      if (static_cast<double>(next) >= target) {
+        const double lo = static_cast<double>(bucket_floor(b));
+        // Interpolate toward the bucket's observed ceiling: the max for
+        // the last populated bucket, the bucket boundary otherwise.
+        const bool last = next == count_;
+        // max(lo, ...): a racy AtomicHistogram snapshot can carry a max
+        // that trails the bucket counts; never interpolate downward.
+        const double hi =
+            last ? std::max(lo, static_cast<double>(max_))
+                 : static_cast<double>(bucket_ceil(b));
+        const double frac = (target - static_cast<double>(seen)) /
+                            static_cast<double>(buckets_[b]);
+        return lo + (hi - lo) * frac;
+      }
+      seen = next;
+    }
+    return static_cast<double>(max_);
+  }
+
+ private:
+  friend class AtomicHistogram;  // snapshot() assembles a Histogram directly
+
+  std::array<std::uint64_t, kHistogramBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Relaxed-atomic log2 histogram for the live MetricsRegistry: record() on
+/// the hot path is 3 relaxed fetch_adds plus a relaxed CAS max (all on the
+/// owning worker's padded lines — single-writer in practice, but safe under
+/// any interleaving), snapshot() is readable from any thread mid-write.
+class AtomicHistogram {
+ public:
+  AtomicHistogram() = default;
+  // Registries resize their per-worker slots before workers start; the
+  // copy-from-quiescent forms make that vector surgery possible.
+  AtomicHistogram(const AtomicHistogram& o) noexcept { copy_from(o); }
+  AtomicHistogram& operator=(const AtomicHistogram& o) noexcept {
+    copy_from(o);
+    return *this;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    raise_max(v);
+  }
+
+  /// Batched form of record(): folds a worker-local plain Histogram in with
+  /// one relaxed add per populated bucket. This is how hot loops keep the
+  /// per-sample cost at plain-integer speed — accumulate locally, merge
+  /// once per slice.
+  void merge_from(const Histogram& h) noexcept {
+    for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+      if (h.bucket(b) != 0)
+        buckets_[b].fetch_add(h.bucket(b), std::memory_order_relaxed);
+    }
+    if (h.count() == 0) return;
+    count_.fetch_add(h.count(), std::memory_order_relaxed);
+    sum_.fetch_add(h.sum(), std::memory_order_relaxed);
+    raise_max(h.max());
+  }
+
+  /// A point-in-time plain copy; safe concurrently with record(). Counters
+  /// are read individually (relaxed), so a snapshot racing a record() may
+  /// be off by the in-flight sample — monitoring-grade, like the striped
+  /// scheduler size() reads.
+  [[nodiscard]] Histogram snapshot() const noexcept {
+    Histogram h;
+    std::uint64_t count = 0;
+    for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+      h.buckets_[b] = buckets_[b].load(std::memory_order_relaxed);
+      count += h.buckets_[b];
+    }
+    // Derive count from the bucket reads so the snapshot is internally
+    // consistent (percentile walks the buckets against count_); sum/max
+    // may trail by in-flight samples, which only perturbs mean()/max().
+    h.count_ = count;
+    h.sum_ = sum_.load(std::memory_order_relaxed);
+    h.max_ = max_.load(std::memory_order_relaxed);
+    return h;
+  }
+
+ private:
+  void raise_max(std::uint64_t v) noexcept {
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  void copy_from(const AtomicHistogram& o) noexcept {
+    for (unsigned b = 0; b < kHistogramBuckets; ++b)
+      buckets_[b].store(o.buckets_[b].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    count_.store(o.count_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    sum_.store(o.sum_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    max_.store(o.max_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace relax::obs

@@ -1,0 +1,192 @@
+// MetricsRegistry — engine-wide, lock-free telemetry.
+//
+// One registry serves one SchedulingEngine (EngineOptions::metrics): a
+// fixed schema of per-worker counters and log2 histograms, cache-line
+// padded per worker so the hot path is plain relaxed fetch_adds on lines
+// no other worker ever writes. Snapshots are taken on demand from any
+// thread at any time — each counter is individually atomic, so a snapshot
+// racing a slice is monitoring-consistent (the same contract as the striped
+// size() reads the schedulers expose), and the exporters
+// (to_prometheus/to_json, obs/metrics.cc) render a snapshot, never the
+// live registry.
+//
+// Writers:
+//   engine (engine.cc)        slices + slice latency per worker, job
+//                             submit/complete counts
+//   jobs (engine/job.h)       claims + claim-size distribution, pops,
+//                             processed / failed-delete / dead-skip /
+//                             empty-poll counts, re-inserted labels, and
+//                             BatchController regime transitions
+//   worker pool               park/unpark counts + park-time distribution
+//
+// Lifetime: the registry outlives the engine that records into it (it is
+// caller-owned precisely so its contents survive the engine teardown in
+// the one-shot run_parallel_* wrappers). resize() is NOT thread-safe —
+// the engine calls it once, before its workers exist.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "util/padded.h"
+
+namespace relax::obs {
+
+/// Monotone event count. Relaxed-atomic: single-writer in this registry's
+/// layout (one worker per slot), safe under any interleaving regardless.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  Counter() = default;
+  Counter(const Counter& o) noexcept { v_.store(o.value(), std::memory_order_relaxed); }
+  Counter& operator=(const Counter& o) noexcept {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written level (e.g. the adaptive claim size a worker is currently
+/// running). Relaxed set/read; no aggregation semantics beyond "latest".
+class Gauge {
+ public:
+  void set(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  Gauge() = default;
+  Gauge(const Gauge& o) noexcept { v_.store(o.value(), std::memory_order_relaxed); }
+  Gauge& operator=(const Gauge& o) noexcept {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// One worker's metric block. Padded<WorkerMetrics> slots mean no two
+/// workers ever share a cache line; within a block every field has a single
+/// writer (that worker's thread, or the engine thread driving it).
+struct WorkerMetrics {
+  // Engine-level slice accounting (recorded by SchedulingEngine::work).
+  Counter slices;            // run_slice calls that made progress
+  Counter idle_visits;       // run_slice calls that found nothing to do
+  AtomicHistogram slice_ns;  // latency of progress-making slices
+
+  // Job-level scheduler-loop accounting (recorded by RelaxedJob).
+  Counter claims;            // batched scheduler touches (pop_batch calls)
+  AtomicHistogram claim_size;  // labels delivered per non-empty claim
+  Counter pops;              // labels claimed (sum over claims)
+  Counter processed;
+  Counter failed_deletes;
+  Counter dead_skips;
+  Counter empty_polls;
+  Counter reinserts;         // kNotReady labels flushed back
+  Gauge current_claim;       // adaptive claim size after the last slice
+
+  // BatchController regime transitions (deltas flushed per slice).
+  Counter regime_ramps;        // feedback doublings toward the cap
+  Counter regime_resets;       // short claim -> back to 1
+  Counter regime_backlog_jumps;  // occupancy consult jumped to the cap
+  Counter regime_drain_pins;     // occupancy consult pinned single pops
+
+  // Worker-pool accounting (recorded by WorkerPool::worker_main).
+  Counter parks;
+  AtomicHistogram park_ns;   // parked duration per park
+};
+
+/// Plain point-in-time copy of one worker's block.
+struct WorkerSnapshot {
+  std::uint64_t slices = 0;
+  std::uint64_t idle_visits = 0;
+  Histogram slice_ns;
+  std::uint64_t claims = 0;
+  Histogram claim_size;
+  std::uint64_t pops = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t failed_deletes = 0;
+  std::uint64_t dead_skips = 0;
+  std::uint64_t empty_polls = 0;
+  std::uint64_t reinserts = 0;
+  std::uint64_t current_claim = 0;
+  std::uint64_t regime_ramps = 0;
+  std::uint64_t regime_resets = 0;
+  std::uint64_t regime_backlog_jumps = 0;
+  std::uint64_t regime_drain_pins = 0;
+  std::uint64_t parks = 0;
+  Histogram park_ns;
+};
+
+/// The whole registry at an instant: per-worker blocks plus the engine-
+/// level job counters and the cross-worker merged histograms the percentile
+/// summaries render from.
+struct MetricsSnapshot {
+  std::vector<WorkerSnapshot> workers;
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  Histogram slice_ns;    // merged over workers
+  Histogram claim_size;  // merged over workers
+  Histogram park_ns;     // merged over workers
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  /// Sizes the per-worker slots. Called by the engine before any worker
+  /// runs (NOT thread-safe against record paths); clears previous contents,
+  /// so one registry object can serve several consecutive runs.
+  void resize(unsigned workers) {
+    workers_.assign(workers, util::Padded<WorkerMetrics>{});
+    jobs_submitted_ = Counter{};
+    jobs_completed_ = Counter{};
+  }
+
+  [[nodiscard]] unsigned width() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// The metric block for `worker` (< width()). Hot path: callers cache the
+  /// reference per slice and issue relaxed adds.
+  [[nodiscard]] WorkerMetrics& worker(unsigned w) noexcept {
+    return *workers_[w];
+  }
+
+  Counter& jobs_submitted() noexcept { return jobs_submitted_; }
+  Counter& jobs_completed() noexcept { return jobs_completed_; }
+
+  /// Point-in-time copy, callable from any thread concurrently with
+  /// recording (monitoring-consistent; see file header).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Prometheus text exposition of a fresh snapshot: per-worker counters,
+  /// merged histogram buckets (cumulative le-form), and slice-latency
+  /// quantile summaries.
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// JSON object form of the same snapshot ({"workers": [...], "totals":
+  /// {...}}), for machine consumers.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<util::Padded<WorkerMetrics>> workers_;
+  Counter jobs_submitted_;
+  Counter jobs_completed_;
+};
+
+}  // namespace relax::obs

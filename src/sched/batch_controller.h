@@ -69,6 +69,17 @@ struct NoOccupancy {
 /// the every-consult_period occupancy read, whose cost is the policy's.
 class BatchController {
  public:
+  /// Regime-transition tally, kept by the controller itself (plain ints —
+  /// the controller is thread-local) so observability layers can report
+  /// when and how often the sizing policy changed mode. Jobs flush deltas
+  /// into the engine's obs::MetricsRegistry per slice.
+  struct Transitions {
+    std::uint64_t ramps = 0;          // feedback doubled the claim
+    std::uint64_t resets = 0;         // short claim reset it to 1
+    std::uint64_t backlog_jumps = 0;  // consult jumped straight to the cap
+    std::uint64_t drain_pins = 0;     // consult pinned single pops
+  };
+
   /// Claims between occupancy consults. The consult is an O(q) striped-
   /// counter walk; once per 64 claims it is noise next to the pops it
   /// spans, while still reacting within one slice of a typical budget.
@@ -105,6 +116,7 @@ class BatchController {
       touches_ = 0;
       if (const auto live = occupancy.size()) {
         if (*live >= high_) {
+          if (k_ != cap_ || drain_pinned_) ++transitions_.backlog_jumps;
           k_ = cap_;  // deep backlog: skip the doubling ramp
           drain_pinned_ = false;
         } else if (*live <= cap_) {
@@ -114,6 +126,7 @@ class BatchController {
           // letting that feedback re-ramp to the cap against a nearly
           // drained scheduler is exactly the O(k*q) rank charge this rule
           // exists to avoid.
+          if (!drain_pinned_) ++transitions_.drain_pins;
           k_ = 1;
           drain_pinned_ = true;
         } else {
@@ -135,9 +148,11 @@ class BatchController {
   void feedback(std::uint32_t asked, std::uint32_t got) {
     if (!adaptive_) return;
     if (got < asked) {
+      if (k_ != 1) ++transitions_.resets;
       k_ = 1;
     } else if (!drain_pinned_ && asked >= k_ && k_ < cap_) {
       k_ = std::min(cap_, k_ * 2);
+      ++transitions_.ramps;
     }
   }
 
@@ -149,6 +164,11 @@ class BatchController {
     return adaptive_ ? k_ : cap_;
   }
 
+  /// Cumulative regime-transition counts since construction.
+  [[nodiscard]] const Transitions& transitions() const noexcept {
+    return transitions_;
+  }
+
  private:
   std::uint32_t cap_ = 1;
   bool adaptive_ = false;
@@ -157,6 +177,7 @@ class BatchController {
   std::uint32_t k_ = 1;        // current adaptive claim size
   std::uint32_t touches_ = 0;  // claims since the last occupancy consult
   bool drain_pinned_ = false;  // last consult saw near-drain: no ramping
+  Transitions transitions_;    // regime-change tally for observability
 };
 
 }  // namespace relax::sched

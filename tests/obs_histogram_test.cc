@@ -1,0 +1,157 @@
+// obs::Histogram / obs::AtomicHistogram — bucket boundaries, percentile
+// math on known distributions, merge, and the atomic snapshot/merge_from
+// paths the registry hot loops rely on.
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace relax::obs {
+namespace {
+
+TEST(BucketScheme, BoundariesArePowersOfTwo) {
+  EXPECT_EQ(bucket_index(0), 0u);
+  EXPECT_EQ(bucket_index(1), 1u);
+  EXPECT_EQ(bucket_index(2), 2u);
+  EXPECT_EQ(bucket_index(3), 2u);
+  EXPECT_EQ(bucket_index(4), 3u);
+  EXPECT_EQ(bucket_index(7), 3u);
+  EXPECT_EQ(bucket_index(8), 4u);
+  EXPECT_EQ(bucket_index(~std::uint64_t{0}), 64u);
+  for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+    EXPECT_EQ(bucket_index(bucket_floor(b)), b) << "floor of bucket " << b;
+    EXPECT_EQ(bucket_index(bucket_ceil(b)), b) << "ceil of bucket " << b;
+  }
+  // Floors and ceils tile uint64 with no gaps.
+  for (unsigned b = 1; b < kHistogramBuckets; ++b) {
+    EXPECT_EQ(bucket_floor(b), bucket_ceil(b - 1) + 1);
+  }
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+}
+
+TEST(Histogram, CountSumMaxMean) {
+  Histogram h;
+  for (std::uint64_t v : {0u, 1u, 2u, 3u, 10u}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 16u);
+  EXPECT_EQ(h.max(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 16.0 / 5.0);
+  EXPECT_EQ(h.bucket(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket(1), 1u);  // {1}
+  EXPECT_EQ(h.bucket(2), 2u);  // {2,3}
+  EXPECT_EQ(h.bucket(4), 1u);  // {8..15}
+}
+
+// Single-value buckets make small-value percentiles exact.
+TEST(Histogram, PercentileExactOnZerosAndOnes) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.record(0);
+  for (int i = 0; i < 50; ++i) h.record(1);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(25.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(75.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1.0);
+}
+
+// Wider buckets are correct to within their power-of-two span, and the
+// boundary interpolation is monotone in p.
+TEST(Histogram, PercentileWithinBucketEnvelope) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  double prev = 0.0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const double exact = p / 100.0 * 1000.0;
+    const double got = h.percentile(p);
+    EXPECT_GE(got, exact / 2.0) << "p=" << p;
+    EXPECT_LE(got, exact * 2.0) << "p=" << p;
+    EXPECT_GE(got, prev) << "p=" << p << " (monotonicity)";
+    prev = got;
+  }
+  // The top percentile interpolates toward the observed max, never past it.
+  EXPECT_LE(h.percentile(99.9), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0);
+}
+
+TEST(Histogram, PercentileSingleSample) {
+  Histogram h;
+  h.record(777);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 512.0);  // bucket floor
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 777.0);
+  // Any interior percentile stays inside [floor, max].
+  const double p50 = h.percentile(50.0);
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p50, 777.0);
+}
+
+TEST(Histogram, MergeMatchesCombinedStream) {
+  Histogram a, b, all;
+  for (std::uint64_t v = 0; v < 200; ++v) {
+    (v % 2 == 0 ? a : b).record(v * 3);
+    all.record(v * 3);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.max(), all.max());
+  for (unsigned bkt = 0; bkt < kHistogramBuckets; ++bkt)
+    EXPECT_EQ(a.bucket(bkt), all.bucket(bkt)) << "bucket " << bkt;
+  for (double p : {10.0, 50.0, 95.0, 99.0})
+    EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p));
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  a.record(5);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.max(), 5u);
+}
+
+TEST(AtomicHistogram, SnapshotMatchesPlainRecording) {
+  AtomicHistogram atomic;
+  Histogram plain;
+  for (std::uint64_t v = 0; v < 500; ++v) {
+    atomic.record(v * 7);
+    plain.record(v * 7);
+  }
+  const Histogram snap = atomic.snapshot();
+  EXPECT_EQ(snap.count(), plain.count());
+  EXPECT_EQ(snap.sum(), plain.sum());
+  EXPECT_EQ(snap.max(), plain.max());
+  for (double p : {50.0, 95.0, 99.0})
+    EXPECT_DOUBLE_EQ(snap.percentile(p), plain.percentile(p));
+}
+
+// The hot-loop path: accumulate locally, flush once via merge_from.
+TEST(AtomicHistogram, MergeFromEqualsDirectRecording) {
+  AtomicHistogram direct, batched;
+  Histogram local;
+  for (std::uint64_t v : {1u, 1u, 2u, 8u, 100u, 100000u}) {
+    direct.record(v);
+    local.record(v);
+  }
+  batched.merge_from(local);
+  batched.merge_from(Histogram{});  // empty flush is a no-op
+  const Histogram a = direct.snapshot();
+  const Histogram b = batched.snapshot();
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.max(), b.max());
+  for (unsigned bkt = 0; bkt < kHistogramBuckets; ++bkt)
+    EXPECT_EQ(a.bucket(bkt), b.bucket(bkt));
+}
+
+}  // namespace
+}  // namespace relax::obs

@@ -1,0 +1,86 @@
+// Overhead guard: attaching a MetricsRegistry must not meaningfully slow
+// the engine. The hot paths were built around this budget — plain-local
+// accumulation flushed once per slice, padded per-worker slots, relaxed
+// adds — and this test pins the total: MIS with metrics on stays within 5%
+// (plus a small absolute allowance for timer noise) of metrics off.
+//
+// Single worker on purpose: multi-threaded MIS wall time is dominated by
+// contention-dependent wasted work (failed deletes swing the iteration
+// count by 2x run to run), which buries any instrumentation signal in
+// noise. A single worker runs the identical instrumented code path —
+// slice timing, per-claim flush, histogram records — with run-to-run
+// jitter small enough that a 5% bound is actually meaningful.
+//
+// Interleaved min-of-N: each configuration's best run is its intrinsic
+// cost with scheduling noise mostly stripped; interleaving keeps thermal /
+// frequency drift from biasing one side.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "algorithms/mis.h"
+#include "core/parallel_executor.h"
+#include "graph/generators.h"
+#include "graph/permutation.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define RELAX_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define RELAX_SANITIZED 1
+#endif
+#endif
+
+namespace relax {
+namespace {
+
+double best_mis_seconds(const graph::Graph& g, const graph::Priorities& pri,
+                        obs::MetricsRegistry* reg, int rounds) {
+  double best = 1e9;
+  for (int r = 0; r < rounds; ++r) {
+    algorithms::AtomicMisProblem problem(g, pri);
+    core::ParallelOptions opts;
+    opts.num_threads = 1;
+    opts.pin_threads = false;
+    opts.pop_batch = 8;
+    opts.pop_batch_auto = true;
+    opts.metrics = reg;
+    util::Timer timer;
+    (void)core::run_parallel_relaxed(problem, pri, opts);
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+TEST(Observability, MetricsOverheadWithinBudget) {
+#ifdef RELAX_SANITIZED
+  GTEST_SKIP() << "timing comparison is meaningless under sanitizers";
+#else
+  const auto g = graph::gnm(200000, 1200000, 11);
+  const auto pri = graph::random_priorities(200000, 12);
+
+  // Warm both paths (first-touch faults, code paging) before measuring.
+  (void)best_mis_seconds(g, pri, nullptr, 1);
+  obs::MetricsRegistry reg;
+  (void)best_mis_seconds(g, pri, &reg, 1);
+
+  constexpr int kRounds = 7;
+  double best_off = 1e9;
+  double best_on = 1e9;
+  for (int r = 0; r < kRounds; ++r) {  // interleaved, one round each
+    best_off = std::min(best_off, best_mis_seconds(g, pri, nullptr, 1));
+    best_on = std::min(best_on, best_mis_seconds(g, pri, &reg, 1));
+  }
+  std::printf("metrics off: %.4fs  on: %.4fs  (+%.1f%%)\n", best_off,
+              best_on, 100.0 * (best_on / best_off - 1.0));
+  // 5% relative budget + 2ms absolute: on a run this size the absolute
+  // term only absorbs clock/scheduler jitter, not real per-op cost.
+  EXPECT_LE(best_on, best_off * 1.05 + 0.002);
+#endif
+}
+
+}  // namespace
+}  // namespace relax

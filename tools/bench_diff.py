@@ -20,6 +20,15 @@ loud warning; flip on --fail for a quiet dedicated perf box.
 
 Usage:
   tools/bench_diff.py BASELINE.json CURRENT.json [--max-drop=0.25] [--fail]
+  tools/bench_diff.py --self-test
+
+--self-test runs an internal schema-compatibility check (no files needed):
+an old-schema snapshot (without the per-cell latency fields backend_matrix
+now emits, e.g. slice_p99_us) must diff cleanly against a new-schema one —
+cell keys line up, unknown/null fields are ignored, and equal throughput
+yields zero regressions. CI runs this so a schema change that would break
+the first diff against a pre-change baseline fails loudly in the PR that
+makes it.
 
 No dependencies beyond the Python 3 standard library.
 """
@@ -27,6 +36,7 @@ No dependencies beyond the Python 3 standard library.
 import argparse
 import json
 import sys
+import tempfile
 
 
 def cell_key(row):
@@ -63,13 +73,105 @@ def load_rows(path):
     return cells
 
 
+def diff_cells(baseline, current, max_drop):
+    """Classifies shared cells: returns (regressions, improvements), each a
+    list of (key, old_tps, new_tps, relative_change)."""
+    regressions = []
+    improvements = []
+    for key, row in sorted(current.items()):
+        old = baseline.get(key)
+        if old is None:
+            continue
+        old_tps = old.get("tasks_per_s") or 0.0
+        new_tps = row.get("tasks_per_s") or 0.0
+        if old_tps <= 0.0:
+            continue
+        change = (new_tps - old_tps) / old_tps
+        if change < -max_drop:
+            regressions.append((key, old_tps, new_tps, change))
+        elif change > max_drop:
+            improvements.append((key, old_tps, new_tps, change))
+    return regressions, improvements
+
+
+def self_test():
+    """Old-schema baseline vs new-schema current must compare cleanly."""
+    base_cell = {
+        "workload": "mis",
+        "backend": "multiqueue-c2",
+        "threads": 4,
+        "pop_batch": 8,
+        "pop_batch_auto": False,
+        "seconds": 0.5,
+        "tasks_per_s": 1000.0,
+        "iters_per_task": 1.1,
+        "wasted_frac": 0.01,
+        "mean_rank": None,
+        "max_rank": None,
+    }
+    old_rows = [base_cell, dict(base_cell, workload="sssp")]
+    # The new schema adds per-cell latency fields (number or null).
+    new_rows = [
+        dict(base_cell, slice_p99_us=42.5),
+        dict(base_cell, workload="sssp", slice_p99_us=None),
+    ]
+
+    def roundtrip(rows):
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, encoding="utf-8"
+        ) as f:
+            json.dump(rows, f)
+            path = f.name
+        return load_rows(path)
+
+    baseline = roundtrip(old_rows)
+    current = roundtrip(new_rows)
+    failures = []
+    if set(baseline) != set(current):
+        failures.append(
+            "cell keys diverge between schemas: "
+            f"{set(baseline) ^ set(current)}"
+        )
+    regressions, improvements = diff_cells(baseline, current, 0.25)
+    if regressions:
+        failures.append(f"spurious regressions: {regressions}")
+    if improvements:
+        failures.append(f"spurious improvements: {improvements}")
+    # And a genuine drop must still be caught across schemas.
+    dropped = {
+        k: dict(v, tasks_per_s=(v.get("tasks_per_s") or 0.0) * 0.5)
+        for k, v in current.items()
+    }
+    regressions, _ = diff_cells(baseline, dropped, 0.25)
+    if len(regressions) != len(baseline):
+        failures.append(
+            f"expected {len(baseline)} regressions at -50%, "
+            f"got {len(regressions)}"
+        )
+    for failure in failures:
+        print(f"::error::bench_diff self-test: {failure}")
+    if not failures:
+        print("bench_diff self-test: OK (old-schema baseline diffs cleanly "
+              "against new-schema snapshot)")
+    return 1 if failures else 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two backend_matrix JSON snapshots for throughput "
         "regressions."
     )
-    parser.add_argument("baseline", help="previous run's JSON artifact")
-    parser.add_argument("current", help="this run's JSON artifact")
+    parser.add_argument(
+        "baseline", nargs="?", help="previous run's JSON artifact"
+    )
+    parser.add_argument(
+        "current", nargs="?", help="this run's JSON artifact"
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the internal schema-compatibility check and exit",
+    )
     parser.add_argument(
         "--max-drop",
         type=float,
@@ -94,6 +196,11 @@ def main():
     )
     args = parser.parse_args()
 
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current are required unless --self-test")
+
     def emit_ok():
         if args.emit_ok:
             with open(args.emit_ok, "w", encoding="utf-8") as f:
@@ -111,22 +218,9 @@ def main():
         print(f"::error::cannot read current bench snapshot: {e}")
         return 1
 
-    regressions = []
-    improvements = []
-    for key, row in sorted(current.items()):
-        old = baseline.get(key)
-        if old is None:
-            print(f"new cell (no baseline): {fmt_key(key)}")
-            continue
-        old_tps = old.get("tasks_per_s") or 0.0
-        new_tps = row.get("tasks_per_s") or 0.0
-        if old_tps <= 0.0:
-            continue
-        change = (new_tps - old_tps) / old_tps
-        if change < -args.max_drop:
-            regressions.append((key, old_tps, new_tps, change))
-        elif change > args.max_drop:
-            improvements.append((key, old_tps, new_tps, change))
+    for key in sorted(current.keys() - baseline.keys()):
+        print(f"new cell (no baseline): {fmt_key(key)}")
+    regressions, improvements = diff_cells(baseline, current, args.max_drop)
     for key in sorted(baseline.keys() - current.keys()):
         print(f"cell dropped from matrix: {fmt_key(key)}")
 

@@ -42,6 +42,8 @@
 #include "sched/kbounded.h"
 #include "sched/sim_multiqueue.h"
 #include "sched/sim_spraylist.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
 #include "sched/topk_uniform.h"
 #include "util/cli.h"
 #include "util/thread_pin.h"
@@ -77,6 +79,16 @@ using relax::graph::Graph;
                            and kbounded-family backends)    [8]
   --seed=<s>               permutation + scheduler seed     [1]
   --verify=0|1             check against sequential output  [1]
+  --metrics=<path|->       dump engine telemetry after the run: per-worker
+                           counters + slice/claim/park histograms with
+                           p50/p95/p99. Prometheus text exposition, or JSON
+                           when the path ends in .json; '-' writes to
+                           stdout. Engine modes only (parallel / exact /
+                           shuffle / listcontract).
+  --trace=<path>           write a Chrome trace-event JSON file (open in
+                           chrome://tracing or ui.perfetto.dev): one lane
+                           per worker with slice/park spans and
+                           claim/regime instants. Engine modes only.
 
 backends (--backend, concurrent modes; sssp always uses its own
 64-bit-key MultiQueue):
@@ -132,9 +144,72 @@ const relax::sched::BackendInfo& backend_from_cli(
   return *info;
 }
 
+/// Engine telemetry sinks for --metrics / --trace. File-scope because the
+/// one-shot run_parallel_* wrappers destroy their engine before returning —
+/// the sinks must outlive it so the dump after the run still sees the data.
+struct Telemetry {
+  std::string metrics_path;  // empty = off; '-' = stdout; *.json = JSON form
+  std::string trace_path;    // empty = off
+  relax::obs::MetricsRegistry registry;
+  relax::obs::TraceRing ring;
+};
+Telemetry g_telemetry;
+
+void init_telemetry(const relax::util::CommandLine& cli) {
+  g_telemetry.metrics_path = cli.get_string("metrics", "");
+  g_telemetry.trace_path = cli.get_string("trace", "");
+}
+
+/// seq / seq-relaxed / sssp bypass the engine, so the sinks stay empty.
+void warn_telemetry_unsupported(const char* mode) {
+  if (g_telemetry.metrics_path.empty() && g_telemetry.trace_path.empty())
+    return;
+  std::fprintf(stderr,
+               "warning: --metrics/--trace record engine telemetry; mode "
+               "'%s' does not run through the engine, nothing to dump\n",
+               mode);
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write '%s'\n", path.c_str());
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+/// Runs after the engine run completes (ticket waited, engine destroyed):
+/// the registry/ring are quiescent, so exporting here is race-free.
+void dump_telemetry() {
+  if (!g_telemetry.metrics_path.empty()) {
+    const std::string& p = g_telemetry.metrics_path;
+    const bool json =
+        p.size() >= 5 && p.compare(p.size() - 5, 5, ".json") == 0;
+    write_text(p, json ? g_telemetry.registry.to_json()
+                       : g_telemetry.registry.to_prometheus());
+  }
+  if (!g_telemetry.trace_path.empty()) {
+    if (g_telemetry.trace_path == "-") {
+      write_text("-", g_telemetry.ring.to_chrome_json());
+    } else if (!g_telemetry.ring.write_chrome_json(g_telemetry.trace_path)) {
+      std::fprintf(stderr, "warning: cannot write trace '%s'\n",
+                   g_telemetry.trace_path.c_str());
+    }
+  }
+}
+
 relax::core::ParallelOptions parallel_opts(
     const relax::util::CommandLine& cli) {
   relax::core::ParallelOptions opts;
+  if (!g_telemetry.metrics_path.empty())
+    opts.metrics = &g_telemetry.registry;
+  if (!g_telemetry.trace_path.empty()) opts.trace = &g_telemetry.ring;
   opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
   opts.queue_factor = static_cast<unsigned>(cli.get_int("queue-factor", 4));
   const std::string pop_batch_value = cli.get_string("pop-batch", "1");
@@ -157,12 +232,19 @@ relax::core::ParallelOptions parallel_opts(
 void print_stats(const char* what, const ExecutionStats& stats) {
   std::printf(
       "%s: %.4f s | iterations=%llu processed=%llu failed_deletes=%llu "
-      "dead_skips=%llu\n",
+      "dead_skips=%llu empty_polls=%llu\n",
       what, stats.seconds,
       static_cast<unsigned long long>(stats.iterations),
       static_cast<unsigned long long>(stats.processed),
       static_cast<unsigned long long>(stats.failed_deletes),
-      static_cast<unsigned long long>(stats.dead_skips));
+      static_cast<unsigned long long>(stats.dead_skips),
+      static_cast<unsigned long long>(stats.empty_polls));
+  if (stats.slices > 0) {
+    std::printf("  slices=%llu latency p50=%.1fus p95=%.1fus p99=%.1fus\n",
+                static_cast<unsigned long long>(stats.slices),
+                stats.slice_percentile_us(50), stats.slice_percentile_us(95),
+                stats.slice_percentile_us(99));
+  }
 }
 
 /// Runs `problem` through the sequential framework with the chosen
@@ -204,6 +286,7 @@ int run_graph_problem(const relax::util::CommandLine& cli,
   const std::string mode = cli.get_string("mode", "parallel");
   const bool verify = cli.get_bool("verify", true);
   if (mode == "seq") {
+    warn_telemetry_unsupported("seq");
     relax::util::Timer timer;
     const auto result = make_seq();
     std::printf("sequential: %.4f s\n", timer.seconds());
@@ -211,6 +294,7 @@ int run_graph_problem(const relax::util::CommandLine& cli,
     return 0;
   }
   if (mode == "seq-relaxed") {
+    warn_telemetry_unsupported("seq-relaxed");
     auto problem = make_problem();
     const auto stats = run_seq_relaxed(problem, pri, cli);
     print_stats("seq-relaxed", stats);
@@ -236,6 +320,7 @@ int run_graph_problem(const relax::util::CommandLine& cli,
     usage_and_exit("unknown --mode");
   }
   print_stats(what.c_str(), stats);
+  dump_telemetry();
   if (verify && extract_atomic(problem) != make_seq()) {
     std::fprintf(stderr, "VERIFY FAILED: output differs from baseline\n");
     return 1;
@@ -250,6 +335,7 @@ int main(int argc, char** argv) {
   const relax::util::CommandLine cli(argc, argv);
   if (cli.has("help")) usage_and_exit(nullptr);
   if (cli.has("backend")) backend_from_cli(cli);  // reject bad names early
+  init_telemetry(cli);
   const std::string algo = cli.get_string("algo", "");
   if (algo.empty()) usage_and_exit("--algo is required");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
@@ -265,6 +351,7 @@ int main(int argc, char** argv) {
     const auto stats = relax::core::run_parallel_relaxed_backend(
         problem, pri, backend_from_cli(cli).name, opts);
     print_stats("shuffle", stats);
+    dump_telemetry();
     if (cli.get_bool("verify", true)) {
       if (problem.array() !=
           relax::algorithms::sequential_knuth_shuffle(targets, pri)) {
@@ -287,6 +374,7 @@ int main(int argc, char** argv) {
     const auto stats = relax::core::run_parallel_relaxed_backend(
         problem, pri, backend_from_cli(cli).name, opts);
     print_stats("listcontract", stats);
+    dump_telemetry();
     if (cli.get_bool("verify", true)) {
       if (problem.trace() !=
           relax::algorithms::sequential_list_contraction(arrangement, pri)) {
@@ -303,6 +391,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(g.num_edges()));
 
   if (algo == "sssp") {
+    warn_telemetry_unsupported("sssp (standalone executor)");
     const auto weights =
         relax::algorithms::synthetic_edge_weights(g, seed + 3);
     relax::algorithms::SsspStats stats;
