@@ -31,7 +31,8 @@
 // Usage: backend_matrix [--n=4000] [--m=24000] [--threads=1,4]
 //                       [--pop-batch=1,8,auto:8]
 //                       [--backends=all|name,name,...]
-//                       [--quality=1] [--seed=1] [--json=path]
+//                       [--quality=1] [--repeat=3] [--seed=1] [--json=path]
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -132,15 +133,17 @@ bool write_json(const char* path, const std::vector<Row>& rows) {
   return true;
 }
 
-/// One framework run of `problem` on `backend`: timed plain run for
-/// throughput, plus (optionally) a monitored run of a fresh copy for the
-/// Definition 1 quality columns.
+/// One framework cell for `problem` on `backend`: `repeat` timed plain
+/// runs with the MEDIAN-throughput run reported (a single cold shot per
+/// cell made first-cell rows absorb allocator/page-fault warmup and trip
+/// spurious bench_diff warnings), plus (optionally) one monitored run of a
+/// fresh copy for the Definition 1 quality columns.
 template <typename MakeProblem>
 Row run_framework(const char* workload, const BackendInfo& backend,
                   unsigned threads,
                   const relax::engine::PopBatchFlag& pop_batch,
                   const relax::graph::Priorities& pri,
-                  MakeProblem make_problem, bool quality,
+                  MakeProblem make_problem, bool quality, unsigned repeat,
                   std::uint64_t seed) {
   relax::engine::EngineOptions eo;
   eo.num_threads = threads;
@@ -153,10 +156,19 @@ Row run_framework(const char* workload, const BackendInfo& backend,
   cfg.pop_batch = pop_batch.batch;
   cfg.pop_batch_auto = pop_batch.adaptive;
 
-  auto problem = make_problem();
-  const std::uint32_t n = problem.num_tasks();
-  const ExecutionStats stats =
-      eng.submit_relaxed_backend(problem, pri, backend, cfg).wait();
+  std::vector<ExecutionStats> trials;
+  std::uint32_t n = 0;
+  for (unsigned r = 0; r < std::max<unsigned>(repeat, 1); ++r) {
+    auto problem = make_problem();
+    n = problem.num_tasks();
+    trials.push_back(
+        eng.submit_relaxed_backend(problem, pri, backend, cfg).wait());
+  }
+  std::sort(trials.begin(), trials.end(),
+            [](const ExecutionStats& a, const ExecutionStats& b) {
+              return a.seconds < b.seconds;
+            });
+  const ExecutionStats& stats = trials[(trials.size() - 1) / 2];
 
   Row row;
   row.workload = workload;
@@ -190,19 +202,20 @@ Row run_framework(const char* workload, const BackendInfo& backend,
   return row;
 }
 
-/// Comma-splits a CLI list flag (both the --pop-batch and --backends axes
-/// speak this form).
-std::vector<std::string> split_csv(const std::string& value) {
-  std::vector<std::string> tokens;
-  std::size_t pos = 0;
-  while (pos <= value.size()) {
-    const std::size_t comma = value.find(',', pos);
-    tokens.push_back(value.substr(
-        pos, comma == std::string::npos ? std::string::npos : comma - pos));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
+/// Strict comma-split of an axis flag (util::split_csv, shared with
+/// bench/steady_state): empty tokens exit 2 with the flag named instead
+/// of flowing "" into a registry lookup or number parse.
+std::vector<std::string> split_axis(const char* flag,
+                                    const std::string& value) {
+  auto tokens = relax::util::split_csv(value);
+  if (!tokens) {
+    std::fprintf(stderr,
+                 "invalid --%s='%s': empty value or empty list entry "
+                 "(trailing/doubled comma?)\n",
+                 flag, value.c_str());
+    std::exit(2);
   }
-  return tokens;
+  return *tokens;
 }
 
 }  // namespace
@@ -213,13 +226,15 @@ int main(int argc, char** argv) {
   const auto m = static_cast<std::uint64_t>(cli.get_int("m", 24000));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const bool quality = cli.get_bool("quality", true);
+  const auto repeat =
+      static_cast<unsigned>(std::max<std::int64_t>(cli.get_int("repeat", 3), 1));
   const auto thread_list = cli.get_int_list("threads", {1, 4});
 
   // The pop-batch axis speaks the CLI vocabulary (fixed | auto | auto:max)
   // so adaptive rows sit next to the fixed caps they should track.
   std::vector<relax::engine::PopBatchFlag> batch_list;
   for (const std::string& token :
-       split_csv(cli.get_string("pop-batch", "1,8,auto:8"))) {
+       split_axis("pop-batch", cli.get_string("pop-batch", "1,8,auto:8"))) {
     const auto pb = relax::engine::parse_pop_batch_flag(token);
     if (!pb.valid) {
       std::fprintf(stderr,
@@ -237,7 +252,7 @@ int main(int argc, char** argv) {
     for (const auto& info : relax::sched::backend_registry())
       backends.push_back(&info);
   } else {
-    for (const std::string& name : split_csv(backend_flag)) {
+    for (const std::string& name : split_axis("backends", backend_flag)) {
       const auto* info = relax::sched::find_backend(name);
       if (info == nullptr) {
         std::fprintf(stderr, "unknown backend '%s'; valid: %s\n",
@@ -277,33 +292,42 @@ int main(int argc, char** argv) {
         emit(run_framework(
             "mis", *backend, threads, pop_batch, pri,
             [&] { return relax::algorithms::AtomicMisProblem(g, pri); },
-            quality, seed));
+            quality, repeat, seed));
         emit(run_framework(
             "coloring", *backend, threads, pop_batch, pri,
             [&] { return relax::algorithms::AtomicColoringProblem(g, pri); },
-            quality, seed));
+            quality, repeat, seed));
         emit(run_framework(
             "matching", *backend, threads, pop_batch, edge_pri,
             [&] {
               return relax::algorithms::AtomicMatchingProblem(incidence,
                                                               edge_pri);
             },
-            quality, seed));
+            quality, repeat, seed));
         // SSSP rides its own 64-bit-key MultiQueue (see header note): one
         // row per (thread count, pop-batch), attached to multiqueue-c2 —
         // its label-correcting executor batches both scheduler sides with
         // the same pop_batch (and the same adaptive controller) the
         // framework rows sweep.
         if (backend->name == "multiqueue-c2") {
-          relax::algorithms::SsspStats sstats;
           relax::algorithms::SsspOptions sssp_opts;
           sssp_opts.num_threads = threads;
           sssp_opts.queue_factor = 4;
           sssp_opts.seed = seed;
           sssp_opts.pop_batch = pop_batch.batch;
           sssp_opts.pop_batch_auto = pop_batch.adaptive;
-          (void)relax::algorithms::parallel_relaxed_sssp(g, weights, 0,
-                                                         sssp_opts, &sstats);
+          // Same median-of-repeat discipline as the framework rows.
+          std::vector<relax::algorithms::SsspStats> strials(repeat);
+          for (unsigned r = 0; r < repeat; ++r)
+            (void)relax::algorithms::parallel_relaxed_sssp(
+                g, weights, 0, sssp_opts, &strials[r]);
+          std::sort(strials.begin(), strials.end(),
+                    [](const relax::algorithms::SsspStats& a,
+                       const relax::algorithms::SsspStats& b) {
+                      return a.seconds < b.seconds;
+                    });
+          const relax::algorithms::SsspStats& sstats =
+              strials[(strials.size() - 1) / 2];
           Row row;
           row.workload = "sssp";
           row.backend = std::string(backend->name);

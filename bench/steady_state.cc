@@ -1,0 +1,218 @@
+// Steady-state timed benchmark — the service-shaped counterpart to the
+// run-to-completion backend matrix.
+//
+// Each cell (backend x insert-policy x key-distribution x threads x
+// pop-batch) prefills ~1M keys, drives a fixed wall-clock window of mixed
+// insert/delete traffic, and reports the MEDIAN sustained ops/s over
+// --runs repetitions plus Definition 1 rank-error percentiles from a
+// serialized monitored companion pass (see src/bench/steady_state.h for
+// the full measurement discipline). Multi-run medians from a timed window
+// are stable enough that CI diffs the --json artifact with
+// tools/bench_diff.py --fail — the binding perf gate — where the legacy
+// matrix only ever warned.
+//
+// Usage: steady_state [--backends=multiqueue-c2,lockfree-multiqueue,spraylist]
+//                     [--threads=1,4] [--pop-batch=1,8]
+//                     [--policies=uniform|all|name,name,...]
+//                     [--distributions=uniform|all|name,name,...]
+//                     [--prefill=1000000] [--time-ms=1000] [--runs=3]
+//                     [--key-universe=4194304] [--seed=1] [--quality=1]
+//                     [--json=path]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/steady_state.h"
+#include "engine/job.h"
+#include "sched/backend_registry.h"
+#include "sched/key_distribution.h"
+#include "util/cli.h"
+
+namespace {
+
+using relax::bench::SteadyCell;
+using relax::bench::SteadyConfig;
+using relax::sched::BackendInfo;
+using relax::sched::InsertPolicy;
+using relax::sched::KeyDistribution;
+
+/// Strict comma-split of an axis flag: empty tokens (trailing comma,
+/// doubled comma, empty value) exit 2 with the flag named, instead of
+/// feeding "" into a registry/name lookup.
+std::vector<std::string> split_axis(const std::string& flag,
+                                    const std::string& value) {
+  auto tokens = relax::util::split_csv(value);
+  if (!tokens) {
+    std::fprintf(stderr,
+                 "invalid --%s='%s': empty value or empty list entry "
+                 "(trailing/doubled comma?)\n",
+                 flag.c_str(), value.c_str());
+    std::exit(2);
+  }
+  return *tokens;
+}
+
+std::string batch_label(const SteadyCell& c) {
+  return (c.pop_batch_auto ? "a" : "") + std::to_string(c.pop_batch);
+}
+
+void print_row(const SteadyCell& c) {
+  std::printf("%-20s %-11s %-10s %7u %6s %12.0f %11llu %9llu", c.backend.c_str(),
+              std::string(insert_policy_name(c.policy)).c_str(),
+              std::string(key_distribution_name(c.distribution)).c_str(),
+              c.threads, batch_label(c).c_str(), c.ops_per_s,
+              static_cast<unsigned long long>(c.ops),
+              static_cast<unsigned long long>(c.empty_pops));
+  if (c.op_p99_us >= 0.0) {
+    std::printf("%9.1f", c.op_p99_us);
+  } else {
+    std::printf("%9s", "-");
+  }
+  if (c.mean_rank >= 0.0) {
+    std::printf("%10.2f %8.0f %8.0f %9llu\n", c.mean_rank, c.rank_p90,
+                c.rank_p99, static_cast<unsigned long long>(c.max_rank));
+  } else {
+    std::printf("%10s %8s %8s %9s\n", "-", "-", "-", "-");
+  }
+}
+
+bool write_json(const char* path, const std::vector<SteadyCell>& cells) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open --json path '%s'\n", path);
+    return false;
+  }
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out += "  ";
+    relax::bench::append_json_row(out, cells[i]);
+    out += i + 1 < cells.size() ? ",\n" : "\n";
+  }
+  out += "]\n";
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const relax::util::CommandLine cli(argc, argv);
+
+  SteadyConfig base;
+  base.prefill = static_cast<std::size_t>(cli.get_int("prefill", 1'000'000));
+  base.working_seconds = cli.get_int("time-ms", 1000) / 1e3;
+  base.runs = static_cast<unsigned>(cli.get_int("runs", 3));
+  base.key_universe =
+      static_cast<std::uint32_t>(cli.get_int("key-universe", 1 << 22));
+  base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  base.quality = cli.get_bool("quality", true);
+
+  const auto thread_list = cli.get_int_list("threads", {1, 4});
+
+  std::vector<relax::engine::PopBatchFlag> batch_list;
+  for (const std::string& token :
+       split_axis("pop-batch", cli.get_string("pop-batch", "1,8"))) {
+    const auto pb = relax::engine::parse_pop_batch_flag(token);
+    if (!pb.valid) {
+      std::fprintf(stderr,
+                   "invalid --pop-batch entry '%s': expected a positive "
+                   "integer, 'auto', or 'auto:<max>'\n",
+                   token.c_str());
+      return 2;
+    }
+    batch_list.push_back(pb);
+  }
+
+  std::vector<const BackendInfo*> backends;
+  const std::string backend_flag = cli.get_string(
+      "backends", "multiqueue-c2,lockfree-multiqueue,spraylist");
+  if (backend_flag == "all") {
+    for (const auto& info : relax::sched::backend_registry())
+      backends.push_back(&info);
+  } else {
+    for (const std::string& name : split_axis("backends", backend_flag)) {
+      const auto* info = relax::sched::find_backend(name);
+      if (info == nullptr) {
+        std::fprintf(stderr, "unknown backend '%s'; valid: %s\n",
+                     name.c_str(), relax::sched::backend_names().c_str());
+        return 2;
+      }
+      backends.push_back(info);
+    }
+  }
+
+  std::vector<InsertPolicy> policies;
+  const std::string policy_flag = cli.get_string("policies", "uniform");
+  if (policy_flag == "all") {
+    for (const InsertPolicy p : relax::sched::all_insert_policies())
+      policies.push_back(p);
+  } else {
+    for (const std::string& name : split_axis("policies", policy_flag)) {
+      const auto p = relax::sched::parse_insert_policy(name);
+      if (!p) {
+        std::fprintf(stderr,
+                     "unknown insert policy '%s'; valid: uniform, split, "
+                     "producer, alternating (or 'all')\n",
+                     name.c_str());
+        return 2;
+      }
+      policies.push_back(*p);
+    }
+  }
+
+  std::vector<KeyDistribution> distributions;
+  const std::string dist_flag = cli.get_string("distributions", "uniform");
+  if (dist_flag == "all") {
+    for (const KeyDistribution d : relax::sched::all_key_distributions())
+      distributions.push_back(d);
+  } else {
+    for (const std::string& name : split_axis("distributions", dist_flag)) {
+      const auto d = relax::sched::parse_key_distribution(name);
+      if (!d) {
+        std::fprintf(stderr,
+                     "unknown key distribution '%s'; valid: uniform, "
+                     "dijkstra, ascending, descending (or 'all')\n",
+                     name.c_str());
+        return 2;
+      }
+      distributions.push_back(*d);
+    }
+  }
+
+  std::printf(
+      "steady_state: prefill=%zu window=%.0fms runs=%u universe=%u "
+      "quality=%d\n",
+      base.prefill, base.working_seconds * 1e3, base.runs, base.key_universe,
+      base.quality ? 1 : 0);
+  std::printf("%-20s %-11s %-10s %7s %6s %12s %11s %9s %9s %10s %8s %8s %9s\n",
+              "backend", "policy", "dist", "threads", "batch", "ops/s", "ops",
+              "empty", "p99-us", "mean-rank", "r-p90", "r-p99", "max-rank");
+
+  std::vector<SteadyCell> cells;
+  for (const std::int64_t t : thread_list) {
+    for (const relax::engine::PopBatchFlag& pb : batch_list) {
+      for (const BackendInfo* backend : backends) {
+        for (const InsertPolicy policy : policies) {
+          for (const KeyDistribution dist : distributions) {
+            SteadyConfig cfg = base;
+            cfg.backend = backend;
+            cfg.threads = static_cast<unsigned>(t < 1 ? 1 : t);
+            cfg.policy = policy;
+            cfg.distribution = dist;
+            cfg.pop_batch = pb.batch;
+            cfg.pop_batch_auto = pb.adaptive;
+            SteadyCell cell = relax::bench::run_steady_cell(cfg);
+            print_row(cell);
+            std::fflush(stdout);
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+
+  const std::string json_path = cli.get_string("json", "");
+  if (!json_path.empty() && !write_json(json_path.c_str(), cells)) return 1;
+  return 0;
+}

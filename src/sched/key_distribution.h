@@ -1,0 +1,252 @@
+// Key-distribution and insert-policy generators for steady-state
+// scheduler benchmarking, in the style of the multiqueue throughput
+// harness (KvGeijer/multiqueue benchmark/throughput.cpp): a timed working
+// phase drives every backend with a sustained stream of inserts and
+// deletes, and these policy values decide *which* threads insert and
+// *what* keys they insert.
+//
+// Like sampling.h's count()/peek() policies, everything here is a small
+// header-only value type a harness thread owns privately: no shared state,
+// no locks, deterministic given (seed, tid). The steady-state harness
+// (src/bench/steady_state.h) instantiates one OpSequencer + KeyGenerator
+// per worker; the unit tests drive them directly.
+//
+// InsertPolicy — who inserts and who deletes:
+//   kUniform      every thread flips a fair coin per scheduler touch;
+//   kSplit        the first floor(threads/2) threads insert only, the rest
+//                 delete only (producer/consumer halves);
+//   kProducer     thread 0 inserts only, every other thread deletes only
+//                 (single-producer fan-out);
+//   kAlternating  every thread strictly alternates insert, delete, ...
+// Single-thread runs degrade kSplit/kProducer to "both roles" so a lone
+// thread still makes progress.
+//
+// KeyDistribution — what keys the insert side produces (universe is the
+// priority range [0, universe), bounded so exact rank mirrors stay cheap):
+//   kUniform     uniform over the universe;
+//   kDijkstra    shortest-path-shaped feedback: popped keys are fed back
+//                and re-inserted as key + offset, offset uniform in
+//                [kDijkstraMinIncrease, kDijkstraMaxIncrease] (clamped at
+//                universe - 1); with no feedback pending it falls back to
+//                a uniform draw, so the stream self-starts;
+//   kAscending   per-thread monotone non-decreasing keys (thread t emits
+//                t, t + threads, t + 2*threads, ... saturating at
+//                universe - 1) — FIFO-shaped pressure, always inserting
+//                at the back;
+//   kDescending  the mirror image, starting at universe - 1 - t and
+//                saturating at 0 — every insert is a new minimum, the
+//                adversarial case for relaxed pops.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "util/rng.h"
+
+namespace relax::sched {
+
+enum class InsertPolicy : std::uint8_t {
+  kUniform,
+  kSplit,
+  kProducer,
+  kAlternating,
+};
+
+enum class KeyDistribution : std::uint8_t {
+  kUniform,
+  kDijkstra,
+  kAscending,
+  kDescending,
+};
+
+[[nodiscard]] constexpr std::string_view insert_policy_name(
+    InsertPolicy p) noexcept {
+  switch (p) {
+    case InsertPolicy::kUniform: return "uniform";
+    case InsertPolicy::kSplit: return "split";
+    case InsertPolicy::kProducer: return "producer";
+    case InsertPolicy::kAlternating: return "alternating";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view key_distribution_name(
+    KeyDistribution d) noexcept {
+  switch (d) {
+    case KeyDistribution::kUniform: return "uniform";
+    case KeyDistribution::kDijkstra: return "dijkstra";
+    case KeyDistribution::kAscending: return "ascending";
+    case KeyDistribution::kDescending: return "descending";
+  }
+  return "?";
+}
+
+/// All policies / distributions in stable presentation order — the axis
+/// vocabulary for `--policies=all` / `--distributions=all`.
+[[nodiscard]] inline std::span<const InsertPolicy> all_insert_policies() {
+  static constexpr std::array<InsertPolicy, 4> kAll = {
+      InsertPolicy::kUniform, InsertPolicy::kSplit, InsertPolicy::kProducer,
+      InsertPolicy::kAlternating};
+  return kAll;
+}
+
+[[nodiscard]] inline std::span<const KeyDistribution> all_key_distributions() {
+  static constexpr std::array<KeyDistribution, 4> kAll = {
+      KeyDistribution::kUniform, KeyDistribution::kDijkstra,
+      KeyDistribution::kAscending, KeyDistribution::kDescending};
+  return kAll;
+}
+
+[[nodiscard]] inline std::optional<InsertPolicy> parse_insert_policy(
+    std::string_view name) {
+  for (const InsertPolicy p : all_insert_policies())
+    if (name == insert_policy_name(p)) return p;
+  return std::nullopt;
+}
+
+[[nodiscard]] inline std::optional<KeyDistribution> parse_key_distribution(
+    std::string_view name) {
+  for (const KeyDistribution d : all_key_distributions())
+    if (name == key_distribution_name(d)) return d;
+  return std::nullopt;
+}
+
+/// Which sides of the scheduler a given thread drives under a policy.
+struct ThreadRole {
+  bool inserts;
+  bool deletes;
+};
+
+/// Deterministic role assignment. threads == 0 is treated as 1.
+[[nodiscard]] constexpr ThreadRole thread_role(InsertPolicy policy,
+                                               unsigned tid,
+                                               unsigned threads) noexcept {
+  const unsigned p = threads == 0 ? 1 : threads;
+  switch (policy) {
+    case InsertPolicy::kUniform:
+    case InsertPolicy::kAlternating:
+      return {true, true};
+    case InsertPolicy::kSplit:
+      if (p < 2) return {true, true};
+      return {tid < p / 2, tid >= p / 2};
+    case InsertPolicy::kProducer:
+      if (p < 2) return {true, true};
+      return {tid == 0, tid != 0};
+  }
+  return {true, true};
+}
+
+/// Per-thread op sequencing: next_is_insert() realizes the policy as a
+/// stream of insert/delete decisions. Strictly thread-local.
+class OpSequencer {
+ public:
+  OpSequencer(InsertPolicy policy, unsigned tid, unsigned threads)
+      : policy_(policy), role_(thread_role(policy, tid, threads)) {}
+
+  [[nodiscard]] ThreadRole role() const noexcept { return role_; }
+
+  template <typename Engine>
+  [[nodiscard]] bool next_is_insert(Engine& rng) noexcept {
+    if (!role_.deletes) return true;
+    if (!role_.inserts) return false;
+    if (policy_ == InsertPolicy::kAlternating) return (index_++ % 2) == 0;
+    return (rng() & 1) != 0;  // kUniform (and degraded single-thread roles)
+  }
+
+ private:
+  InsertPolicy policy_;
+  ThreadRole role_;
+  std::uint64_t index_ = 0;
+};
+
+/// Per-thread key stream for the insert side. feed() hands popped keys
+/// back for the Dijkstra distribution (bounded ring; overflow drops the
+/// oldest feedback, underflow falls back to a uniform draw).
+class KeyGenerator {
+ public:
+  static constexpr std::uint32_t kDijkstraMinIncrease = 1;
+  static constexpr std::uint32_t kDijkstraMaxIncrease = 100;
+  static constexpr std::size_t kFeedbackCapacity = 4096;
+
+  KeyGenerator(KeyDistribution dist, Priority universe, unsigned tid,
+               unsigned threads)
+      : dist_(dist),
+        universe_(universe == 0 ? 1 : universe),
+        stride_(threads == 0 ? 1 : threads) {
+    ascending_ = std::min<std::uint64_t>(tid, universe_ - 1);
+    descending_ = static_cast<std::int64_t>(universe_ - 1) -
+                  static_cast<std::int64_t>(std::min<std::uint64_t>(
+                      tid, universe_ - 1));
+    if (dist_ == KeyDistribution::kDijkstra)
+      feedback_.resize(kFeedbackCapacity);
+  }
+
+  [[nodiscard]] Priority universe() const noexcept { return universe_; }
+
+  /// The next key to insert.
+  template <typename Engine>
+  [[nodiscard]] Priority next(Engine& rng) noexcept {
+    switch (dist_) {
+      case KeyDistribution::kUniform:
+        return static_cast<Priority>(util::bounded(rng, universe_));
+      case KeyDistribution::kDijkstra: {
+        if (size_ == 0)
+          return static_cast<Priority>(util::bounded(rng, universe_));
+        const Priority base = feedback_[head_];
+        head_ = (head_ + 1) % feedback_.size();
+        --size_;
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(base) +
+            util::uniform_in(rng, kDijkstraMinIncrease, kDijkstraMaxIncrease);
+        return static_cast<Priority>(
+            std::min<std::uint64_t>(key, universe_ - 1));
+      }
+      case KeyDistribution::kAscending: {
+        const auto key = static_cast<Priority>(ascending_);
+        ascending_ = std::min<std::uint64_t>(ascending_ + stride_,
+                                             universe_ - 1);
+        return key;
+      }
+      case KeyDistribution::kDescending: {
+        const auto key = static_cast<Priority>(descending_);
+        descending_ = std::max<std::int64_t>(
+            descending_ - static_cast<std::int64_t>(stride_), 0);
+        return key;
+      }
+    }
+    return 0;
+  }
+
+  /// Dijkstra feedback: a popped key to be re-emitted as key + offset.
+  /// No-op for the other distributions.
+  void feed(Priority popped) noexcept {
+    if (dist_ != KeyDistribution::kDijkstra) return;
+    if (size_ == feedback_.size()) return;  // ring full: drop (bounded mem)
+    feedback_[(head_ + size_) % feedback_.size()] = popped;
+    ++size_;
+  }
+
+  /// Pending Dijkstra feedback entries (tests / diagnostics).
+  [[nodiscard]] std::size_t pending_feedback() const noexcept {
+    return size_;
+  }
+
+ private:
+  KeyDistribution dist_;
+  Priority universe_;
+  std::uint64_t stride_;
+  std::uint64_t ascending_ = 0;    // next ascending key (saturating)
+  std::int64_t descending_ = 0;    // next descending key (saturating)
+  std::vector<Priority> feedback_; // Dijkstra ring buffer
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace relax::sched

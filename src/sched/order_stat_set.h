@@ -1,6 +1,6 @@
-// Order-statistics set over a dense priority universe [0, capacity).
+// Order-statistics multiset over a dense priority universe [0, capacity).
 //
-// Backed by a Fenwick (binary indexed) tree of presence bits:
+// Backed by a Fenwick (binary indexed) tree of per-priority counts:
 //   insert / erase              O(log U)
 //   rank_of(p)  (# present < p) O(log U)
 //   select(r)   (r-th smallest) O(log U)   -- single top-down descent
@@ -10,9 +10,13 @@
 // rank among the top k), the spray-walk scheduler, and the exact mirror
 // inside RelaxationMonitor that measures empirical rank error.
 //
-// Priorities may be inserted at most once at a time (multiset semantics are
-// unnecessary: labels are unique, and a re-inserted task reuses its label
-// only after it was removed).
+// Duplicates are first-class: the tree stores counts, not presence bits,
+// so a priority may be present with any multiplicity — rank_of counts
+// every copy and select() resolves ties by multiplicity. Framework
+// executions never need this (labels are unique, and a re-inserted task
+// reuses its label only after it was removed), but the steady-state
+// harness's key distributions (sched/key_distribution.h) emit arbitrary
+// colliding key streams, and its rank mirror must absorb them.
 #pragma once
 
 #include <cassert>
@@ -35,9 +39,14 @@ class OrderStatSet {
     return present_at(p);
   }
 
+  /// Multiplicity of p (0 when absent).
+  [[nodiscard]] std::uint32_t count(std::uint32_t p) const noexcept {
+    assert(p < capacity_);
+    return rank_of(p + 1) - rank_of(p);
+  }
+
   void insert(std::uint32_t p) {
     assert(p < capacity_);
-    assert(!contains(p));
     update(p, +1);
     ++size_;
   }

@@ -75,4 +75,19 @@ std::vector<std::int64_t> CommandLine::get_int_list(
   return out;
 }
 
+std::optional<std::vector<std::string>> split_csv(const std::string& value) {
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const std::size_t comma = value.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end == pos) return std::nullopt;  // empty token
+    tokens.push_back(value.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (tokens.empty()) return std::nullopt;  // empty value
+  return tokens;
+}
+
 }  // namespace relax::util

@@ -46,4 +46,13 @@ class CommandLine {
   std::vector<std::string> positional_;
 };
 
+/// Splits a comma-separated list flag value ("a,b,c" -> {"a","b","c"}).
+/// Strict: an empty value, a leading/trailing comma, or a doubled comma
+/// all yield an empty token, and empty tokens are rejected wholesale
+/// (nullopt) — letting "" flow onward turns `--backends=mq,` into a
+/// baffling registry lookup failure and `--pop-batch=8,` into a parse
+/// error pointing at nothing. CLI front-ends report the flag and exit 2.
+[[nodiscard]] std::optional<std::vector<std::string>> split_csv(
+    const std::string& value);
+
 }  // namespace relax::util

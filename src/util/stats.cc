@@ -55,6 +55,37 @@ double ExponentialHistogram::tail_fraction_at_least(
   return static_cast<double>(c) / static_cast<double>(total_);
 }
 
+double ExponentialHistogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  // Exact over the sampled reservoir when it covers everything.
+  if (raw_.size() == total_) {
+    std::vector<double> sample(raw_.begin(), raw_.end());
+    return util::percentile(std::move(sample), clamped);
+  }
+  // Bucket walk: find the bucket holding the target rank, interpolate
+  // linearly between the bucket's value bounds [2^b - 1, 2^(b+1) - 2].
+  const double target =
+      clamped / 100.0 * static_cast<double>(total_ - 1);
+  std::uint64_t before = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::uint64_t in_bucket = buckets_[b];
+    if (in_bucket == 0) continue;
+    if (target < static_cast<double>(before + in_bucket)) {
+      const double lo = static_cast<double>((1ULL << b) - 1);
+      const double hi = static_cast<double>(
+          std::min<std::uint64_t>((2ULL << b) - 2, max_));
+      const double frac = in_bucket == 1
+                              ? 0.0
+                              : (target - static_cast<double>(before)) /
+                                    static_cast<double>(in_bucket - 1);
+      return lo + frac * (hi - lo);
+    }
+    before += in_bucket;
+  }
+  return static_cast<double>(max_);
+}
+
 void ExponentialHistogram::merge(const ExponentialHistogram& other) {
   if (other.buckets_.size() > buckets_.size())
     buckets_.resize(other.buckets_.size(), 0);

@@ -60,6 +60,12 @@ class ExponentialHistogram {
   /// maintained per bucket boundary; conservative within the boundary
   /// bucket).
   [[nodiscard]] double tail_fraction_at_least(std::uint64_t threshold) const;
+  /// The p-th percentile (p in [0, 100]). Exact while the raw-sample
+  /// reservoir still covers every added value (<= 2^16 samples); beyond
+  /// that, linear interpolation inside the boundary power-of-two bucket —
+  /// exact for bucket 0 ({0}) and within a factor of two elsewhere, which
+  /// is the resolution rank-error reporting needs. 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
   /// Maximum value ever added.
   [[nodiscard]] std::uint64_t max_value() const noexcept { return max_; }
   /// Exact mean over all added values (0 when empty).

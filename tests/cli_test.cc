@@ -74,5 +74,27 @@ TEST(CommandLine, HasDetectsPresence) {
   EXPECT_FALSE(cl.has("b"));
 }
 
+TEST(SplitCsv, SplitsPlainLists) {
+  const auto tokens = split_csv("a,b,c");
+  ASSERT_TRUE(tokens.has_value());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[0], "a");
+  EXPECT_EQ((*tokens)[2], "c");
+  const auto one = split_csv("solo");
+  ASSERT_TRUE(one.has_value());
+  ASSERT_EQ(one->size(), 1u);
+  EXPECT_EQ((*one)[0], "solo");
+}
+
+TEST(SplitCsv, RejectsEmptyTokens) {
+  // The CLIs exit 2 on nullopt — a trailing comma silently feeding "" into
+  // a backend lookup was the bug this replaces.
+  EXPECT_FALSE(split_csv("").has_value());
+  EXPECT_FALSE(split_csv("a,").has_value());
+  EXPECT_FALSE(split_csv(",a").has_value());
+  EXPECT_FALSE(split_csv("a,,b").has_value());
+  EXPECT_FALSE(split_csv(",").has_value());
+}
+
 }  // namespace
 }  // namespace relax::util

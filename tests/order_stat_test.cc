@@ -100,6 +100,72 @@ TEST(OrderStatSet, RandomizedAgainstStdSet) {
   }
 }
 
+// The set is a counting multiset since the steady-state harness: key
+// streams (uniform draws, Dijkstra feedback) collide freely, unlike the
+// framework's unique dense labels.
+TEST(OrderStatSet, DuplicateInsertCounts) {
+  OrderStatSet s(64);
+  s.insert(10);
+  s.insert(10);
+  s.insert(10);
+  s.insert(20);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.count(10), 3u);
+  EXPECT_EQ(s.count(20), 1u);
+  EXPECT_EQ(s.count(30), 0u);
+  // select() walks multiplicity: ranks 0..2 all land on 10.
+  EXPECT_EQ(s.select(0), 10u);
+  EXPECT_EQ(s.select(1), 10u);
+  EXPECT_EQ(s.select(2), 10u);
+  EXPECT_EQ(s.select(3), 20u);
+  EXPECT_EQ(s.rank_of(20), 3u);
+  // erase removes one copy at a time.
+  s.erase(10);
+  EXPECT_EQ(s.count(10), 2u);
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_EQ(s.min(), 10u);
+  s.erase(10);
+  s.erase(10);
+  EXPECT_FALSE(s.contains(10));
+  EXPECT_EQ(s.min(), 20u);
+}
+
+TEST(OrderStatSet, RandomizedMultisetAgainstStdMultiset) {
+  constexpr std::uint32_t kUniverse = 128;
+  OrderStatSet s(kUniverse);
+  std::multiset<std::uint32_t> ref;
+  util::Rng rng(1234);
+  for (int step = 0; step < 20000; ++step) {
+    const auto p =
+        static_cast<std::uint32_t>(util::bounded(rng, kUniverse));
+    // Biased toward insert so multiplicities actually build up.
+    if ((rng() % 3) != 0 || ref.empty()) {
+      s.insert(p);
+      ref.insert(p);
+    } else {
+      // Erase a random present element.
+      auto it = ref.begin();
+      std::advance(it, static_cast<long>(util::bounded(rng, ref.size())));
+      s.erase(*it);
+      ref.erase(it);
+    }
+    ASSERT_EQ(s.size(), ref.size());
+    if (!ref.empty() && step % 32 == 0) {
+      const auto r = static_cast<std::uint32_t>(
+          util::bounded(rng, ref.size()));
+      auto it = ref.begin();
+      std::advance(it, r);
+      ASSERT_EQ(s.select(r), *it);
+      const auto q =
+          static_cast<std::uint32_t>(util::bounded(rng, kUniverse));
+      ASSERT_EQ(s.count(q), ref.count(q));
+      const auto expected = static_cast<std::uint32_t>(
+          std::distance(ref.begin(), ref.lower_bound(q)));
+      ASSERT_EQ(s.rank_of(q), expected);
+    }
+  }
+}
+
 TEST(OrderStatSet, FullUniverse) {
   OrderStatSet s(64);
   for (std::uint32_t p = 0; p < 64; ++p) s.insert(p);

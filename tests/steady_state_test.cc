@@ -1,0 +1,231 @@
+// Deterministic unit tests for the steady-state harness building blocks
+// (insert policies, key distributions, role assignment) plus a short
+// steady smoke over two real backends: nonzero measured ops and a
+// well-formed JSON row are the contract the CI perf gate stands on.
+#include "sched/key_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench/steady_state.h"
+#include "sched/backend_registry.h"
+#include "util/rng.h"
+
+namespace relax::sched {
+namespace {
+
+TEST(InsertPolicy, NamesRoundTrip) {
+  for (const InsertPolicy p : all_insert_policies()) {
+    const auto parsed = parse_insert_policy(insert_policy_name(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(parse_insert_policy("nope").has_value());
+  for (const KeyDistribution d : all_key_distributions()) {
+    const auto parsed = parse_key_distribution(key_distribution_name(d));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, d);
+  }
+  EXPECT_FALSE(parse_key_distribution("").has_value());
+}
+
+TEST(InsertPolicy, SplitAssignsProducerAndConsumerHalves) {
+  constexpr unsigned kThreads = 8;
+  for (unsigned tid = 0; tid < kThreads; ++tid) {
+    const ThreadRole role = thread_role(InsertPolicy::kSplit, tid, kThreads);
+    EXPECT_EQ(role.inserts, tid < kThreads / 2) << "tid=" << tid;
+    EXPECT_EQ(role.deletes, tid >= kThreads / 2) << "tid=" << tid;
+  }
+  // Odd thread counts put the extra thread on the delete side.
+  EXPECT_TRUE(thread_role(InsertPolicy::kSplit, 0, 3).inserts);
+  EXPECT_TRUE(thread_role(InsertPolicy::kSplit, 1, 3).deletes);
+  EXPECT_TRUE(thread_role(InsertPolicy::kSplit, 2, 3).deletes);
+}
+
+TEST(InsertPolicy, ProducerIsThreadZeroOnly) {
+  constexpr unsigned kThreads = 4;
+  for (unsigned tid = 0; tid < kThreads; ++tid) {
+    const ThreadRole role =
+        thread_role(InsertPolicy::kProducer, tid, kThreads);
+    EXPECT_EQ(role.inserts, tid == 0) << "tid=" << tid;
+    EXPECT_EQ(role.deletes, tid != 0) << "tid=" << tid;
+  }
+}
+
+TEST(InsertPolicy, SingleThreadDegradesToBothRoles) {
+  // A lone thread must make progress under every policy.
+  for (const InsertPolicy p : all_insert_policies()) {
+    const ThreadRole role = thread_role(p, 0, 1);
+    EXPECT_TRUE(role.inserts) << insert_policy_name(p);
+    EXPECT_TRUE(role.deletes) << insert_policy_name(p);
+  }
+}
+
+TEST(InsertPolicy, AlternatingStrictlyAlternates) {
+  OpSequencer seq(InsertPolicy::kAlternating, 1, 4);
+  util::Rng rng(7);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(seq.next_is_insert(rng), i % 2 == 0) << "op " << i;
+}
+
+TEST(InsertPolicy, UniformEmitsBothOps) {
+  OpSequencer seq(InsertPolicy::kUniform, 0, 4);
+  util::Rng rng(11);
+  int inserts = 0;
+  for (int i = 0; i < 1000; ++i) inserts += seq.next_is_insert(rng) ? 1 : 0;
+  EXPECT_GT(inserts, 300);
+  EXPECT_LT(inserts, 700);
+}
+
+TEST(InsertPolicy, RoleOnlySidesNeverFlip) {
+  util::Rng rng(13);
+  OpSequencer producer(InsertPolicy::kSplit, 0, 4);   // insert half
+  OpSequencer consumer(InsertPolicy::kSplit, 3, 4);   // delete half
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(producer.next_is_insert(rng));
+    EXPECT_FALSE(consumer.next_is_insert(rng));
+  }
+}
+
+TEST(KeyGenerator, DijkstraFeedsPoppedKeysBackWithOffset) {
+  constexpr Priority kUniverse = 1 << 20;
+  KeyGenerator gen(KeyDistribution::kDijkstra, kUniverse, 0, 1);
+  util::Rng rng(42);
+  gen.feed(5000);
+  gen.feed(6000);
+  ASSERT_EQ(gen.pending_feedback(), 2u);
+  const Priority first = gen.next(rng);
+  EXPECT_GE(first, 5000u + KeyGenerator::kDijkstraMinIncrease);
+  EXPECT_LE(first, 5000u + KeyGenerator::kDijkstraMaxIncrease);
+  const Priority second = gen.next(rng);
+  EXPECT_GE(second, 6000u + KeyGenerator::kDijkstraMinIncrease);
+  EXPECT_LE(second, 6000u + KeyGenerator::kDijkstraMaxIncrease);
+  EXPECT_EQ(gen.pending_feedback(), 0u);
+  // Drained ring: self-starts from a uniform draw inside the universe.
+  EXPECT_LT(gen.next(rng), kUniverse);
+}
+
+TEST(KeyGenerator, DijkstraClampsAtUniverseEdge) {
+  constexpr Priority kUniverse = 1024;
+  KeyGenerator gen(KeyDistribution::kDijkstra, kUniverse, 0, 1);
+  util::Rng rng(3);
+  gen.feed(kUniverse - 1);
+  EXPECT_EQ(gen.next(rng), kUniverse - 1);
+}
+
+TEST(KeyGenerator, AscendingIsMonotoneAndStrided) {
+  constexpr unsigned kThreads = 4;
+  constexpr Priority kUniverse = 1 << 16;
+  util::Rng rng(1);
+  for (unsigned tid = 0; tid < kThreads; ++tid) {
+    KeyGenerator gen(KeyDistribution::kAscending, kUniverse, tid, kThreads);
+    Priority prev = gen.next(rng);
+    EXPECT_EQ(prev, tid);  // thread t starts at t
+    for (int i = 0; i < 2000; ++i) {
+      const Priority next = gen.next(rng);
+      ASSERT_GE(next, prev);
+      prev = next;
+    }
+  }
+  // Saturates at universe - 1 instead of wrapping.
+  KeyGenerator tiny(KeyDistribution::kAscending, 8, 0, 4);
+  for (int i = 0; i < 64; ++i) ASSERT_LT(tiny.next(rng), 8u);
+}
+
+TEST(KeyGenerator, DescendingIsMonotoneFromTop) {
+  constexpr unsigned kThreads = 4;
+  constexpr Priority kUniverse = 1 << 16;
+  util::Rng rng(1);
+  for (unsigned tid = 0; tid < kThreads; ++tid) {
+    KeyGenerator gen(KeyDistribution::kDescending, kUniverse, tid, kThreads);
+    Priority prev = gen.next(rng);
+    EXPECT_EQ(prev, kUniverse - 1 - tid);
+    for (int i = 0; i < 2000; ++i) {
+      const Priority next = gen.next(rng);
+      ASSERT_LE(next, prev);
+      prev = next;
+    }
+  }
+  // Saturates at 0 instead of wrapping below zero.
+  KeyGenerator tiny(KeyDistribution::kDescending, 8, 1, 4);
+  for (int i = 0; i < 64; ++i) ASSERT_LT(tiny.next(rng), 8u);
+}
+
+TEST(KeyGenerator, FeedbackRingDropsWhenFull) {
+  KeyGenerator gen(KeyDistribution::kDijkstra, 1 << 20, 0, 1);
+  for (std::size_t i = 0; i < 2 * KeyGenerator::kFeedbackCapacity; ++i)
+    gen.feed(static_cast<Priority>(i));
+  EXPECT_EQ(gen.pending_feedback(), KeyGenerator::kFeedbackCapacity);
+}
+
+// --- Steady smoke: two real backends through the full harness path. ---
+
+void expect_json_field(const std::string& row, const std::string& needle) {
+  EXPECT_NE(row.find(needle), std::string::npos)
+      << "missing " << needle << " in: " << row;
+}
+
+TEST(SteadySmoke, TwoBackendsProduceOpsAndWellFormedJson) {
+  for (const char* name : {"multiqueue-c2", "exact"}) {
+    const BackendInfo* backend = find_backend(name);
+    ASSERT_NE(backend, nullptr) << name;
+
+    bench::SteadyConfig cfg;
+    cfg.backend = backend;
+    cfg.threads = 2;
+    cfg.policy = InsertPolicy::kUniform;
+    cfg.distribution = KeyDistribution::kDijkstra;
+    cfg.prefill = 20'000;
+    cfg.working_seconds = 0.3;
+    cfg.runs = 1;
+    cfg.key_universe = 1 << 16;
+    cfg.seed = 5;
+    cfg.quality = true;
+
+    const bench::SteadyCell cell = bench::run_steady_cell(cfg);
+    EXPECT_GT(cell.ops, 0u) << name;
+    EXPECT_GT(cell.ops_per_s, 0.0) << name;
+    EXPECT_GT(cell.inserts, 0u) << name;
+    EXPECT_GT(cell.deletes, 0u) << name;
+    EXPECT_GE(cell.mean_rank, 0.0) << name << ": quality pass did not run";
+
+    std::string row;
+    bench::append_json_row(row, cell);
+    EXPECT_EQ(row.front(), '{');
+    EXPECT_EQ(row.back(), '}');
+    expect_json_field(row, "\"workload\": \"steady\"");
+    expect_json_field(row, std::string("\"backend\": \"") + name + "\"");
+    expect_json_field(row, "\"policy\": \"uniform\"");
+    expect_json_field(row, "\"distribution\": \"dijkstra\"");
+    expect_json_field(row, "\"tasks_per_s\": ");
+    expect_json_field(row, "\"runs\": 1");
+    EXPECT_EQ(row.find("nan"), std::string::npos) << row;
+    EXPECT_EQ(row.find("inf"), std::string::npos) << row;
+  }
+}
+
+// The exact backend's steady quality pass must report zero rank error —
+// the end-to-end check that the monitored companion pass wires the
+// harness traffic through RelaxationMonitor correctly.
+TEST(SteadySmoke, ExactBackendHasZeroRankError) {
+  const BackendInfo* backend = find_backend("exact");
+  ASSERT_NE(backend, nullptr);
+  bench::SteadyConfig cfg;
+  cfg.backend = backend;
+  cfg.threads = 2;
+  cfg.policy = InsertPolicy::kSplit;
+  cfg.distribution = KeyDistribution::kUniform;
+  cfg.prefill = 5'000;
+  cfg.working_seconds = 0.2;
+  cfg.runs = 1;
+  cfg.key_universe = 1 << 14;
+  cfg.seed = 9;
+  cfg.quality = true;
+  const bench::SteadyCell cell = bench::run_steady_cell(cfg);
+  EXPECT_EQ(cell.max_rank, 0u);
+  EXPECT_DOUBLE_EQ(cell.mean_rank, 0.0);
+}
+
+}  // namespace
+}  // namespace relax::sched

@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_backend_matrix.json snapshots cell by cell.
+"""Compare two bench JSON snapshots cell by cell.
 
-Closes the perf-trajectory loop: CI uploads one BENCH_backend_matrix.json
-artifact per commit (bench/backend_matrix.cc --json=...), and this script
-diffs the current snapshot against the previous run's, flagging every
-backend x workload x threads x pop-batch cell whose throughput
-(tasks_per_s) dropped by more than --max-drop (default 25%).
+Closes the perf-trajectory loop: CI uploads one JSON artifact per commit
+per harness (bench/backend_matrix.cc and bench/steady_state.cc, both via
+--json=...), and this script diffs the current snapshot against the
+previous run's, flagging every cell whose throughput (tasks_per_s)
+dropped by more than --max-drop (default 25%).
 
-Cells are keyed by (workload, backend, threads, pop_batch, pop_batch_auto);
-cells present in only one snapshot are reported informationally and never
-fail the check (axes legitimately grow and shrink across commits).
+Cells are keyed by (workload, backend, threads, pop_batch, pop_batch_auto,
+policy, distribution); the last two are None for backend_matrix rows,
+which keeps legacy keys stable while steady_state rows — which sweep
+insert policies and key distributions — stay distinct per combination.
+
+Cells present only in the current snapshot are informational (axes
+legitimately grow). Cells present only in the BASELINE are their own
+annotation class: a silently vanished cell usually means a harness flag
+or sweep loop broke, so each one gets a ::warning — loud in the PR view,
+but never an exit-1 even under --fail, since axes also legitimately
+shrink.
 
 Exit status: 0 when clean or when the baseline is missing/unreadable (first
 run on a branch must not fail CI); 1 when regressions were found AND --fail
@@ -26,9 +34,11 @@ Usage:
 an old-schema snapshot (without the per-cell latency fields backend_matrix
 now emits, e.g. slice_p99_us) must diff cleanly against a new-schema one —
 cell keys line up, unknown/null fields are ignored, and equal throughput
-yields zero regressions. CI runs this so a schema change that would break
-the first diff against a pre-change baseline fails loudly in the PR that
-makes it.
+yields zero regressions. It also checks that steady_state rows differing
+only in policy/distribution get distinct keys, and that baseline-only
+cells are classified as missing rather than folded into regressions. CI
+runs this so a schema change that would break the first diff against a
+pre-change baseline fails loudly in the PR that makes it.
 
 No dependencies beyond the Python 3 standard library.
 """
@@ -46,13 +56,38 @@ def cell_key(row):
         row.get("threads"),
         row.get("pop_batch"),
         bool(row.get("pop_batch_auto", False)),
+        # steady_state axes; None on legacy backend_matrix rows, so old
+        # baselines keep producing identical keys.
+        row.get("policy"),
+        row.get("distribution"),
     )
 
 
 def fmt_key(key):
-    workload, backend, threads, batch, auto = key
+    workload, backend, threads, batch, auto, policy, dist = key
     batch_s = f"auto:{batch}" if auto else str(batch)
-    return f"{workload} x {backend} @ t={threads} batch={batch_s}"
+    out = f"{workload} x {backend} @ t={threads} batch={batch_s}"
+    if policy is not None:
+        out += f" policy={policy}"
+    if dist is not None:
+        out += f" dist={dist}"
+    return out
+
+
+def report_missing(baseline, current, annotate=True):
+    """Annotates cells present in the baseline but absent from the current
+    snapshot. Returns the missing keys (sorted) for callers that count
+    them; annotation-only — missing cells never affect the exit status.
+    annotate=False skips the printing (the self-test classifies without
+    planting ::warning lines in CI logs)."""
+    missing = sorted(baseline.keys() - current.keys())
+    if annotate:
+        for key in missing:
+            print(
+                f"::warning::cell missing from current snapshot: "
+                f"{fmt_key(key)} (harness flag or sweep loop change?)"
+            )
+    return missing
 
 
 def load_rows(path):
@@ -148,6 +183,45 @@ def self_test():
             f"expected {len(baseline)} regressions at -50%, "
             f"got {len(regressions)}"
         )
+
+    # Steady-state rows differing only in policy/distribution must key to
+    # distinct cells; a legacy row (no such fields) must key as (None, None).
+    steady_cell = dict(
+        base_cell,
+        workload="steady",
+        policy="uniform",
+        distribution="dijkstra",
+        runs=3,
+    )
+    steady_rows = [
+        steady_cell,
+        dict(steady_cell, policy="split"),
+        dict(steady_cell, distribution="ascending"),
+    ]
+    steady = roundtrip(steady_rows)
+    if len(steady) != 3:
+        failures.append(
+            f"policy/distribution collapse: expected 3 distinct steady "
+            f"cells, got {len(steady)}"
+        )
+    if cell_key(base_cell)[-2:] != (None, None):
+        failures.append("legacy row did not key as policy/distribution=None")
+
+    # Baseline-only cells are their own class: never regressions, and
+    # report_missing must surface exactly the vanished keys.
+    shrunk = dict(steady)
+    gone = cell_key(steady_rows[1])
+    del shrunk[gone]
+    regressions, _ = diff_cells(steady, shrunk, 0.25)
+    if regressions:
+        failures.append(f"missing cell misclassified as regression: "
+                        f"{regressions}")
+    missing = report_missing(steady, shrunk, annotate=False)
+    if missing != [gone]:
+        failures.append(
+            f"expected missing cells [{gone}], got {missing}"
+        )
+
     for failure in failures:
         print(f"::error::bench_diff self-test: {failure}")
     if not failures:
@@ -221,8 +295,7 @@ def main():
     for key in sorted(current.keys() - baseline.keys()):
         print(f"new cell (no baseline): {fmt_key(key)}")
     regressions, improvements = diff_cells(baseline, current, args.max_drop)
-    for key in sorted(baseline.keys() - current.keys()):
-        print(f"cell dropped from matrix: {fmt_key(key)}")
+    missing = report_missing(baseline, current)
 
     for key, old_tps, new_tps, change in improvements:
         print(
@@ -239,7 +312,7 @@ def main():
     print(
         f"bench diff: {len(current)} cells compared, "
         f"{len(regressions)} regression(s) beyond {args.max_drop:.0%}, "
-        f"{len(improvements)} improvement(s)"
+        f"{len(improvements)} improvement(s), {len(missing)} missing cell(s)"
     )
     if not regressions:
         emit_ok()
