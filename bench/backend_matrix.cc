@@ -28,8 +28,16 @@
 // artifact, seeding the perf trajectory (tools/bench_diff.py compares two
 // of these cell by cell).
 //
+// The numa axis sweeps topology-aware placement (util/topology.h): each
+// entry is off | auto | virtual:<K>, the same vocabulary as the CLIs.
+// virtual:K is the reproducible form — synthetic domains independent of
+// the host — so a CI box can hold the locality-vs-quality trade steady.
+// The domain spec is recorded per JSON cell, so bench_diff.py keys on it
+// and an off-vs-virtual regression shows up cell by cell.
+//
 // Usage: backend_matrix [--n=4000] [--m=24000] [--threads=1,4]
 //                       [--pop-batch=1,8,auto:8]
+//                       [--numa=off,virtual:2]
 //                       [--backends=all|name,name,...]
 //                       [--quality=1] [--repeat=3] [--seed=1] [--json=path]
 #include <algorithm>
@@ -47,6 +55,7 @@
 #include "graph/permutation.h"
 #include "sched/backend_registry.h"
 #include "util/cli.h"
+#include "util/topology.h"
 
 namespace {
 
@@ -60,6 +69,7 @@ struct Row {
   unsigned threads;
   unsigned pop_batch;
   bool pop_batch_auto;
+  std::string numa;  // topology spec label: off | auto | virtual:K
   double seconds;
   double tasks_per_s;
   double iters_per_task;
@@ -76,10 +86,10 @@ std::string batch_label(const Row& r) {
 }
 
 void print_row(const Row& r) {
-  std::printf("%-9s %-20s %7u %6s %9.4f %12.0f %10.3f %8.2f%%", r.workload,
-              r.backend.c_str(), r.threads, batch_label(r).c_str(),
-              r.seconds, r.tasks_per_s, r.iters_per_task,
-              100.0 * r.wasted_frac);
+  std::printf("%-9s %-20s %7u %6s %-10s %9.4f %12.0f %10.3f %8.2f%%",
+              r.workload, r.backend.c_str(), r.threads,
+              batch_label(r).c_str(), r.numa.c_str(), r.seconds,
+              r.tasks_per_s, r.iters_per_task, 100.0 * r.wasted_frac);
   if (r.slice_p99_us >= 0.0) {
     std::printf("%10.1f", r.slice_p99_us);
   } else {
@@ -108,12 +118,13 @@ bool write_json(const char* path, const std::vector<Row>& rows) {
     std::fprintf(f,
                  "  {\"workload\": \"%s\", \"backend\": \"%s\", "
                  "\"threads\": %u, \"pop_batch\": %u, "
-                 "\"pop_batch_auto\": %s, \"seconds\": %.6f, "
+                 "\"pop_batch_auto\": %s, \"numa\": \"%s\", "
+                 "\"seconds\": %.6f, "
                  "\"tasks_per_s\": %.1f, \"iters_per_task\": %.4f, "
                  "\"wasted_frac\": %.6f, ",
                  r.workload, r.backend.c_str(), r.threads, r.pop_batch,
-                 r.pop_batch_auto ? "true" : "false", r.seconds,
-                 r.tasks_per_s, r.iters_per_task, r.wasted_frac);
+                 r.pop_batch_auto ? "true" : "false", r.numa.c_str(),
+                 r.seconds, r.tasks_per_s, r.iters_per_task, r.wasted_frac);
     if (r.slice_p99_us >= 0.0) {
       std::fprintf(f, "\"slice_p99_us\": %.2f, ", r.slice_p99_us);
     } else {
@@ -142,6 +153,7 @@ template <typename MakeProblem>
 Row run_framework(const char* workload, const BackendInfo& backend,
                   unsigned threads,
                   const relax::engine::PopBatchFlag& pop_batch,
+                  const relax::util::TopologySpec& numa,
                   const relax::graph::Priorities& pri,
                   MakeProblem make_problem, bool quality, unsigned repeat,
                   std::uint64_t seed) {
@@ -149,6 +161,7 @@ Row run_framework(const char* workload, const BackendInfo& backend,
   eo.num_threads = threads;
   eo.pin_threads = false;
   eo.max_in_flight = 1;
+  eo.topology = numa;
   relax::engine::SchedulingEngine eng(eo);
 
   relax::engine::JobConfig cfg;
@@ -176,6 +189,7 @@ Row run_framework(const char* workload, const BackendInfo& backend,
   row.threads = threads;
   row.pop_batch = pop_batch.batch;
   row.pop_batch_auto = pop_batch.adaptive;
+  row.numa = numa.label();
   row.seconds = stats.seconds;
   row.tasks_per_s = stats.seconds > 0.0 ? n / stats.seconds : 0.0;
   row.iters_per_task =
@@ -246,6 +260,22 @@ int main(int argc, char** argv) {
     batch_list.push_back(pb);
   }
 
+  // The numa axis speaks the CLI vocabulary too (off | auto | virtual:K);
+  // each entry becomes its own sweep dimension and its own JSON key part.
+  std::vector<relax::util::TopologySpec> numa_list;
+  for (const std::string& token :
+       split_axis("numa", cli.get_string("numa", "off"))) {
+    const auto spec = relax::util::TopologySpec::parse(token);
+    if (!spec) {
+      std::fprintf(stderr,
+                   "invalid --numa entry '%s': expected 'off', 'auto', or "
+                   "'virtual:<K>' with K >= 1\n",
+                   token.c_str());
+      return 2;
+    }
+    numa_list.push_back(*spec);
+  }
+
   const std::string backend_flag = cli.get_string("backends", "all");
   std::vector<const BackendInfo*> backends;
   if (backend_flag == "all") {
@@ -275,9 +305,10 @@ int main(int argc, char** argv) {
               g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()),
               backends.size(), quality ? 1 : 0);
-  std::printf("%-9s %-20s %7s %6s %9s %12s %10s %9s %10s %10s %9s\n",
-              "workload", "backend", "threads", "batch", "seconds", "tasks/s",
-              "iters/task", "wasted", "p99-us", "mean-rank", "max-rank");
+  std::printf("%-9s %-20s %7s %6s %-10s %9s %12s %10s %9s %10s %10s %9s\n",
+              "workload", "backend", "threads", "batch", "numa", "seconds",
+              "tasks/s", "iters/task", "wasted", "p99-us", "mean-rank",
+              "max-rank");
 
   std::vector<Row> rows;
   const auto emit = [&rows](Row row) {
@@ -288,17 +319,18 @@ int main(int argc, char** argv) {
   for (const std::int64_t t : thread_list) {
     const auto threads = static_cast<unsigned>(t < 1 ? 1 : t);
     for (const relax::engine::PopBatchFlag& pop_batch : batch_list) {
+      for (const relax::util::TopologySpec& numa : numa_list) {
       for (const BackendInfo* backend : backends) {
         emit(run_framework(
-            "mis", *backend, threads, pop_batch, pri,
+            "mis", *backend, threads, pop_batch, numa, pri,
             [&] { return relax::algorithms::AtomicMisProblem(g, pri); },
             quality, repeat, seed));
         emit(run_framework(
-            "coloring", *backend, threads, pop_batch, pri,
+            "coloring", *backend, threads, pop_batch, numa, pri,
             [&] { return relax::algorithms::AtomicColoringProblem(g, pri); },
             quality, repeat, seed));
         emit(run_framework(
-            "matching", *backend, threads, pop_batch, edge_pri,
+            "matching", *backend, threads, pop_batch, numa, edge_pri,
             [&] {
               return relax::algorithms::AtomicMatchingProblem(incidence,
                                                               edge_pri);
@@ -316,6 +348,7 @@ int main(int argc, char** argv) {
           sssp_opts.seed = seed;
           sssp_opts.pop_batch = pop_batch.batch;
           sssp_opts.pop_batch_auto = pop_batch.adaptive;
+          sssp_opts.topology = numa;
           // Same median-of-repeat discipline as the framework rows.
           std::vector<relax::algorithms::SsspStats> strials(repeat);
           for (unsigned r = 0; r < repeat; ++r)
@@ -334,6 +367,7 @@ int main(int argc, char** argv) {
           row.threads = threads;
           row.pop_batch = pop_batch.batch;
           row.pop_batch_auto = pop_batch.adaptive;
+          row.numa = numa.label();
           row.seconds = sstats.seconds;
           row.tasks_per_s =
               sstats.seconds > 0.0 ? g.num_vertices() / sstats.seconds : 0.0;
@@ -350,6 +384,7 @@ int main(int argc, char** argv) {
           row.max_rank = 0;
           emit(row);
         }
+      }
       }
     }
   }

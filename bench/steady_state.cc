@@ -17,7 +17,7 @@
 //                     [--distributions=uniform|all|name,name,...]
 //                     [--prefill=1000000] [--time-ms=1000] [--runs=3]
 //                     [--key-universe=4194304] [--seed=1] [--quality=1]
-//                     [--json=path]
+//                     [--numa=off,virtual:2] [--json=path]
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -27,6 +27,7 @@
 #include "sched/backend_registry.h"
 #include "sched/key_distribution.h"
 #include "util/cli.h"
+#include "util/topology.h"
 
 namespace {
 
@@ -57,10 +58,11 @@ std::string batch_label(const SteadyCell& c) {
 }
 
 void print_row(const SteadyCell& c) {
-  std::printf("%-20s %-11s %-10s %7u %6s %12.0f %11llu %9llu", c.backend.c_str(),
+  std::printf("%-20s %-11s %-10s %7u %6s %-10s %12.0f %11llu %9llu",
+              c.backend.c_str(),
               std::string(insert_policy_name(c.policy)).c_str(),
               std::string(key_distribution_name(c.distribution)).c_str(),
-              c.threads, batch_label(c).c_str(), c.ops_per_s,
+              c.threads, batch_label(c).c_str(), c.numa.c_str(), c.ops_per_s,
               static_cast<unsigned long long>(c.ops),
               static_cast<unsigned long long>(c.empty_pops));
   if (c.op_p99_us >= 0.0) {
@@ -161,6 +163,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Topology axis: each entry is a TopologySpec the timed pass stripes and
+  // pins under (off | auto | virtual:<K>), recorded per JSON cell so
+  // bench_diff.py keys off-vs-striped rows apart.
+  std::vector<relax::util::TopologySpec> numa_list;
+  for (const std::string& token :
+       split_axis("numa", cli.get_string("numa", "off"))) {
+    const auto spec = relax::util::TopologySpec::parse(token);
+    if (!spec) {
+      std::fprintf(stderr,
+                   "invalid --numa entry '%s': expected 'off', 'auto', or "
+                   "'virtual:<K>' with K >= 1\n",
+                   token.c_str());
+      return 2;
+    }
+    numa_list.push_back(*spec);
+  }
+
   std::vector<KeyDistribution> distributions;
   const std::string dist_flag = cli.get_string("distributions", "uniform");
   if (dist_flag == "all") {
@@ -185,27 +204,31 @@ int main(int argc, char** argv) {
       "quality=%d\n",
       base.prefill, base.working_seconds * 1e3, base.runs, base.key_universe,
       base.quality ? 1 : 0);
-  std::printf("%-20s %-11s %-10s %7s %6s %12s %11s %9s %9s %10s %8s %8s %9s\n",
-              "backend", "policy", "dist", "threads", "batch", "ops/s", "ops",
-              "empty", "p99-us", "mean-rank", "r-p90", "r-p99", "max-rank");
+  std::printf(
+      "%-20s %-11s %-10s %7s %6s %-10s %12s %11s %9s %9s %10s %8s %8s %9s\n",
+      "backend", "policy", "dist", "threads", "batch", "numa", "ops/s", "ops",
+      "empty", "p99-us", "mean-rank", "r-p90", "r-p99", "max-rank");
 
   std::vector<SteadyCell> cells;
   for (const std::int64_t t : thread_list) {
     for (const relax::engine::PopBatchFlag& pb : batch_list) {
-      for (const BackendInfo* backend : backends) {
-        for (const InsertPolicy policy : policies) {
-          for (const KeyDistribution dist : distributions) {
-            SteadyConfig cfg = base;
-            cfg.backend = backend;
-            cfg.threads = static_cast<unsigned>(t < 1 ? 1 : t);
-            cfg.policy = policy;
-            cfg.distribution = dist;
-            cfg.pop_batch = pb.batch;
-            cfg.pop_batch_auto = pb.adaptive;
-            SteadyCell cell = relax::bench::run_steady_cell(cfg);
-            print_row(cell);
-            std::fflush(stdout);
-            cells.push_back(std::move(cell));
+      for (const relax::util::TopologySpec& numa : numa_list) {
+        for (const BackendInfo* backend : backends) {
+          for (const InsertPolicy policy : policies) {
+            for (const KeyDistribution dist : distributions) {
+              SteadyConfig cfg = base;
+              cfg.backend = backend;
+              cfg.threads = static_cast<unsigned>(t < 1 ? 1 : t);
+              cfg.policy = policy;
+              cfg.distribution = dist;
+              cfg.pop_batch = pb.batch;
+              cfg.pop_batch_auto = pb.adaptive;
+              cfg.numa = numa;
+              SteadyCell cell = relax::bench::run_steady_cell(cfg);
+              print_row(cell);
+              std::fflush(stdout);
+              cells.push_back(std::move(cell));
+            }
           }
         }
       }

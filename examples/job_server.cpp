@@ -25,10 +25,15 @@
 // slice/claim/park counters and latency percentiles in Prometheus text form
 // (JSON when the path ends in .json, stdout with '-').
 //
+// --numa selects topology-aware placement (off | auto | virtual:<K>): the
+// pool pins socket-by-socket and every scalable backend the jobs stand up
+// is striped per domain (util/topology.h).
+//
 // Build & run:  ./examples/job_server [--requests=32] [--threads=0]
 //                                     [--inflight=4] [--audit=8]
 //                                     [--pop-batch=1|auto[:max]]
 //                                     [--backend=multiqueue-c2|...|mix]
+//                                     [--numa=off|auto|virtual:<K>]
 //                                     [--metrics=<path|->]
 #include <algorithm>
 #include <cstdio>
@@ -46,6 +51,7 @@
 #include "sched/backend_registry.h"
 #include "util/cli.h"
 #include "util/timer.h"
+#include "util/topology.h"
 
 namespace {
 
@@ -112,6 +118,16 @@ int main(int argc, char** argv) {
   relax::engine::EngineOptions opts;
   opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
   opts.max_in_flight = static_cast<unsigned>(inflight);
+  const std::string numa_value = cli.get_string("numa", "off");
+  const auto numa_spec = relax::util::TopologySpec::parse(numa_value);
+  if (!numa_spec) {
+    std::fprintf(stderr,
+                 "error: invalid --numa '%s': expected 'off', 'auto', or "
+                 "'virtual:<K>' with K >= 1\n",
+                 numa_value.c_str());
+    return 2;
+  }
+  opts.topology = *numa_spec;
   if (!metrics_path.empty()) opts.metrics = &registry;
   relax::engine::SchedulingEngine engine(opts);
   std::printf(

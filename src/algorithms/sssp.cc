@@ -77,6 +77,15 @@ std::vector<std::uint32_t> parallel_relaxed_sssp(
 
   using Queue = sched::BasicConcurrentMultiQueue<std::uint64_t>;
   Queue queue(options.queue_factor * threads, options.seed);
+  // Topology placement: socket-fill pin order plus a per-domain stripe map
+  // over the sub-queues (quiescent here — no worker exists yet). Flat
+  // placement (off / single domain) leaves both at the historical layout.
+  const util::WorkerPlacement placement =
+      util::plan_workers(options.topology, threads);
+  if (placement.num_domains > 1) {
+    queue.set_stripe_map(
+        sched::StripeMap(queue.num_queues(), placement.num_domains));
+  }
   queue.insert(static_cast<std::uint64_t>(source));
 
   // Termination: pending = queued-but-unprocessed entries. Incremented
@@ -93,12 +102,17 @@ std::vector<std::uint32_t> parallel_relaxed_sssp(
     workers.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
       workers.emplace_back([&, t] {
-        util::pin_thread_to_cpu(t);
+        util::pin_thread_to_cpu(placement.pin_slot[t]);
         // This thread's scheduler session: one handle plus one adaptive
         // batch controller for the whole execution — the same
         // occupancy-aware sizing the engine's jobs run (engine/job.h).
+        // The handle carries the thread's topology domain so claims and
+        // bulk re-inserts prefer same-domain stripes.
         auto handle = queue.get_handle();
-        sched::BatchController controller(batch, options.pop_batch_auto);
+        handle.set_domain(placement.domain[t]);
+        sched::BatchController controller(
+            batch, options.pop_batch_auto, /*high_watermark=*/0,
+            sched::BatchController::kDefaultConsultPeriod, threads);
         // Stack-local; written back once (no false sharing between workers).
         SsspStats stats;
         std::vector<std::uint64_t> popped;

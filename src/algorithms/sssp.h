@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/topology.h"
 
 namespace relax::algorithms {
 
@@ -64,6 +65,11 @@ struct SsspOptions {
   /// occasionally — the same occupancy-aware controller the engine's
   /// framework executors run (engine/job.h).
   bool pop_batch_auto = false;
+  /// Topology placement (--numa): off = flat, auto = sysfs sockets (flat
+  /// fallback), virtual:K = synthetic domains. Threads pin in socket-fill
+  /// order and the MultiQueue is striped per domain, exactly like the
+  /// engine executors (util/topology.h, sched/stripe_map.h).
+  util::TopologySpec topology;
 };
 
 /// Multi-threaded label-correcting SSSP over a relaxed concurrent

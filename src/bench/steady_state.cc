@@ -14,6 +14,7 @@
 #include "obs/histogram.h"
 #include "sched/batch_controller.h"
 #include "sched/handles.h"
+#include "sched/stripe_map.h"
 #include "sched/relaxation_monitor.h"
 #include "util/padded.h"
 #include "util/timer.h"
@@ -28,12 +29,16 @@ using sched::Priority;
 /// very number the harness exists to measure.
 constexpr std::uint64_t kLatencySampleStride = 64;
 
+/// Width of one throughput-over-time bucket (SteadyCell::buckets).
+constexpr std::uint64_t kBucketNs = 100'000'000;  // 100 ms
+
 /// One thread's tallies, cache-line padded against false sharing.
 struct ThreadCounters {
   std::uint64_t inserts = 0;
   std::uint64_t deletes = 0;
   std::uint64_t empty_pops = 0;
   obs::Histogram op_latency_ns;
+  std::vector<std::uint64_t> buckets;  // completed ops per 100 ms bucket
 };
 
 struct TimedRun {
@@ -43,6 +48,7 @@ struct TimedRun {
   std::uint64_t empty_pops = 0;
   double ops_per_s = 0.0;
   double op_p99_us = -1.0;
+  std::vector<std::uint64_t> buckets;  // summed over threads
 };
 
 sched::BackendParams steady_params(const SteadyConfig& cfg) {
@@ -100,6 +106,23 @@ void op_loop(const SteadyConfig& cfg, unsigned tid,
 
   while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
 
+  // Throughput-over-time attribution. Ops accumulate in a plain local and
+  // are flushed into the 100 ms bucket the *sampled* clock reads land in —
+  // zero extra clock reads on the hot path. Worst-case smear is the ops
+  // between two samples (64 touches), far below one bucket's population.
+  const auto window_start = Clock::now();
+  std::uint64_t pending_ops = 0;
+  const auto flush_bucket = [&](Clock::time_point now) {
+    const auto idx = static_cast<std::size_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                             window_start)
+            .count() /
+        kBucketNs);
+    if (counters.buckets.size() <= idx) counters.buckets.resize(idx + 1, 0);
+    counters.buckets[idx] += pending_ops;
+    pending_ops = 0;
+  };
+
   while (!stop.load(std::memory_order_relaxed)) {
     const bool sampled = (++touches % kLatencySampleStride) == 0;
     const auto t0 = sampled ? Clock::now() : Clock::time_point{};
@@ -112,6 +135,7 @@ void op_loop(const SteadyConfig& cfg, unsigned tid,
         insbuf.push_back(gen.next(rng));
       do_insert(std::span<const Priority>(insbuf));
       counters.inserts += insbuf.size();
+      pending_ops += insbuf.size();
     } else {
       const std::uint32_t k = ctl.next_claim(occupancy);
       popbuf.clear();
@@ -121,22 +145,41 @@ void op_loop(const SteadyConfig& cfg, unsigned tid,
         ++counters.empty_pops;
       } else {
         counters.deletes += got;
+        pending_ops += got;
         for (const Priority p : popbuf) gen.feed(p);
       }
     }
     if (sampled) {
-      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                          Clock::now() - t0)
-                          .count();
+      const auto t1 = Clock::now();
+      const auto ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count();
       counters.op_latency_ns.record(static_cast<std::uint64_t>(ns));
+      flush_bucket(t1);
     }
   }
+  flush_bucket(Clock::now());  // the tail since the last sampled touch
 }
 
 /// One timed window over a fresh `queue`.
 template <typename Queue>
 TimedRun run_timed(Queue& queue, const SteadyConfig& cfg) {
   const unsigned threads = std::max<unsigned>(cfg.threads, 1);
+  // Topology placement mirrors the engine: stripe the backend per domain
+  // while it is still quiescent, then hand each thread's session its
+  // domain. Backends without the striping surface stay flat.
+  const util::WorkerPlacement placement =
+      util::plan_workers(cfg.numa, threads);
+  if constexpr (requires(Queue& q, const sched::StripeMap& m) {
+                  q.num_queues();
+                  q.set_stripe_map(m);
+                }) {
+    if (placement.num_domains > 1) {
+      queue.set_stripe_map(sched::StripeMap(
+          static_cast<std::size_t>(queue.num_queues()),
+          placement.num_domains));
+    }
+  }
   prefill_into(queue, cfg);
 
   std::atomic<bool> go{false};
@@ -147,7 +190,16 @@ TimedRun run_timed(Queue& queue, const SteadyConfig& cfg) {
   for (unsigned tid = 0; tid < threads; ++tid) {
     pool.emplace_back([&, tid] {
       auto handle = sched::make_handle(queue);
-      sched::BatchController ctl(cfg.pop_batch, cfg.pop_batch_auto);
+      if constexpr (requires { handle.set_domain(0u); }) {
+        if (placement.num_domains > 1)
+          handle.set_domain(placement.domain[tid]);
+      }
+      // Width-aware watermarks: occupancy is global, so the near-drain /
+      // deep-backlog thresholds scale with how much the whole pool claims
+      // per round (sched/batch_controller.h).
+      sched::BatchController ctl(
+          cfg.pop_batch, cfg.pop_batch_auto, /*high_watermark=*/0,
+          sched::BatchController::kDefaultConsultPeriod, threads);
       const sched::QueueOccupancy<Queue> occupancy{&queue};
       op_loop(
           cfg, tid, go, stop, ctl, occupancy, *counters[tid],
@@ -176,6 +228,20 @@ TimedRun run_timed(Queue& queue, const SteadyConfig& cfg) {
     run.deletes += c->deletes;
     run.empty_pops += c->empty_pops;
     latency.merge(c->op_latency_ns);
+    if (c->buckets.size() > run.buckets.size())
+      run.buckets.resize(c->buckets.size(), 0);
+    for (std::size_t b = 0; b < c->buckets.size(); ++b)
+      run.buckets[b] += c->buckets[b];
+  }
+  // Threads may straggle a few ops past the stop flag into a bucket beyond
+  // the window; clamp to the window's bucket count so the profile length
+  // is a function of working_seconds, not scheduler jitter.
+  const std::size_t want_buckets = static_cast<std::size_t>(
+      static_cast<std::uint64_t>(window * 1e9 + kBucketNs - 1) / kBucketNs);
+  if (run.buckets.size() > want_buckets && want_buckets > 0) {
+    for (std::size_t b = want_buckets; b < run.buckets.size(); ++b)
+      run.buckets[want_buckets - 1] += run.buckets[b];
+    run.buckets.resize(want_buckets);
   }
   const std::uint64_t ops = run.inserts + run.deletes;
   run.ops_per_s = window > 0.0 ? static_cast<double>(ops) / window : 0.0;
@@ -250,6 +316,7 @@ SteadyCell run_steady_cell(const SteadyConfig& cfg) {
   cell.distribution = cfg.distribution;
   cell.pop_batch = cfg.pop_batch;
   cell.pop_batch_auto = cfg.pop_batch_auto;
+  cell.numa = cfg.numa.label();
   cell.runs = std::max<unsigned>(cfg.runs, 1);
 
   sched::dispatch_backend(
@@ -278,6 +345,7 @@ SteadyCell run_steady_cell(const SteadyConfig& cfg) {
         cell.ops = median.inserts + median.deletes;
         cell.ops_per_s = median.ops_per_s;
         cell.op_p99_us = median.op_p99_us;
+        cell.buckets = median.buckets;
 
         if (cfg.quality) {
           Queue queue(args...);
@@ -292,17 +360,28 @@ void append_json_row(std::string& out, const SteadyCell& cell) {
   std::snprintf(
       buf, sizeof buf,
       "{\"workload\": \"steady\", \"backend\": \"%s\", \"threads\": %u, "
-      "\"pop_batch\": %u, \"pop_batch_auto\": %s, \"policy\": \"%s\", "
+      "\"pop_batch\": %u, \"pop_batch_auto\": %s, \"numa\": \"%s\", "
+      "\"policy\": \"%s\", "
       "\"distribution\": \"%s\", \"runs\": %u, \"seconds\": %.6f, "
       "\"tasks_per_s\": %.1f, \"ops\": %" PRIu64 ", \"inserts\": %" PRIu64
       ", \"deletes\": %" PRIu64 ", \"empty_pops\": %" PRIu64 ", ",
       cell.backend.c_str(), cell.threads, cell.pop_batch,
-      cell.pop_batch_auto ? "true" : "false",
+      cell.pop_batch_auto ? "true" : "false", cell.numa.c_str(),
       std::string(sched::insert_policy_name(cell.policy)).c_str(),
       std::string(sched::key_distribution_name(cell.distribution)).c_str(),
       cell.runs, cell.seconds, cell.ops_per_s, cell.ops, cell.inserts,
       cell.deletes, cell.empty_pops);
   out += buf;
+  // Throughput-over-time profile. New with the topology PR; baselines
+  // written before it simply lack the field, and bench_diff.py compares
+  // only the metrics it knows, so old-vs-new diffs keep working.
+  out += "\"buckets\": [";
+  for (std::size_t b = 0; b < cell.buckets.size(); ++b) {
+    std::snprintf(buf, sizeof buf, "%s%" PRIu64, b > 0 ? ", " : "",
+                  cell.buckets[b]);
+    out += buf;
+  }
+  out += "], ";
   if (cell.op_p99_us >= 0.0) {
     std::snprintf(buf, sizeof buf, "\"op_p99_us\": %.2f, ", cell.op_p99_us);
   } else {

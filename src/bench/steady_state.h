@@ -35,14 +35,21 @@
 // Tail latency rides the PR 6 obs layer: a 1-in-64 sample of scheduler
 // touches is timed into per-thread obs::Histograms and reported as
 // op_p99_us.
+//
+// The timed pass also supports topology-aware placement (SteadyConfig::
+// numa — same off | auto | virtual:K vocabulary as the CLIs) and records
+// a throughput-over-time profile (SteadyCell::buckets, ops per 100 ms) so
+// "steady" is checkable, not assumed.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sched/backend_registry.h"
 #include "sched/key_distribution.h"
+#include "util/topology.h"
 
 namespace relax::bench {
 
@@ -65,6 +72,12 @@ struct SteadyConfig {
   std::uint32_t queue_factor = 4;
   bool quality = true;            // run the monitored companion pass
   std::uint32_t monitor_stride = 64;  // inversion-tracking stride
+  /// Topology placement for the timed pass (off | auto | virtual:K): the
+  /// backend is striped per domain and every thread's handle carries its
+  /// domain, exactly as the engine places pool workers (util/topology.h).
+  /// The monitored companion pass stays flat — it serializes through one
+  /// lock, so placement would measure nothing.
+  util::TopologySpec numa;
 };
 
 /// One reported cell: the median-of-N timed run plus the companion pass's
@@ -76,6 +89,7 @@ struct SteadyCell {
   sched::KeyDistribution distribution = sched::KeyDistribution::kUniform;
   std::uint32_t pop_batch = 1;
   bool pop_batch_auto = false;
+  std::string numa;  // topology spec label: off | auto | virtual:K
   unsigned runs = 0;
 
   double seconds = 0.0;       // the median run's measured window
@@ -85,6 +99,13 @@ struct SteadyCell {
   std::uint64_t empty_pops = 0;  // observed-empty delete touches
   double ops_per_s = 0.0;        // median over the N runs
   double op_p99_us = -1.0;       // sampled per-touch latency tail
+  /// Throughput over time: completed ops per 100 ms bucket across the
+  /// median run's window (all threads summed). A steady backend shows a
+  /// flat profile; ramp-up stalls or mid-window collapses — invisible in
+  /// the single ops_per_s aggregate — show up as bucket dips. Attribution
+  /// rides the existing 1-in-64 sampled clock reads, so the buckets cost
+  /// the hot loop nothing extra.
+  std::vector<std::uint64_t> buckets;
 
   double mean_rank = -1.0;
   double rank_p50 = -1.0;

@@ -35,6 +35,7 @@
 #include "sched/backend_registry.h"
 #include "sched/concurrent_multiqueue.h"
 #include "util/thread_pin.h"
+#include "util/topology.h"
 
 namespace relax::core {
 
@@ -59,6 +60,11 @@ struct ParallelOptions {
                                  // (algorithms::SsspOptions mirrors it)
   std::uint64_t seed = 1;        // scheduler randomness
   bool pin_threads = true;
+  util::TopologySpec topology;   // --numa: off (flat, default), auto
+                                 // (sysfs sockets, flat fallback), or
+                                 // virtual:K (synthetic domains). Flows
+                                 // into EngineOptions::topology; see
+                                 // util/topology.h
   obs::MetricsRegistry* metrics = nullptr;  // optional caller-owned telemetry
   obs::TraceRing* trace = nullptr;          // sinks, resized by the engine;
                                             // they outlive the one-shot run,
@@ -79,6 +85,7 @@ inline engine::EngineOptions single_job_engine(const ParallelOptions& opts) {
   eo.num_threads = opts.threads();
   eo.pin_threads = opts.pin_threads;
   eo.max_in_flight = 1;
+  eo.topology = opts.topology;
   eo.metrics = opts.metrics;
   eo.trace = opts.trace;
   return eo;

@@ -48,10 +48,12 @@ bool JobTicket::ready() const {
 
 SchedulingEngine::SchedulingEngine(EngineOptions opts)
     : opts_(opts),
+      placement_(util::plan_workers(opts.topology, opts.threads())),
       worker_caches_(opts.threads()),
       pool_(opts.threads(), opts.pin_threads,
             [this](unsigned worker) { return work(worker); },
-            prepared_metrics(opts), prepared_trace(opts)) {
+            prepared_metrics(opts), prepared_trace(opts),
+            placement_.pin_slot) {
   if (opts_.max_in_flight == 0) opts_.max_in_flight = 1;
   if (opts_.max_pending == 0) opts_.max_pending = 1;
   if (opts_.slice_budget == 0) opts_.slice_budget = 1;

@@ -48,6 +48,7 @@
 #include "graph/permutation.h"
 #include "sched/backend_registry.h"
 #include "util/padded.h"
+#include "util/topology.h"
 
 namespace relax::engine {
 
@@ -57,6 +58,16 @@ struct EngineOptions {
   std::size_t max_pending = 64;  // admission queue bound (submit blocks)
   unsigned max_in_flight = 4;    // jobs multiplexed over the pool at once
   std::uint32_t slice_budget = 256;  // scheduler iterations per job visit
+
+  /// Topology-aware placement (util/topology.h). kOff (the default) keeps
+  /// the historical flat layout: worker i pinned to the i-th allowed CPU,
+  /// every scheduler treated as one domain. kAuto discovers sockets from
+  /// sysfs (flat fallback when the container hides them), pins workers in
+  /// socket-fill order, and stripes every owned scheduler by domain.
+  /// kVirtual (--numa=virtual:K) splits the workers into K synthetic
+  /// domains regardless of hardware — same placement code paths, fully
+  /// deterministic, which is what CI exercises.
+  util::TopologySpec topology;
 
   /// Optional engine-wide telemetry sinks, caller-owned and off by default
   /// (nullptr == zero overhead on every hot path). The engine resizes both
@@ -191,10 +202,17 @@ class SchedulingEngine {
   };
 
   /// Fills unset per-job telemetry sinks from the engine-wide ones in
-  /// EngineOptions; a caller-provided JobConfig sink always wins.
+  /// EngineOptions, and injects the engine's topology placement (domain
+  /// count + per-worker domain table) so every submitted job stripes its
+  /// scheduler the way the pool is actually pinned; a caller-provided
+  /// JobConfig value always wins.
   [[nodiscard]] JobConfig with_observability(JobConfig cfg) const {
     if (cfg.metrics == nullptr) cfg.metrics = opts_.metrics;
     if (cfg.trace == nullptr) cfg.trace = opts_.trace;
+    if (cfg.numa_domains <= 1 && cfg.worker_domains == nullptr) {
+      cfg.numa_domains = placement_.num_domains;
+      cfg.worker_domains = &placement_.domain;
+    }
     return cfg;
   }
 
@@ -222,6 +240,11 @@ class SchedulingEngine {
   };
 
   EngineOptions opts_;
+  /// Where each worker goes and which topology domain it belongs to —
+  /// computed once from opts_.topology (flat under kOff), referenced by
+  /// every with_observability-injected JobConfig. Declared before pool_ so
+  /// it exists before any worker thread spawns.
+  util::WorkerPlacement placement_;
   mutable std::mutex mu_;
   std::condition_variable space_cv_;  // submit backpressure
   std::condition_variable drain_cv_;  // destructor drain

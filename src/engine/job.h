@@ -148,6 +148,19 @@ struct JobConfig {
   bool monitor_relaxation = false;  // audit mode: serialize + measure quality
   std::uint32_t monitor_stride = 64;  // inversion tracking sample stride
 
+  /// Topology placement, normally injected by the engine from its own
+  /// WorkerPlacement (SchedulingEngine::with_observability) — callers leave
+  /// both at their defaults. numa_domains > 1 makes the job configure any
+  /// owned/attached backend that supports it with a sched::StripeMap during
+  /// activate() (the queue is quiescent there) and open each worker's
+  /// session with that worker's domain, so same-domain stripes are
+  /// preferred and cross-domain traffic becomes the bounded steal schedule.
+  /// worker_domains maps pool worker id -> domain and must outlive the job
+  /// when set (the engine's placement table does); when null, workers fall
+  /// back to a contiguous block split over numa_domains.
+  unsigned numa_domains = 1;
+  const std::vector<unsigned>* worker_domains = nullptr;
+
   /// Telemetry sinks. Normally left null by callers and injected by the
   /// engine from EngineOptions (SchedulingEngine::with_observability), so
   /// every job submitted to an observed engine reports into the same
@@ -318,6 +331,8 @@ class RelaxedJob : public TaskJobBase {
         pop_batch_(std::clamp<std::uint32_t>(cfg.pop_batch, 1,
                                              JobConfig::kMaxPopBatch)),
         adaptive_(cfg.pop_batch_auto),
+        numa_domains_(std::max(cfg.numa_domains, 1u)),
+        worker_domains_(cfg.worker_domains),
         metrics_(cfg.metrics),
         trace_(cfg.trace) {}
 
@@ -330,11 +345,31 @@ class RelaxedJob : public TaskJobBase {
     // slice returns. The handle slot starts empty; each worker fills its
     // own on its first slice (activation runs on the submitting thread,
     // which must not construct handles the pool threads will drive).
+    pool_width_ = pool_width;
     workers_ = std::vector<util::Padded<WorkerState>>(pool_width);
     for (auto& ws : workers_) {
       ws->popped.reserve(pop_batch_);
       ws->reinsert.reserve(pop_batch_);
-      ws->controller = sched::BatchController(pop_batch_, adaptive_);
+      // Watermarks scale with the pool: occupancy is global, and
+      // pool_width workers drain up to width * cap labels per claim round.
+      ws->controller = sched::BatchController(
+          pop_batch_, adaptive_, /*high_watermark=*/0,
+          sched::BatchController::kDefaultConsultPeriod, pool_width);
+    }
+    // Topology-aware striping: when the engine placed workers into more
+    // than one domain and the backend partitions into sub-queues, hand it
+    // the matching StripeMap now — activation runs before any slice, so
+    // the quiescence requirement on set_stripe_map holds even for
+    // caller-owned queues. Backends without the surface (SprayList's is a
+    // documented no-op; monitors/wrappers lack it entirely) stay flat.
+    if constexpr (requires(Queue& q, const sched::StripeMap& m) {
+                    q.num_queues();
+                    q.set_stripe_map(m);
+                  }) {
+      if (numa_domains_ > 1) {
+        queue_->set_stripe_map(sched::StripeMap(
+            static_cast<std::size_t>(queue_->num_queues()), numa_domains_));
+      }
     }
     // Schedulers with a quiescent bulk_load but no live bulk_insert
     // (LockFreeMultiQueue, whose sorted sub-lists degrade to O(n) per
@@ -366,7 +401,23 @@ class RelaxedJob : public TaskJobBase {
     auto& ws = *workers_[worker];
     // First slice for this worker: open its session. Later slices reuse
     // the cached handle — handle construction off the per-slice path.
-    if (!ws.handle) ws.handle.emplace(sched::make_handle(*queue_));
+    if (!ws.handle) {
+      ws.handle.emplace(sched::make_handle(*queue_));
+      // Session state carries the worker's topology domain: every claim
+      // and batched insert this handle issues prefers that domain's
+      // stripes (engine placement table when present, contiguous block
+      // split otherwise). Flat (single-domain) jobs skip the call — the
+      // backends treat domain 0 of a 1-domain map as the flat path anyway.
+      if constexpr (requires(Handle& h) { h.set_domain(0u); }) {
+        if (numa_domains_ > 1) {
+          ws.handle->set_domain(
+              worker_domains_ != nullptr &&
+                      worker < worker_domains_->size()
+                  ? (*worker_domains_)[worker]
+                  : worker * numa_domains_ / std::max(pool_width_, 1u));
+        }
+      }
+    }
     auto& handle = *ws.handle;
     bool progress = admit_chunk(handle);
     auto& stats = *stats_[worker];
@@ -389,6 +440,13 @@ class RelaxedJob : public TaskJobBase {
     const std::uint64_t empty0 = stats.empty_polls;
     const sched::BatchController::Transitions trans0 =
         ws.controller.transitions();
+    // Stripe-placement tallies live in the handle's session context (plain
+    // uint64s — the handle is worker-private); snapshot them so the slice's
+    // delta can be flushed into the registry like every other counter.
+    sched::StripeStats stripe0{};
+    if constexpr (requires(Handle& h) { h.stripe_stats(); }) {
+      stripe0 = handle.stripe_stats();
+    }
     std::uint64_t claims_made = 0;
     std::uint64_t labels_claimed = 0;
     obs::Histogram claim_sizes;  // worker-local; merged into wm at slice end
@@ -494,6 +552,11 @@ class RelaxedJob : public TaskJobBase {
       wm->regime_resets.add(tr.resets - trans0.resets);
       wm->regime_backlog_jumps.add(tr.backlog_jumps - trans0.backlog_jumps);
       wm->regime_drain_pins.add(tr.drain_pins - trans0.drain_pins);
+      if constexpr (requires(Handle& h) { h.stripe_stats(); }) {
+        const sched::StripeStats stripe = handle.stripe_stats();
+        wm->numa_local_claims.add(stripe.local_claims - stripe0.local_claims);
+        wm->numa_steal_claims.add(stripe.steal_claims - stripe0.steal_claims);
+      }
       wm->current_claim.set(ws.controller.current());
     }
     return progress;
@@ -548,6 +611,9 @@ class RelaxedJob : public TaskJobBase {
   std::uint32_t batch_;
   std::uint32_t pop_batch_;
   bool adaptive_;
+  unsigned numa_domains_;          // > 1 enables topology-aware striping
+  const std::vector<unsigned>* worker_domains_;  // engine placement table
+  unsigned pool_width_ = 0;        // set by activate()
   obs::MetricsRegistry* metrics_;  // optional engine telemetry sink
   obs::TraceRing* trace_;          // optional Chrome-trace event ring
   std::vector<util::Padded<WorkerState>> workers_;

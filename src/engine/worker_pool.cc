@@ -10,9 +10,11 @@
 namespace relax::engine {
 
 WorkerPool::WorkerPool(unsigned num_threads, bool pin_threads, WorkFn work,
-                       obs::MetricsRegistry* metrics, obs::TraceRing* trace)
+                       obs::MetricsRegistry* metrics, obs::TraceRing* trace,
+                       std::vector<unsigned> pin_slots)
     : work_(std::move(work)),
       pin_threads_(pin_threads),
+      pin_slots_(std::move(pin_slots)),
       metrics_(metrics),
       trace_(trace) {
   const unsigned n = num_threads == 0 ? 1 : num_threads;
@@ -48,7 +50,13 @@ void WorkerPool::worker_main(unsigned worker) {
   // never reassigned, never shared — so owner-side state keyed by it
   // (engine worker caches, per-worker scheduler sessions in jobs) needs no
   // locking against other workers.
-  if (pin_threads_) util::pin_thread_to_cpu(worker);
+  if (pin_threads_) {
+    // Placement may reorder which allowed-CPU slot a worker lands on
+    // (socket-fill order under --numa=auto); the worker id itself — the
+    // identity everything above is keyed by — is untouched.
+    util::pin_thread_to_cpu(
+        worker < pin_slots_.size() ? pin_slots_[worker] : worker);
+  }
   for (;;) {
     std::uint64_t seen;
     {

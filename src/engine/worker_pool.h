@@ -55,9 +55,17 @@ class WorkerPool {
   /// set, each park is counted and its duration recorded on the parking
   /// worker's own lane — the pool's only observability cost, paid at the
   /// park boundary, never on the work path.
+  ///
+  /// `pin_slots` reorders pinning without touching worker identity: worker
+  /// w is pinned to allowed-CPU slot pin_slots[w] instead of slot w, which
+  /// is how topology-aware placement (util/topology.h, WorkerPlacement)
+  /// lays workers out socket-by-socket. Empty (the default) means the
+  /// identity order — exactly the historical behavior. Workers beyond the
+  /// vector's length fall back to their own id.
   WorkerPool(unsigned num_threads, bool pin_threads, WorkFn work,
              obs::MetricsRegistry* metrics = nullptr,
-             obs::TraceRing* trace = nullptr);
+             obs::TraceRing* trace = nullptr,
+             std::vector<unsigned> pin_slots = {});
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -79,6 +87,7 @@ class WorkerPool {
 
   WorkFn work_;
   bool pin_threads_;
+  std::vector<unsigned> pin_slots_;  // empty = identity (slot == worker id)
   obs::MetricsRegistry* metrics_;  // optional, owner-owned
   obs::TraceRing* trace_;          // optional, owner-owned
   std::mutex mu_;

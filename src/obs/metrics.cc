@@ -21,6 +21,8 @@ WorkerSnapshot snap_worker(const WorkerMetrics& m) {
   s.dead_skips = m.dead_skips.value();
   s.empty_polls = m.empty_polls.value();
   s.reinserts = m.reinserts.value();
+  s.numa_local_claims = m.numa_local_claims.value();
+  s.numa_steal_claims = m.numa_steal_claims.value();
   s.current_claim = m.current_claim.value();
   s.regime_ramps = m.regime_ramps.value();
   s.regime_resets = m.regime_resets.value();
@@ -150,6 +152,12 @@ std::string MetricsRegistry::to_prometheus() const {
   prom_counter(out, snap, "relax_worker_reinserts_total",
                "kNotReady labels flushed back via insert_batch",
                [](const WorkerSnapshot& w) { return w.reinserts; });
+  prom_counter(out, snap, "relax_worker_numa_local_claims_total",
+               "claims served from the worker's own topology domain",
+               [](const WorkerSnapshot& w) { return w.numa_local_claims; });
+  prom_counter(out, snap, "relax_worker_numa_steal_claims_total",
+               "claims served cross-domain (bounded steal / fallback scan)",
+               [](const WorkerSnapshot& w) { return w.numa_steal_claims; });
   prom_counter(out, snap, "relax_worker_parks_total",
                "times the worker parked on the pool condvar",
                [](const WorkerSnapshot& w) { return w.parks; });
@@ -196,6 +204,8 @@ std::string MetricsRegistry::to_json() const {
            ", \"pops\": %" PRIu64 ", \"processed\": %" PRIu64
            ", \"failed_deletes\": %" PRIu64 ", \"dead_skips\": %" PRIu64
            ", \"empty_polls\": %" PRIu64 ", \"reinserts\": %" PRIu64
+           ", \"numa_local_claims\": %" PRIu64
+           ", \"numa_steal_claims\": %" PRIu64
            ", \"current_claim\": %" PRIu64 ", \"regime_ramps\": %" PRIu64
            ", \"regime_resets\": %" PRIu64
            ", \"regime_backlog_jumps\": %" PRIu64
@@ -203,6 +213,7 @@ std::string MetricsRegistry::to_json() const {
            ", ",
            w, ws.slices, ws.idle_visits, ws.claims, ws.pops, ws.processed,
            ws.failed_deletes, ws.dead_skips, ws.empty_polls, ws.reinserts,
+           ws.numa_local_claims, ws.numa_steal_claims,
            ws.current_claim, ws.regime_ramps, ws.regime_resets,
            ws.regime_backlog_jumps, ws.regime_drain_pins, ws.parks);
     json_histogram(out, "slice_latency_ns", ws.slice_ns, true);

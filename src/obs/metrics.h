@@ -97,6 +97,8 @@ struct WorkerMetrics {
   Counter dead_skips;
   Counter empty_polls;
   Counter reinserts;         // kNotReady labels flushed back
+  Counter numa_local_claims;  // claims served from the worker's own domain
+  Counter numa_steal_claims;  // claims served cross-domain (bounded steal)
   Gauge current_claim;       // adaptive claim size after the last slice
 
   // BatchController regime transitions (deltas flushed per slice).
@@ -123,6 +125,8 @@ struct WorkerSnapshot {
   std::uint64_t dead_skips = 0;
   std::uint64_t empty_polls = 0;
   std::uint64_t reinserts = 0;
+  std::uint64_t numa_local_claims = 0;
+  std::uint64_t numa_steal_claims = 0;
   std::uint64_t current_claim = 0;
   std::uint64_t regime_ramps = 0;
   std::uint64_t regime_resets = 0;

@@ -15,11 +15,18 @@
 //
 //   live >= high watermark   deep backlog: jump straight to the cap
 //                            instead of doubling up through it
-//   live <= cap              one full claim could drain everything
-//                            visible: fall back to single pops and their
-//                            tight Definition 1 envelope, and PIN there
-//                            (feedback ramping suspended) until a later
-//                            consult observes the backlog recovering
+//   live <= low watermark    one claim round across the pool could drain
+//                            everything visible: fall back to single pops
+//                            and their tight Definition 1 envelope, and PIN
+//                            there (feedback ramping suspended) until a
+//                            later consult observes the backlog recovering
+//
+// Both watermarks scale with the pool width the controller serves
+// alongside (the num_workers constructor argument): occupancy is a GLOBAL
+// reading, and W workers each claiming a full cap drain W*cap labels per
+// round — so "deep backlog" means cap * 16 * W and "near drain" means
+// cap * W. Width 1 (the default) preserves the original single-executor
+// thresholds exactly.
 //
 // Between the two marks the claim-feedback ramp runs untouched. The
 // occupancy source is a policy value in the style of sampling.h's
@@ -94,16 +101,23 @@ class BatchController {
   /// cap: the largest claim ever issued (JobConfig::pop_batch). adaptive
   /// off degrades next_claim to the fixed cap and feedback to a no-op, so
   /// callers need no mode branches. high_watermark 0 derives
-  /// cap * kDefaultLoadFactor.
+  /// cap * kDefaultLoadFactor * num_workers. num_workers is the width of
+  /// the pool this controller's worker belongs to — both watermarks gate a
+  /// GLOBAL occupancy reading, so they scale with how much the whole pool
+  /// drains per claim round (see file header); 0 is treated as 1.
   explicit BatchController(std::uint32_t cap, bool adaptive,
                            std::uint64_t high_watermark = 0,
-                           std::uint32_t consult_period = kDefaultConsultPeriod)
+                           std::uint32_t consult_period = kDefaultConsultPeriod,
+                           std::uint32_t num_workers = 1)
       : cap_(std::max<std::uint32_t>(cap, 1)),
         adaptive_(adaptive),
         high_(high_watermark != 0
                   ? high_watermark
                   : static_cast<std::uint64_t>(std::max<std::uint32_t>(cap, 1)) *
-                        kDefaultLoadFactor),
+                        kDefaultLoadFactor *
+                        std::max<std::uint32_t>(num_workers, 1)),
+        low_(static_cast<std::uint64_t>(std::max<std::uint32_t>(cap, 1)) *
+             std::max<std::uint32_t>(num_workers, 1)),
         consult_period_(std::max<std::uint32_t>(consult_period, 1)) {}
 
   /// The claim size for the next scheduler touch. Consults `occupancy`
@@ -119,7 +133,7 @@ class BatchController {
           if (k_ != cap_ || drain_pinned_) ++transitions_.backlog_jumps;
           k_ = cap_;  // deep backlog: skip the doubling ramp
           drain_pinned_ = false;
-        } else if (*live <= cap_) {
+        } else if (*live <= low_) {
           // Near drain: single pops and their tight rank envelope. The pin
           // STICKS until a later consult observes recovery — a handful of
           // leftover items can still fill claims of 1, 2, 4, ..., and
@@ -173,6 +187,7 @@ class BatchController {
   std::uint32_t cap_ = 1;
   bool adaptive_ = false;
   std::uint64_t high_ = kDefaultLoadFactor;
+  std::uint64_t low_ = 1;  // near-drain watermark: cap * pool width
   std::uint32_t consult_period_ = kDefaultConsultPeriod;
   std::uint32_t k_ = 1;        // current adaptive claim size
   std::uint32_t touches_ = 0;  // claims since the last occupancy consult

@@ -46,6 +46,7 @@
 #include "sched/dary_heap.h"
 #include "sched/sampling.h"
 #include "sched/scheduler.h"
+#include "sched/stripe_map.h"
 #include "util/padded.h"
 #include "util/rng.h"
 #include "util/spinlock.h"
@@ -88,21 +89,23 @@ class BasicConcurrentMultiQueue {
   /// RNG stream + pointer); handles may not be shared across threads.
   class Handle {
    public:
-    void insert(Key p) { mq_->insert(p, rng_); }
+    void insert(Key p) { mq_->insert(p, rng_, &ctx_); }
     /// Batched live insert: amortizes locking over the whole batch (one
     /// sub-queue lock per chunk instead of per key). Safe concurrently with
     /// any handle operation; see bulk_insert below.
     void bulk_insert(std::span<const Key> keys) {
-      mq_->bulk_insert(keys, rng_);
+      mq_->bulk_insert(keys, rng_, &ctx_);
     }
     /// Native batched insert (the uniform name sched::insert_batch
     /// dispatches on): the chunked sorted-run merge of bulk_insert — sort
     /// each chunk, one lock per target sub-queue, one splice into the
     /// sorted base array.
     void insert_batch(std::span<const Key> keys) {
-      mq_->bulk_insert(keys, rng_);
+      mq_->bulk_insert(keys, rng_, &ctx_);
     }
-    std::optional<Key> approx_get_min() { return mq_->approx_get_min(rng_); }
+    std::optional<Key> approx_get_min() {
+      return mq_->approx_get_min(rng_, &ctx_);
+    }
     /// Batched pop: one best-of-c sample + one sub-queue lock, then up to
     /// `k` pops (O(1) cursor advances while the sorted base lasts). Appends
     /// to `out`, returns the number claimed; 0 means observed empty. May
@@ -110,7 +113,19 @@ class BasicConcurrentMultiQueue {
     /// just process what they got. Rank cost is O(k * q) per batch (the
     /// batch drains one sub-queue's prefix); see batched_rank_bound.
     std::size_t approx_get_min_batch(std::size_t k, std::vector<Key>& out) {
-      return mq_->approx_get_min_batch(k, out, rng_);
+      return mq_->approx_get_min_batch(k, out, rng_, &ctx_);
+    }
+
+    /// The owning worker's topology domain (engine session state sets this
+    /// right after make_handle). Only meaningful once the queue carries a
+    /// StripeMap with > 1 domain; otherwise placement stays flat.
+    void set_domain(unsigned domain) { ctx_.domain = domain; }
+    /// Cumulative local/steal claim tally for this handle (a steal = a
+    /// claim served from a stripe outside the handle's domain while the
+    /// queue runs with > 1 domain). The engine flushes per-slice deltas of
+    /// these into obs metrics.
+    [[nodiscard]] StripeStats stripe_stats() const noexcept {
+      return StripeStats{ctx_.local_claims, ctx_.steal_claims};
     }
 
    private:
@@ -119,6 +134,7 @@ class BasicConcurrentMultiQueue {
         : mq_(mq), rng_(stream) {}
     BasicConcurrentMultiQueue* mq_;
     util::Rng rng_;
+    StripeContext ctx_;
   };
 
   [[nodiscard]] Handle get_handle() {
@@ -180,6 +196,17 @@ class BasicConcurrentMultiQueue {
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
   [[nodiscard]] std::uint32_t num_queues() const noexcept {
     return static_cast<std::uint32_t>(queues_.size());
+  }
+
+  /// Engages topology-aware placement: handle claims prefer their domain's
+  /// stripe block with a bounded cross-domain steal, handle inserts land in
+  /// the own block (sched/stripe_map.h). Call while quiescent, before
+  /// workers touch the queue; map.stripes() must equal num_queues(). A map
+  /// with one domain (or never calling this) keeps the flat path
+  /// byte-for-byte unchanged.
+  void set_stripe_map(const StripeMap& map) { stripe_map_ = map; }
+  [[nodiscard]] const StripeMap& stripe_map() const noexcept {
+    return stripe_map_;
   }
 
   /// Per-sub-queue element counts (the striped size): exact when quiescent,
@@ -271,13 +298,22 @@ class BasicConcurrentMultiQueue {
   /// Interleaving keeps neighbouring keys in different sub-queues, exactly
   /// like bulk_load's round-robin placement, so the batch perturbs the
   /// two-choice process by O(chunks), not O(batch).
-  void bulk_insert(std::span<const Key> keys, util::Rng& rng) {
+  void bulk_insert(std::span<const Key> keys, util::Rng& rng,
+                   StripeContext* ctx = nullptr) {
     if (keys.empty()) return;
-    const std::size_t q = queues_.size();
+    // Under a StripeMap the whole run stays in the inserting handle's
+    // domain block (placement is the point); targets and the start offset
+    // are then drawn from that block instead of all of [0, q).
+    const bool striped = ctx != nullptr && stripe_map_.domains() > 1;
+    const std::size_t block_begin =
+        striped ? stripe_map_.domain_begin(ctx->domain) : 0;
+    const std::size_t q =
+        striped ? stripe_map_.domain_size(ctx->domain) : queues_.size();
     // Never fewer than two targets: dumping a whole small batch into a
     // single random sub-queue transiently skews that queue (and the rank
     // distribution every two-choice pop samples from) until pops rebalance
-    // it. q >= 2 always holds, so small batches still spread.
+    // it. q >= 2 always holds flat, so small batches still spread (a
+    // 1-stripe domain block necessarily takes the whole run).
     const std::size_t chunks = std::min<std::size_t>(
         q, std::max<std::size_t>(
                2, (keys.size() + kMinBulkChunk - 1) / kMinBulkChunk));
@@ -291,12 +327,12 @@ class BasicConcurrentMultiQueue {
       std::sort(scratch.begin(), scratch.end());
       sorted = scratch;
     }
-    const std::size_t start = sampling::pick_uniform(TopPolicy{this}, rng);
+    const std::size_t start = util::bounded(rng, q);
     for (std::size_t c = 0; c < chunks; ++c) {
       if (c >= sorted.size()) break;  // more targets than keys
       // This target's strided share: ceil((size - c) / chunks) elements.
       const std::size_t share = (sorted.size() - c + chunks - 1) / chunks;
-      auto& sq = *queues_[(start + c) % q];
+      auto& sq = *queues_[block_begin + (start + c) % q];
       sq.lock.lock();
       std::lock_guard<util::Spinlock> guard(sq.lock, std::adopt_lock);
       // Long-lived queues accumulate a consumed prefix in base; drop it
@@ -325,9 +361,15 @@ class BasicConcurrentMultiQueue {
     }
   }
 
-  void insert(Key p, util::Rng& rng) {
+  void insert(Key p, util::Rng& rng, StripeContext* ctx = nullptr) {
+    const bool striped = ctx != nullptr && stripe_map_.domains() > 1;
     for (;;) {
-      auto& sq = *queues_[sampling::pick_uniform(TopPolicy{this}, rng)];
+      const std::size_t victim =
+          striped ? sampling::pick_uniform_in_domain(TopPolicy{this},
+                                                     stripe_map_, ctx->domain,
+                                                     rng)
+                  : sampling::pick_uniform(TopPolicy{this}, rng);
+      auto& sq = *queues_[victim];
       if (!sq.lock.try_lock()) continue;  // pick a fresh victim instead
       std::lock_guard<util::Spinlock> guard(sq.lock, std::adopt_lock);
       sq.heap.push(p);
@@ -352,7 +394,14 @@ class BasicConcurrentMultiQueue {
     }
   };
 
-  std::optional<Key> approx_get_min(util::Rng& rng) {
+  std::optional<Key> approx_get_min(util::Rng& rng,
+                                    StripeContext* ctx = nullptr) {
+    if (ctx != nullptr && stripe_map_.domains() > 1) {
+      return sampling::select_and_claim_striped(
+          TopPolicy{this}, stripe_map_, *ctx, rng, choices_, probe_limit_,
+          std::optional<Key>{},
+          [this](std::size_t idx) { return try_pop(*queues_[idx]); });
+    }
     return sampling::select_and_claim(
         TopPolicy{this}, rng, choices_, probe_limit_, std::optional<Key>{},
         [this](std::size_t idx) { return try_pop(*queues_[idx]); });
@@ -366,8 +415,16 @@ class BasicConcurrentMultiQueue {
   /// empty; fewer than k when the victim ran short or a later caller should
   /// resample anyway).
   std::size_t approx_get_min_batch(std::size_t k, std::vector<Key>& out,
-                                   util::Rng& rng) {
+                                   util::Rng& rng,
+                                   StripeContext* ctx = nullptr) {
     if (k == 0) return 0;
+    if (ctx != nullptr && stripe_map_.domains() > 1) {
+      return sampling::select_and_claim_striped(
+          TopPolicy{this}, stripe_map_, *ctx, rng, choices_, probe_limit_,
+          std::size_t{0}, [&](std::size_t idx) {
+            return try_pop_batch(*queues_[idx], k, out);
+          });
+    }
     return sampling::select_and_claim(
         TopPolicy{this}, rng, choices_, probe_limit_, std::size_t{0},
         [&](std::size_t idx) { return try_pop_batch(*queues_[idx], k, out); });
@@ -398,6 +455,7 @@ class BasicConcurrentMultiQueue {
   static constexpr int kProbeLimit = 16;
 
   std::vector<util::Padded<SubQueue>> queues_;
+  StripeMap stripe_map_;  // 1 domain until set_stripe_map engages placement
   std::uint64_t seed_;
   unsigned choices_ = 2;
   int probe_limit_ = kProbeLimit;

@@ -37,6 +37,7 @@
 
 #include "sched/sampling.h"
 #include "sched/scheduler.h"
+#include "sched/stripe_map.h"
 #include "util/padded.h"
 #include "util/rng.h"
 
@@ -77,7 +78,7 @@ class LockFreeMultiQueue {
   /// Thread-local handle (owns an RNG stream). Handles may not be shared.
   class Handle {
    public:
-    void insert(Priority p) { mq_->insert(p, rng_); }
+    void insert(Priority p) { mq_->insert(p, rng_, &ctx_); }
     /// Native batched insert: CAS-splices the sorted run into a handful of
     /// sub-lists (one for small runs, strided chunks of >= kMinSpliceChunk
     /// keys for large ones), each chunk in a single forward walk — one
@@ -85,17 +86,28 @@ class LockFreeMultiQueue {
     /// amortizing like the MultiQueue's chunked merge. Safe concurrently
     /// with any handle operation.
     void insert_batch(std::span<const Priority> keys) {
-      mq_->insert_batch(keys, rng_);
+      mq_->insert_batch(keys, rng_, &ctx_);
     }
     std::optional<Priority> approx_get_min() {
-      return mq_->approx_get_min(rng_);
+      return mq_->approx_get_min(rng_, &ctx_);
     }
     /// Batched claim: one sample, then up to `k` successive head claims on
     /// the chosen sub-list (each an O(1)-expected CAS at the front).
     /// Appends to `out`; returns the number claimed (0 = observed empty).
     std::size_t approx_get_min_batch(std::size_t k,
                                      std::vector<Priority>& out) {
-      return mq_->approx_get_min_batch(k, out, rng_);
+      return mq_->approx_get_min_batch(k, out, rng_, &ctx_);
+    }
+
+    /// The owning worker's topology domain (engine session state sets this
+    /// right after make_handle). Only meaningful once the queue carries a
+    /// StripeMap with > 1 domain; otherwise placement stays flat.
+    void set_domain(unsigned domain) { ctx_.domain = domain; }
+    /// Cumulative local/steal claim tally for this handle (a steal = a
+    /// claim served from a stripe outside the handle's domain while the
+    /// queue runs with > 1 domain).
+    [[nodiscard]] StripeStats stripe_stats() const noexcept {
+      return StripeStats{ctx_.local_claims, ctx_.steal_claims};
     }
 
    private:
@@ -104,6 +116,7 @@ class LockFreeMultiQueue {
         : mq_(mq), rng_(stream) {}
     LockFreeMultiQueue* mq_;
     util::Rng rng_;
+    StripeContext ctx_;
   };
 
   [[nodiscard]] Handle get_handle() {
@@ -166,6 +179,17 @@ class LockFreeMultiQueue {
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
   [[nodiscard]] std::uint32_t num_queues() const noexcept {
     return static_cast<std::uint32_t>(queues_.size());
+  }
+
+  /// Engages topology-aware placement: handle claims prefer their domain's
+  /// stripe block with a bounded cross-domain steal, handle inserts land in
+  /// the own block (sched/stripe_map.h). Call while quiescent, before
+  /// workers touch the queue; map.stripes() must equal num_queues(). A map
+  /// with one domain (or never calling this) keeps the flat path
+  /// byte-for-byte unchanged.
+  void set_stripe_map(const StripeMap& map) { stripe_map_ = map; }
+  [[nodiscard]] const StripeMap& stripe_map() const noexcept {
+    return stripe_map_;
   }
 
   /// Per-sub-list element counts (the striped size): exact when quiescent,
@@ -272,8 +296,14 @@ class LockFreeMultiQueue {
     return search_from(list, list.head, key);
   }
 
-  void insert(Priority p, util::Rng& rng) {
-    auto& list = queues_[sampling::pick_uniform(PeekPolicy{this}, rng)].value;
+  void insert(Priority p, util::Rng& rng, StripeContext* ctx = nullptr) {
+    const bool striped = ctx != nullptr && stripe_map_.domains() > 1;
+    const std::size_t victim =
+        striped ? sampling::pick_uniform_in_domain(PeekPolicy{this},
+                                                   stripe_map_, ctx->domain,
+                                                   rng)
+                : sampling::pick_uniform(PeekPolicy{this}, rng);
+    auto& list = queues_[victim].value;
     Node* node = allocate(p);
     for (;;) {
       Window w = search(list, p);
@@ -332,9 +362,16 @@ class LockFreeMultiQueue {
   /// chunks keep neighbouring keys in different sub-lists (each chunk is
   /// still sorted, so the one-walk splice applies per chunk) and perturb
   /// the sampling process by O(chunks), not O(run).
-  void insert_batch(std::span<const Priority> keys, util::Rng& rng) {
+  void insert_batch(std::span<const Priority> keys, util::Rng& rng,
+                    StripeContext* ctx = nullptr) {
     if (keys.empty()) return;
-    const std::size_t q = queues_.size();
+    // Under a StripeMap the whole run stays in the inserting handle's
+    // domain block; targets and the start offset come from that block.
+    const bool striped = ctx != nullptr && stripe_map_.domains() > 1;
+    const std::size_t block_begin =
+        striped ? stripe_map_.domain_begin(ctx->domain) : 0;
+    const std::size_t q =
+        striped ? stripe_map_.domain_size(ctx->domain) : queues_.size();
     // Already-sorted runs splice straight from the caller's span; only
     // unsorted runs pay a copy + sort.
     std::span<const Priority> sorted = keys;
@@ -348,9 +385,10 @@ class LockFreeMultiQueue {
     // runs below 2 * kMinSpliceChunk keep the single-list splice.
     const std::size_t chunks = std::min<std::size_t>(
         q, std::max<std::size_t>(1, sorted.size() / kMinSpliceChunk));
-    const std::size_t start = sampling::pick_uniform(PeekPolicy{this}, rng);
+    const std::size_t start = util::bounded(rng, q);
     for (std::size_t c = 0; c < chunks; ++c)
-      splice_run(queues_[(start + c) % q].value, sorted, c, chunks);
+      splice_run(queues_[block_begin + (start + c) % q].value, sorted, c,
+                 chunks);
   }
 
   /// First unmarked key of a sub-list, or nullopt. Read-only.
@@ -434,7 +472,14 @@ class LockFreeMultiQueue {
     }
   };
 
-  std::optional<Priority> approx_get_min(util::Rng& rng) {
+  std::optional<Priority> approx_get_min(util::Rng& rng,
+                                         StripeContext* ctx = nullptr) {
+    if (ctx != nullptr && stripe_map_.domains() > 1) {
+      return sampling::select_and_claim_striped(
+          PeekPolicy{this}, stripe_map_, *ctx, rng, choices_, probe_limit_,
+          std::optional<Priority>{},
+          [this](std::size_t idx) { return pop_min(queues_[idx].value); });
+    }
     return sampling::select_and_claim(
         PeekPolicy{this}, rng, choices_, probe_limit_,
         std::optional<Priority>{},
@@ -442,8 +487,16 @@ class LockFreeMultiQueue {
   }
 
   std::size_t approx_get_min_batch(std::size_t k, std::vector<Priority>& out,
-                                   util::Rng& rng) {
+                                   util::Rng& rng,
+                                   StripeContext* ctx = nullptr) {
     if (k == 0) return 0;
+    if (ctx != nullptr && stripe_map_.domains() > 1) {
+      return sampling::select_and_claim_striped(
+          PeekPolicy{this}, stripe_map_, *ctx, rng, choices_, probe_limit_,
+          std::size_t{0}, [&](std::size_t idx) {
+            return pop_min_batch(queues_[idx].value, k, out);
+          });
+    }
     return sampling::select_and_claim(
         PeekPolicy{this}, rng, choices_, probe_limit_, std::size_t{0},
         [&](std::size_t idx) {
@@ -454,6 +507,7 @@ class LockFreeMultiQueue {
   static constexpr int kProbeLimit = 16;
 
   std::vector<util::Padded<SubList>> queues_;
+  StripeMap stripe_map_;  // 1 domain until set_stripe_map engages placement
   std::uint64_t seed_;
   unsigned choices_ = 2;
   int probe_limit_ = kProbeLimit;

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "sched/scheduler.h"
+#include "sched/stripe_map.h"
 #include "util/rng.h"
 #include "util/spinlock.h"
 
@@ -105,6 +106,15 @@ class SprayList {
       return list_->spray_batch(k, out, rng_);
     }
 
+    /// Topology placement is degenerate here (see set_stripe_map): the
+    /// domain is accepted for interface uniformity and ignored.
+    void set_domain(unsigned domain) { (void)domain; }
+    /// Always zero: one shared structure means no stripe is ever local or
+    /// stolen. Steal-count acceptance checks read the MultiQueues.
+    [[nodiscard]] StripeStats stripe_stats() const noexcept {
+      return StripeStats{};
+    }
+
    private:
     friend class SprayList;
     Handle(SprayList* list, std::uint64_t stream)
@@ -133,6 +143,13 @@ class SprayList {
     return s > 0 ? static_cast<std::size_t>(s) : 0;
   }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Accepted for interface uniformity with the striped backends and
+  /// ignored: the SprayList is ONE shared skip list — there are no
+  /// per-domain stripes to prefer, so topology-aware placement is
+  /// degenerate here. Spray descents stay global; quality and conformance
+  /// under --numa therefore match the flat behavior exactly.
+  void set_stripe_map(const StripeMap& map) { (void)map; }
 
  private:
   struct Node {

@@ -1,0 +1,195 @@
+// StripeMap — stripe (sub-queue) placement as a named, swappable policy.
+//
+// Both MultiQueues used to treat their q sub-structures as one flat index
+// space: pick_uniform insert targets, best-of-c pop sampling, strided
+// bulk-insert dealing, all over [0, q). That is exactly right on one
+// socket and exactly wrong on several — every claim and every splice
+// bounces cache lines across the interconnect. This header hoists the
+// index-selection arithmetic those backends (and sampling.h's helpers)
+// each reimplemented into one partition policy:
+//
+//   * stripes are block-partitioned into `domains` contiguous groups
+//     (domain d owns [d*S/D, (d+1)*S/D), every domain non-empty);
+//   * a worker's handle carries its domain (util::WorkerPlacement ->
+//     engine session state -> Handle::set_domain), and claims/inserts
+//     prefer that domain's block;
+//   * every steal_period-th pop sample targets another domain
+//     (steal_domain cycles them), so no stripe is ever unreachable and a
+//     domain whose workers stall cannot starve its labels — the bounded
+//     bias that keeps the Definition 1 envelope (the rank analysis is
+//     oblivious to WHICH stripes are sampled; the quality suite pins the
+//     constant empirically);
+//   * the probe-limit emptiness fallback stays a full GLOBAL scan:
+//     "observed empty" still means every stripe of every domain was seen
+//     empty, domains or not.
+//
+// select_and_claim_striped is the domain-aware twin of
+// sampling.h's select_and_claim; with domains() == 1 the backends never
+// call it and the flat path runs byte-for-byte unchanged.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "sched/sampling.h"
+#include "util/rng.h"
+
+namespace relax::sched {
+
+/// Partition of [0, stripes) into contiguous per-domain blocks, plus the
+/// cross-domain steal schedule. Immutable once built; cheap to copy.
+class StripeMap {
+ public:
+  /// One pop sample in `kStealPeriod` targets a foreign domain. Small
+  /// enough that a stalled domain's labels surface within a handful of
+  /// pops (fairness phi), large enough that the hot path stays local.
+  static constexpr unsigned kStealPeriod = 8;
+
+  StripeMap() = default;
+
+  /// steal_period 0 disables cross-domain stealing entirely — claims only
+  /// leave their domain through the full-scan emptiness fallback. That is
+  /// a measurably worse scheduler (see the starved-domain quality leg);
+  /// the knob exists for that demonstration and for ablation.
+  explicit StripeMap(std::size_t num_stripes, unsigned num_domains,
+                     unsigned steal_period = kStealPeriod)
+      : stripes_(std::max<std::size_t>(num_stripes, 1)),
+        domains_(static_cast<unsigned>(std::clamp<std::size_t>(
+            num_domains == 0 ? 1 : num_domains, 1, stripes_))),
+        steal_period_(steal_period) {}
+
+  [[nodiscard]] std::size_t stripes() const noexcept { return stripes_; }
+  [[nodiscard]] unsigned domains() const noexcept { return domains_; }
+  [[nodiscard]] unsigned steal_period() const noexcept {
+    return steal_period_;
+  }
+
+  /// First stripe of domain d's block.
+  [[nodiscard]] std::size_t domain_begin(unsigned d) const noexcept {
+    return (static_cast<std::uint64_t>(d) * stripes_) / domains_;
+  }
+
+  /// Number of stripes in domain d's block (>= 1: domains <= stripes).
+  [[nodiscard]] std::size_t domain_size(unsigned d) const noexcept {
+    return domain_begin(d + 1) - domain_begin(d);
+  }
+
+  /// Inverse of the block partition: the domain owning stripe i.
+  [[nodiscard]] unsigned domain_of_stripe(std::size_t i) const noexcept {
+    // begin(d) = floor(d*S/D), so the owner of i is the largest d with
+    // begin(d) <= i, i.e. floor(((i+1)*D - 1) / S).
+    return static_cast<unsigned>(
+        ((static_cast<std::uint64_t>(i) + 1) * domains_ - 1) / stripes_);
+  }
+
+  /// The foreign domain the n-th steal from domain d targets: cycles
+  /// through all other domains, so every stripe is reachable from every
+  /// domain. Requires domains() >= 2 (callers only steal then).
+  [[nodiscard]] unsigned steal_domain(unsigned d,
+                                      std::uint64_t attempt) const noexcept {
+    return static_cast<unsigned>((d + 1 + attempt % (domains_ - 1)) %
+                                 domains_);
+  }
+
+ private:
+  std::size_t stripes_ = 1;
+  unsigned domains_ = 1;
+  unsigned steal_period_ = kStealPeriod;
+};
+
+/// Per-handle locality state: which domain the owning worker belongs to,
+/// the sample counter driving the steal cadence, and the local/steal claim
+/// tally the engine flushes into obs metrics per slice. Strictly handle
+///-local (one handle per worker-session), so plain ints.
+struct StripeContext {
+  unsigned domain = 0;
+  std::uint64_t samples = 0;       // pop samples taken (steal cadence clock)
+  std::uint64_t local_claims = 0;  // claims served from the own block
+  std::uint64_t steal_claims = 0;  // claims served from a foreign stripe
+};
+
+/// Snapshot of a handle's claim-locality tally (Handle::stripe_stats()).
+struct StripeStats {
+  std::uint64_t local_claims = 0;
+  std::uint64_t steal_claims = 0;
+};
+
+namespace sampling {
+
+/// Policy view restricting a count()/peek(i) policy to one domain's block:
+/// sample_best over this view draws best-of-c from the block alone.
+template <typename Policy>
+struct BlockPolicy {
+  const Policy& base;
+  std::size_t begin;
+  std::size_t size;
+
+  [[nodiscard]] std::size_t count() const { return size; }
+  [[nodiscard]] auto peek(std::size_t i) const { return base.peek(begin + i); }
+};
+
+/// Domain-aware victim selection: best-of-`choices` within the handle's
+/// own block, with every map.steal_period()-th sample redirected to
+/// steal_domain's block, and the probe-limit fallback scanning ALL
+/// stripes (emptiness and reachability keep their flat-path meaning —
+/// `empty` is returned only when a full global scan saw every stripe of
+/// every domain empty). claim(global_index) attempts the pop(s); falsy
+/// means lost race, resample. Claims are tallied local vs. steal in `ctx`
+/// by the domain that actually served them.
+template <typename R, typename Policy, typename Claim>
+R select_and_claim_striped(const Policy& policy, const StripeMap& map,
+                           StripeContext& ctx, util::Rng& rng,
+                           unsigned choices, int probe_limit, R empty,
+                           Claim claim) {
+  const auto record = [&](std::size_t stripe, R r) {
+    if (map.domain_of_stripe(stripe) == ctx.domain)
+      ++ctx.local_claims;
+    else
+      ++ctx.steal_claims;
+    return r;
+  };
+  int empty_probes = 0;
+  for (;;) {
+    if (empty_probes >= probe_limit) {
+      // Sampling keeps missing: full global scan, exactly as in the flat
+      // select_and_claim — this is what preserves the observed-empty
+      // contract (and reaches stripes of stalled domains even with
+      // stealing disabled).
+      const std::size_t found =
+          scan_nonempty(policy, util::bounded(rng, policy.count()));
+      if (found == policy.count()) return empty;
+      empty_probes = 0;
+      if (R r = claim(found)) return record(found, std::move(r));
+      continue;
+    }
+    unsigned target = ctx.domain;
+    const unsigned period = map.steal_period();
+    const std::uint64_t sample = ctx.samples++;
+    if (period != 0 && map.domains() > 1 && sample % period == period - 1)
+      target = map.steal_domain(ctx.domain, sample / period);
+    const BlockPolicy<Policy> block{policy, map.domain_begin(target),
+                                    map.domain_size(target)};
+    const Sampled s = sample_best(block, choices, rng);
+    if (!s.nonempty) {
+      ++empty_probes;
+      continue;
+    }
+    const std::size_t stripe = block.begin + s.index;
+    if (R r = claim(stripe)) return record(stripe, std::move(r));
+    // Lost the claim race; resample.
+  }
+}
+
+/// Insert target under a StripeMap: uniform within the inserting handle's
+/// own block (placement is the point — inserts never steal).
+template <typename Policy>
+std::size_t pick_uniform_in_domain(const Policy& policy, const StripeMap& map,
+                                   unsigned domain, util::Rng& rng) {
+  const BlockPolicy<Policy> block{policy, map.domain_begin(domain),
+                                 map.domain_size(domain)};
+  return block.begin + util::bounded(rng, block.count());
+}
+
+}  // namespace sampling
+}  // namespace relax::sched

@@ -50,6 +50,18 @@ unsigned hardware_threads() noexcept {
 #endif
 }
 
+std::vector<unsigned> allowed_cpu_ids() {
+#if defined(__linux__)
+  return allowed_cpus();
+#else
+  const unsigned n = hardware_threads();
+  std::vector<unsigned> out;
+  out.reserve(n);
+  for (unsigned c = 0; c < n; ++c) out.push_back(c);
+  return out;
+#endif
+}
+
 bool pin_thread_to_cpu(unsigned cpu) noexcept {
 #if defined(__linux__)
   const auto& cpus = allowed_cpus();

@@ -1,16 +1,27 @@
 // Thread-affinity helper. The paper pins threads to fill sockets one at a
-// time; on our single-socket container we pin thread i to logical CPU i,
-// which avoids migrations and stabilizes the thread-sweep benchmarks.
+// time; util/topology.h computes that socket-fill order (WorkerPlacement)
+// and callers pass the resulting CPU *slot* here — slot i is the i-th CPU
+// this process may run on, so restricted cpusets and multi-socket hosts
+// both work. With topology off the slot is just the worker index, which
+// reproduces the historical pin-thread-i-to-CPU-i layout.
 #pragma once
+
+#include <vector>
 
 namespace relax::util {
 
-/// Pins the calling thread to the given logical CPU (modulo the number of
-/// CPUs available). Returns true on success; failure is harmless and the
-/// benchmarks proceed unpinned.
+/// Pins the calling thread to the given logical CPU slot (modulo the
+/// number of CPUs available). Returns true on success; failure is harmless
+/// and the benchmarks proceed unpinned.
 bool pin_thread_to_cpu(unsigned cpu) noexcept;
 
 /// Number of logical CPUs usable by this process.
 unsigned hardware_threads() noexcept;
+
+/// The logical CPU ids this process may run on, in slot order — the id
+/// pin_thread_to_cpu(slot) actually pins to is allowed_cpu_ids()[slot %
+/// size]. Topology discovery reads per-CPU sysfs attributes keyed by these
+/// ids.
+std::vector<unsigned> allowed_cpu_ids();
 
 }  // namespace relax::util

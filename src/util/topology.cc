@@ -1,0 +1,165 @@
+#include "util/topology.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <numeric>
+
+#include "util/thread_pin.h"
+
+namespace relax::util {
+
+namespace {
+
+/// Reads a small non-negative integer from a sysfs attribute file. nullopt
+/// on any failure (missing file, empty, non-numeric) — discovery treats
+/// that as "this host doesn't expose topology" and falls back to flat.
+std::optional<unsigned> read_sysfs_uint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return std::nullopt;
+  char buf[32];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  if (n == 0) return std::nullopt;
+  buf[n] = '\0';
+  unsigned value = 0;
+  const auto [ptr, ec] = std::from_chars(buf, buf + n, value);
+  if (ec != std::errc{} || ptr == buf) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<TopologySpec> TopologySpec::parse(std::string_view text) {
+  if (text == "off") return TopologySpec{TopologyMode::kOff, 1};
+  if (text == "auto") return TopologySpec{TopologyMode::kAuto, 1};
+  constexpr std::string_view kVirtualPrefix = "virtual:";
+  if (text.substr(0, kVirtualPrefix.size()) == kVirtualPrefix) {
+    const std::string_view arg = text.substr(kVirtualPrefix.size());
+    unsigned k = 0;
+    const auto [ptr, ec] =
+        std::from_chars(arg.data(), arg.data() + arg.size(), k);
+    if (ec != std::errc{} || ptr != arg.data() + arg.size() || k == 0)
+      return std::nullopt;
+    return TopologySpec{TopologyMode::kVirtual, k};
+  }
+  return std::nullopt;
+}
+
+std::string TopologySpec::label() const {
+  switch (mode) {
+    case TopologyMode::kOff:
+      return "off";
+    case TopologyMode::kAuto:
+      return "auto";
+    case TopologyMode::kVirtual:
+      return "virtual:" + std::to_string(domains);
+  }
+  return "off";
+}
+
+Topology Topology::flat(unsigned num_cpus) {
+  Topology t;
+  t.cpu_domain.assign(std::max(num_cpus, 1u), 0);
+  t.num_domains = 1;
+  return t;
+}
+
+Topology Topology::discover() {
+  return discover_from("/sys/devices/system/cpu", allowed_cpu_ids());
+}
+
+Topology Topology::discover_from(const std::string& sysfs_root,
+                                 const std::vector<unsigned>& cpu_ids) {
+  const unsigned n = static_cast<unsigned>(cpu_ids.size());
+  if (n == 0) return flat(1);
+  // Package id per slot, then remapped to dense domain indices ordered by
+  // package id (so domain 0 is the lowest-numbered socket, matching the
+  // socket-fill pin order the paper uses).
+  std::vector<unsigned> package(n);
+  for (unsigned slot = 0; slot < n; ++slot) {
+    const std::string path = sysfs_root + "/cpu" +
+                             std::to_string(cpu_ids[slot]) +
+                             "/topology/physical_package_id";
+    const auto id = read_sysfs_uint(path);
+    if (!id) return flat(n);  // unreadable host: graceful flat fallback
+    package[slot] = *id;
+  }
+  std::vector<unsigned> distinct = package;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  if (distinct.size() <= 1) return flat(n);  // single socket: flat
+  Topology t;
+  t.cpu_domain.resize(n);
+  t.num_domains = static_cast<unsigned>(distinct.size());
+  for (unsigned slot = 0; slot < n; ++slot) {
+    t.cpu_domain[slot] = static_cast<unsigned>(
+        std::lower_bound(distinct.begin(), distinct.end(), package[slot]) -
+        distinct.begin());
+  }
+  return t;
+}
+
+Topology Topology::virtual_split(unsigned num_cpus, unsigned k) {
+  const unsigned n = std::max(num_cpus, 1u);
+  const unsigned d = std::clamp(k, 1u, n);
+  Topology t;
+  t.cpu_domain.resize(n);
+  t.num_domains = d;
+  for (unsigned i = 0; i < n; ++i)
+    t.cpu_domain[i] = static_cast<unsigned>(
+        (static_cast<std::uint64_t>(i) * d) / n);
+  return t;
+}
+
+WorkerPlacement plan_workers(const TopologySpec& spec, unsigned num_workers) {
+  const unsigned workers = std::max(num_workers, 1u);
+  WorkerPlacement p;
+  p.pin_slot.resize(workers);
+  p.domain.assign(workers, 0);
+  std::iota(p.pin_slot.begin(), p.pin_slot.end(), 0u);
+  p.num_domains = 1;
+
+  switch (spec.mode) {
+    case TopologyMode::kOff:
+      return p;  // identity slots, one domain: the historical layout
+
+    case TopologyMode::kVirtual: {
+      // Deterministic pretend topology: identity pinning (the host is
+      // genuinely flat), workers block-split into K contiguous domains.
+      const unsigned d = std::clamp(spec.domains, 1u, workers);
+      p.num_domains = d;
+      for (unsigned w = 0; w < workers; ++w)
+        p.domain[w] = static_cast<unsigned>(
+            (static_cast<std::uint64_t>(w) * d) / workers);
+      return p;
+    }
+
+    case TopologyMode::kAuto: {
+      const Topology t = Topology::discover();
+      if (t.num_domains <= 1) return p;  // flat host: same as off
+      // Socket-fill order: all of domain 0's slots, then domain 1's, ...
+      // (stable within a domain, preserving slot order). Worker w takes
+      // the w-th slot of that order, wrapping when the pool is wider than
+      // the machine.
+      const unsigned n = static_cast<unsigned>(t.cpu_domain.size());
+      std::vector<unsigned> order(n);
+      std::iota(order.begin(), order.end(), 0u);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](unsigned a, unsigned b) {
+                         return t.cpu_domain[a] < t.cpu_domain[b];
+                       });
+      p.num_domains = t.num_domains;
+      for (unsigned w = 0; w < workers; ++w) {
+        const unsigned slot = order[w % n];
+        p.pin_slot[w] = slot;
+        p.domain[w] = t.cpu_domain[slot];
+      }
+      return p;
+    }
+  }
+  return p;
+}
+
+}  // namespace relax::util

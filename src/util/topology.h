@@ -1,0 +1,98 @@
+// CPU topology discovery and worker placement — the "which socket is this
+// stripe on" half of topology-aware scheduling (sched/stripe_map.h is the
+// "which stripes does this worker prefer" half).
+//
+// Real discovery reads each allowed CPU's physical_package_id from sysfs
+// and degrades to a flat single-domain view whenever the files are missing
+// or every CPU shares a package — so on the single-socket containers CI
+// runs in, `--numa=auto` is exactly `--numa=off`. Because that makes the
+// interesting code paths unreachable on most dev boxes, a *virtual*
+// topology (`Topology::virtual_split(k)`, CLI `--numa=virtual:K`) carves
+// the flat CPU list into k pretend domains: the locality logic — domain
+//-restricted sampling, bounded cross-domain steal, socket-fill pinning —
+// runs deterministically on any host, which is what the conformance and
+// quality suites pin.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relax::util {
+
+enum class TopologyMode : std::uint8_t {
+  kOff,      // flat: one domain, identity pinning (the historical behavior)
+  kAuto,     // discover sockets from sysfs; flat fallback
+  kVirtual,  // pretend the flat CPU list is `domains` sockets
+};
+
+/// A parsed `--numa=` value: off | auto | virtual:K.
+struct TopologySpec {
+  TopologyMode mode = TopologyMode::kOff;
+  unsigned domains = 1;  // kVirtual only: the requested split factor
+
+  /// Parses "off", "auto", or "virtual:K" (K >= 1). nullopt on anything
+  /// else — CLI layers turn that into exit 2 with a usage message.
+  static std::optional<TopologySpec> parse(std::string_view text);
+
+  /// Canonical label for bench JSON / log lines: "off", "auto",
+  /// "virtual:K".
+  [[nodiscard]] std::string label() const;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return mode != TopologyMode::kOff;
+  }
+};
+
+/// The machine's (or a pretend machine's) CPU-to-domain map. Slot i refers
+/// to the i-th *allowed* CPU (util::allowed_cpu_ids() order), the same
+/// index space pin_thread_to_cpu uses — not raw CPU ids, so restricted
+/// cpusets keep working.
+struct Topology {
+  std::vector<unsigned> cpu_domain;  // domain of CPU slot i
+  unsigned num_domains = 1;
+
+  /// One domain holding every slot — the fallback everything degrades to.
+  static Topology flat(unsigned num_cpus);
+
+  /// Sysfs discovery over this process's allowed CPUs. Falls back to
+  /// flat() whenever any package id is unreadable or only one package is
+  /// present.
+  static Topology discover();
+
+  /// Discovery against an explicit sysfs root and CPU id list — the test
+  /// seam: topology_test writes fixture trees
+  /// (<root>/cpu<N>/topology/physical_package_id) and checks the parse.
+  static Topology discover_from(const std::string& sysfs_root,
+                                const std::vector<unsigned>& cpu_ids);
+
+  /// Virtual override: slot i belongs to domain i*k/n (contiguous blocks,
+  /// every domain non-empty when k <= n; k is clamped into [1, n]).
+  static Topology virtual_split(unsigned num_cpus, unsigned k);
+};
+
+/// Where each worker of a pool runs and which domain it belongs to.
+/// pin_slot[w] is the argument WorkerPool passes to pin_thread_to_cpu for
+/// worker w; domain[w] feeds the worker's scheduler-session handles (and
+/// through them sched::StripeMap's preferred-stripe choice).
+struct WorkerPlacement {
+  std::vector<unsigned> pin_slot;  // CPU slot per worker (identity when flat)
+  std::vector<unsigned> domain;    // topology domain per worker
+  unsigned num_domains = 1;
+};
+
+/// Resolves a TopologySpec into a concrete placement for `num_workers`
+/// workers:
+///   off      identity slots, one domain (exactly the pre-topology layout);
+///   auto     sysfs discovery + socket-fill order per the paper (all of
+///            domain 0's slots first, then domain 1's, ...), so co-domain
+///            workers land on co-socket CPUs; degrades to off when
+///            discovery finds a single package;
+///   virtual  identity slots with workers block-split into K domains
+///            (worker w -> domain w*K/W), deterministic on any host.
+[[nodiscard]] WorkerPlacement plan_workers(const TopologySpec& spec,
+                                           unsigned num_workers);
+
+}  // namespace relax::util

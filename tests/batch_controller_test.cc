@@ -143,6 +143,49 @@ TEST(BatchController, ConsultPeriodRateLimitsTheSizeReads) {
   EXPECT_EQ(ctl.next_claim(FakeOccupancy{100000}), 64u);
 }
 
+TEST(BatchController, WidthOneDefaultsMatchTheClassicWatermarks) {
+  // num_workers defaulted (1): high = cap * 16, low = cap — exactly the
+  // pre-width constants, so existing callers see identical thresholds.
+  BatchController ctl(64, /*adaptive=*/true, /*high_watermark=*/0,
+                      /*consult_period=*/1);
+  // cap * 16 = 1024: just below, the ramp value rules; at the watermark
+  // the jump fires.
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{1023}), 1u);
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{1024}), 64u);
+  // live == cap (the width-1 low mark) pins the drain.
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{64}), 1u);
+}
+
+TEST(BatchController, WatermarksScaleWithPoolWidth) {
+  // Eight workers: "deep backlog" and "nearly drained" are pool-wide
+  // judgments — W concurrent full claims drain cap * W, not cap. High
+  // watermark becomes 64 * 16 * 8 = 8192, drain threshold 64 * 8 = 512.
+  BatchController ctl(64, /*adaptive=*/true, /*high_watermark=*/0,
+                      /*consult_period=*/1, /*num_workers=*/8);
+  // Backlog deep for one worker but not for eight: no jump at the old
+  // width-1 threshold...
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{1024}), 1u);
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{8191}), 1u);
+  // ...and the jump fires once the pool-wide watermark is reached.
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{8192}), 64u);
+  // Drain pin: live 512 could be eaten by one claim round across the
+  // pool, so the consult pins 1 (and suppresses ramping); 513 releases
+  // the pin on the next consult, after which full claims ramp again.
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{512}), 1u);
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{513}), 1u);  // unpinned, not ramped
+  ctl.feedback(1, 1);
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{513}), 2u);
+}
+
+TEST(BatchController, ExplicitHighWatermarkOverridesWidthScaling) {
+  // A caller-provided high watermark wins over the width-derived default;
+  // the low (drain) mark still scales with width.
+  BatchController ctl(8, /*adaptive=*/true, /*high_watermark=*/100,
+                      /*consult_period=*/1, /*num_workers=*/4);
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{101}), 8u);
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{32}), 1u);  // cap * W = 32
+}
+
 TEST(BatchController, ZeroCapIsClampedToOne) {
   // A zero cap must not flow into the claim path (satellite bug: CLI zero
   // values are rejected up front, but the controller still defends).

@@ -24,10 +24,12 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "sched/backend_registry.h"
 #include "sched/handles.h"
+#include "sched/stripe_map.h"
 #include "util/rng.h"
 
 namespace relax::sched {
@@ -421,6 +423,89 @@ TEST(SchedConformance, ConcurrentMixedBatchedOpsKeepEveryLabelExactlyOnce) {
           buf.clear();
           if (pop_batch(handle, kBatch, buf) > 0) {
             for (const Priority p : buf) record(p);
+            dry_polls = 0;
+          } else if ((++dry_polls & 0xfff) == 0 &&
+                     std::chrono::steady_clock::now() > deadline) {
+            break;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    EXPECT_EQ(popped.load(), kN);
+    EXPECT_EQ(duplicates.load(), 0u);
+    EXPECT_EQ(out_of_range.load(), 0u);
+    for (std::uint32_t p = 0; p < kN; ++p) {
+      ASSERT_EQ(seen[p].load(), 1u) << "label " << p;
+    }
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.size(), 0u);
+    EXPECT_EQ(queue.approx_get_min(), std::nullopt);
+  });
+}
+
+// The counting invariant under topology-striped placement (virtual:2):
+// backends carrying a StripeMap serve claims domain-locally with bounded
+// cross-domain steals, and handle inserts land in the inserting worker's
+// block — none of which may lose, duplicate, or strand a label. Workers
+// split across two domains exactly as util::plan_workers would place
+// them; backends without the placement surface run flat, so the whole
+// registry stays under the same battery. (This test is in the TSan row's
+// ctest filter — it is the data-race coverage for the striped claim and
+// steal paths.)
+TEST(SchedConformance, StripedConcurrentDrainKeepsEveryLabelExactlyOnce) {
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kDomains = 2;
+  constexpr std::uint32_t kPerThread = 2500;
+  constexpr std::uint32_t kN = kThreads * kPerThread;
+  for_each_backend(kN, kThreads, [&](const BackendInfo&, auto& queue) {
+    using Queue = std::remove_reference_t<decltype(queue)>;
+    if constexpr (requires(Queue& q, const StripeMap& m) {
+                    q.num_queues();
+                    q.set_stripe_map(m);
+                  }) {
+      queue.set_stripe_map(StripeMap(queue.num_queues(), kDomains));
+    }
+
+    std::vector<std::atomic<std::uint8_t>> seen(kN);
+    std::atomic<std::uint32_t> popped{0};
+    std::atomic<std::uint32_t> duplicates{0};
+    std::atomic<std::uint32_t> out_of_range{0};
+
+    auto record = [&](Priority p) {
+      if (p >= kN) {
+        out_of_range.fetch_add(1, std::memory_order_relaxed);
+      } else if (seen[p].fetch_add(1, std::memory_order_relaxed) != 0) {
+        duplicates.fetch_add(1, std::memory_order_relaxed);
+      }
+      popped.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        auto handle = make_handle(queue);
+        if constexpr (requires { handle.set_domain(0u); }) {
+          // Block split, exactly as plan_workers maps virtual:2.
+          handle.set_domain(t * kDomains / kThreads);
+        }
+        std::vector<Priority> buf;
+        for (std::uint32_t i = 0; i < kPerThread; ++i) {
+          handle.insert(t * kPerThread + i);
+          if ((i & 15) == 0) {
+            buf.clear();
+            pop_batch(handle, 4, buf);
+            for (const Priority p : buf) record(p);
+          }
+        }
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(60);
+        std::uint32_t dry_polls = 0;
+        while (popped.load(std::memory_order_relaxed) < kN) {
+          if (const auto p = handle.approx_get_min()) {
+            record(*p);
             dry_polls = 0;
           } else if ((++dry_polls & 0xfff) == 0 &&
                      std::chrono::steady_clock::now() > deadline) {

@@ -14,14 +14,19 @@
 #include <vector>
 
 #include "sched/backend_registry.h"
+#include "sched/concurrent_multiqueue.h"
 #include "sched/exact_heap.h"
 #include "sched/handles.h"
 #include "sched/kbounded.h"
+#include "sched/lockfree_multiqueue.h"
 #include "sched/relaxation_monitor.h"
 #include "sched/sim_multiqueue.h"
 #include "sched/sim_spraylist.h"
+#include "sched/stripe_map.h"
 #include "sched/topk_uniform.h"
 #include "util/rng.h"
+
+#include <utility>
 
 namespace relax::sched {
 namespace {
@@ -319,6 +324,152 @@ TEST(BackendQuality, MultiQueueFamilyInversionTailDecays) {
       EXPECT_EQ(inversions.total(), kN / 8);
       EXPECT_LT(inversions.tail_fraction_at_least(40 * bound), 0.02);
     });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Topology-striped sampling quality. The rank analysis behind Definition 1
+// is oblivious to WHICH sub-queues a sampler probes, so the StripeMap's
+// domain-biased sampling (own block best-of-c, every kStealPeriod-th
+// sample stealing cross-domain) must keep the same empirical envelope as
+// the flat process as long as every domain's workers keep draining — that
+// is what the engine guarantees by giving every domain workers. The
+// flip side is pinned too: with stealing ablated (steal_period 0), a
+// domain whose workers stall simply stops being served — the regression
+// the bounded steal exists to prevent.
+// ---------------------------------------------------------------------------
+
+/// A quiescently-driven "pool" of one handle per domain, round-robin over
+/// ops — models workers on every domain taking turns, the placement the
+/// engine sets up, narrowed to the SequentialScheduler concept so
+/// RelaxationMonitor can mirror it exactly.
+template <typename Queue>
+class StripedPoolView {
+ public:
+  StripedPoolView(Queue& queue, unsigned domains) : queue_(&queue) {
+    for (unsigned d = 0; d < domains; ++d) {
+      handles_.push_back(queue.get_handle());
+      handles_.back().set_domain(d);
+    }
+  }
+  void insert(Priority p) { next().insert(p); }
+  std::optional<Priority> approx_get_min() { return next().approx_get_min(); }
+  [[nodiscard]] bool empty() const { return queue_->empty(); }
+  [[nodiscard]] std::size_t size() const { return queue_->size(); }
+
+  [[nodiscard]] StripeStats stripe_stats() const {
+    StripeStats total;
+    for (const auto& h : handles_) {
+      const StripeStats s = h.stripe_stats();
+      total.local_claims += s.local_claims;
+      total.steal_claims += s.steal_claims;
+    }
+    return total;
+  }
+
+ private:
+  auto& next() { return handles_[ix_++ % handles_.size()]; }
+  Queue* queue_;
+  std::vector<decltype(std::declval<Queue&>().get_handle())> handles_;
+  std::size_t ix_ = 0;
+};
+
+template <typename Queue>
+void striped_envelope_leg() {
+  constexpr std::uint32_t kN = 20000;
+  constexpr std::uint32_t kQueues = 32;  // 8 threads x factor 4
+  // The nominal Definition 1 bound for the matching flat configuration:
+  // striped sampling must live inside the SAME envelope.
+  BackendParams params;
+  params.threads = 8;
+  params.queue_factor = 4;
+  params.capacity = kN;
+  const std::uint64_t bound =
+      expected_rank_bound(backend_or_throw("multiqueue-c2"), params);
+
+  Queue queue(kQueues, /*seed=*/77);
+  queue.set_stripe_map(StripeMap(kQueues, 2));
+  RelaxationMonitor<StripedPoolView<Queue>> mon(
+      StripedPoolView<Queue>(queue, 2), kN, 16);
+  for (Priority p = 0; p < kN; ++p) mon.insert(p);
+  while (mon.approx_get_min()) {
+  }
+  const auto& ranks = mon.rank_histogram();
+  ASSERT_EQ(ranks.total(), kN);  // counting: nothing lost to the stripes
+  EXPECT_LE(ranks.mean(), 2.0 * static_cast<double>(bound));
+  EXPECT_LT(ranks.tail_fraction_at_least(8 * bound), 0.02);
+  // The bias is real: claims are overwhelmingly domain-local, and the
+  // steal cadence actually fired (one sample in kStealPeriod).
+  const StripeStats stats = mon.inner().stripe_stats();
+  EXPECT_EQ(stats.local_claims + stats.steal_claims, kN);
+  EXPECT_GT(stats.steal_claims, 0u);
+  EXPECT_GT(stats.local_claims, stats.steal_claims);
+}
+
+TEST(StripedQuality, MultiQueueBiasedSamplingHoldsTheEnvelope) {
+  striped_envelope_leg<ConcurrentMultiQueue>();
+}
+
+TEST(StripedQuality, LockFreeMultiQueueBiasedSamplingHoldsTheEnvelope) {
+  striped_envelope_leg<LockFreeMultiQueue>();
+}
+
+TEST(StripedQuality, DisabledStealStarvesAnIdleDomain) {
+  // Two domains, but only domain 1's worker drains — the stalled-domain
+  // scenario. Evens live in domain 0's block, odds in domain 1's.
+  constexpr Priority kN = 8192;
+  constexpr std::uint32_t kQueues = 16;
+  const auto fill = [](auto& h0, auto& h1) {
+    for (Priority p = 0; p < kN; ++p) {
+      if (p % 2 == 0) {
+        h0.insert(p);
+      } else {
+        h1.insert(p);
+      }
+    }
+  };
+
+  // Steal ablated: while its own block has work, the draining handle
+  // NEVER serves domain 0 — the global minimum (priority 0) starves for
+  // the entire first half of the drain.
+  {
+    ConcurrentMultiQueue queue(kQueues, /*seed=*/5);
+    queue.set_stripe_map(StripeMap(kQueues, 2, /*steal_period=*/0));
+    auto h0 = queue.get_handle();
+    auto h1 = queue.get_handle();
+    h0.set_domain(0);
+    h1.set_domain(1);
+    fill(h0, h1);
+    for (Priority i = 0; i < kN / 2; ++i) {
+      const auto got = h1.approx_get_min();
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got % 2, 1u) << "steal-disabled drain served a foreign key";
+    }
+    EXPECT_EQ(h1.stripe_stats().steal_claims, 0u);
+    EXPECT_EQ(queue.size(), kN / 2);  // every even key still waiting
+  }
+
+  // Bounded steal on: the same drain serves domain 0 on the kStealPeriod
+  // cadence, so the starved block's minima keep flowing.
+  {
+    ConcurrentMultiQueue queue(kQueues, /*seed=*/5);
+    queue.set_stripe_map(StripeMap(kQueues, 2));
+    auto h0 = queue.get_handle();
+    auto h1 = queue.get_handle();
+    h0.set_domain(0);
+    h1.set_domain(1);
+    fill(h0, h1);
+    Priority evens_served = 0;
+    for (Priority i = 0; i < kN / 2; ++i) {
+      const auto got = h1.approx_get_min();
+      ASSERT_TRUE(got.has_value());
+      if (*got % 2 == 0) ++evens_served;
+    }
+    const StripeStats stats = h1.stripe_stats();
+    EXPECT_EQ(stats.steal_claims, evens_served);
+    // One sample in kStealPeriod targets the foreign block and every
+    // claim lands (quiescent drive): within rounding, 1/8 of the pops.
+    EXPECT_GE(evens_served, kN / 2 / (2 * StripeMap::kStealPeriod));
   }
 }
 

@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <numeric>
 #include <string>
 
 #include "bench/steady_state.h"
 #include "sched/backend_registry.h"
 #include "util/rng.h"
+#include "util/topology.h"
 
 namespace relax::sched {
 namespace {
@@ -225,6 +228,52 @@ TEST(SteadySmoke, ExactBackendHasZeroRankError) {
   const bench::SteadyCell cell = bench::run_steady_cell(cfg);
   EXPECT_EQ(cell.max_rank, 0u);
   EXPECT_DOUBLE_EQ(cell.mean_rank, 0.0);
+}
+
+// The throughput-over-time profile must account for every completed op
+// (empty pops excluded) and be clamped to the measured window — the
+// properties the "is it actually steady" reading of the buckets rests on.
+// The cell also carries its topology label end to end into the JSON row.
+TEST(SteadySmoke, BucketsAccountForEveryOpAndCarryTheNumaLabel) {
+  const BackendInfo* backend = find_backend("multiqueue-c2");
+  ASSERT_NE(backend, nullptr);
+  bench::SteadyConfig cfg;
+  cfg.backend = backend;
+  cfg.threads = 2;
+  cfg.policy = InsertPolicy::kUniform;
+  cfg.distribution = KeyDistribution::kUniform;
+  cfg.prefill = 10'000;
+  cfg.working_seconds = 0.3;
+  cfg.runs = 1;
+  cfg.key_universe = 1 << 16;
+  cfg.seed = 21;
+  cfg.quality = false;
+  const auto numa = relax::util::TopologySpec::parse("virtual:2");
+  ASSERT_TRUE(numa.has_value());
+  cfg.numa = *numa;
+
+  const bench::SteadyCell cell = bench::run_steady_cell(cfg);
+  EXPECT_EQ(cell.numa, "virtual:2");
+  ASSERT_FALSE(cell.buckets.empty());
+  // Exhaustive attribution: bucket totals are exactly inserts + deletes.
+  const std::uint64_t bucketed = std::accumulate(
+      cell.buckets.begin(), cell.buckets.end(), std::uint64_t{0});
+  EXPECT_EQ(bucketed, cell.ops);
+  // Straggler ops past the stop flag are folded into the window's last
+  // bucket: the profile length is a function of the measured window
+  // (100 ms buckets), never of scheduler jitter.
+  EXPECT_LE(cell.buckets.size(),
+            static_cast<std::size_t>(cell.seconds * 10.0) + 1);
+
+  std::string row;
+  bench::append_json_row(row, cell);
+  expect_json_field(row, "\"numa\": \"virtual:2\"");
+  expect_json_field(row, "\"buckets\": [");
+  // A default-constructed spec labels "off" — what legacy-equivalent rows
+  // report and what bench_diff.py folds into the legacy cell key.
+  cfg.numa = relax::util::TopologySpec{};
+  const bench::SteadyCell flat = bench::run_steady_cell(cfg);
+  EXPECT_EQ(flat.numa, "off");
 }
 
 }  // namespace

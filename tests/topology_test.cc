@@ -1,0 +1,369 @@
+// util/topology + sched/stripe_map — the placement layer: sysfs socket
+// discovery (with graceful flat fallback), the deterministic virtual
+// split, worker planning, and the StripeMap block partition / steal
+// schedule the backends sample through.
+#include "util/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sched/stripe_map.h"
+#include "util/rng.h"
+
+namespace relax {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- spec
+
+TEST(TopologySpec, ParsesTheThreeModes) {
+  const auto off = util::TopologySpec::parse("off");
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(off->mode, util::TopologyMode::kOff);
+  EXPECT_FALSE(off->enabled());
+  EXPECT_EQ(off->label(), "off");
+
+  const auto aut = util::TopologySpec::parse("auto");
+  ASSERT_TRUE(aut.has_value());
+  EXPECT_EQ(aut->mode, util::TopologyMode::kAuto);
+  EXPECT_TRUE(aut->enabled());
+  EXPECT_EQ(aut->label(), "auto");
+
+  const auto virt = util::TopologySpec::parse("virtual:4");
+  ASSERT_TRUE(virt.has_value());
+  EXPECT_EQ(virt->mode, util::TopologyMode::kVirtual);
+  EXPECT_EQ(virt->domains, 4u);
+  EXPECT_EQ(virt->label(), "virtual:4");
+}
+
+TEST(TopologySpec, RejectsEverythingElse) {
+  // CLI layers turn nullopt into exit 2; none of these may slip through.
+  for (const char* bad : {"", "on", "numa", "Off", "virtual", "virtual:",
+                          "virtual:0", "virtual:-1", "virtual:2x",
+                          "virtual:x", "auto:2"}) {
+    EXPECT_FALSE(util::TopologySpec::parse(bad).has_value()) << bad;
+  }
+}
+
+// ------------------------------------------------------------ topology
+
+TEST(Topology, FlatIsOneDomainCoveringEverySlot) {
+  const auto t = util::Topology::flat(6);
+  EXPECT_EQ(t.num_domains, 1u);
+  ASSERT_EQ(t.cpu_domain.size(), 6u);
+  for (const unsigned d : t.cpu_domain) EXPECT_EQ(d, 0u);
+  // Degenerate input still yields a usable (single-slot) topology.
+  EXPECT_EQ(util::Topology::flat(0).cpu_domain.size(), 1u);
+}
+
+TEST(Topology, VirtualSplitIsContiguousAndExhaustive) {
+  const auto t = util::Topology::virtual_split(8, 2);
+  EXPECT_EQ(t.num_domains, 2u);
+  EXPECT_EQ(t.cpu_domain,
+            (std::vector<unsigned>{0, 0, 0, 0, 1, 1, 1, 1}));
+
+  // Non-dividing split: contiguous non-decreasing blocks, every domain
+  // non-empty, first slot in domain 0 and last in domain k-1.
+  const auto odd = util::Topology::virtual_split(5, 2);
+  EXPECT_EQ(odd.cpu_domain, (std::vector<unsigned>{0, 0, 0, 1, 1}));
+  for (unsigned n : {1u, 2u, 3u, 7u, 16u, 33u}) {
+    for (unsigned k : {1u, 2u, 3u, 5u, 8u}) {
+      const auto v = util::Topology::virtual_split(n, k);
+      const unsigned d = std::min(k, n);  // k is clamped into [1, n]
+      EXPECT_EQ(v.num_domains, d);
+      std::set<unsigned> seen;
+      unsigned prev = 0;
+      for (const unsigned dom : v.cpu_domain) {
+        EXPECT_GE(dom, prev);
+        EXPECT_LT(dom, d);
+        seen.insert(dom);
+        prev = dom;
+      }
+      EXPECT_EQ(seen.size(), d) << "empty domain at n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Topology, VirtualSplitClampsDegenerateRequests) {
+  EXPECT_EQ(util::Topology::virtual_split(4, 0).num_domains, 1u);
+  EXPECT_EQ(util::Topology::virtual_split(4, 99).num_domains, 4u);
+}
+
+/// Sysfs fixture tree: <root>/cpu<N>/topology/physical_package_id per CPU.
+class SysfsFixture {
+ public:
+  SysfsFixture() {
+    root_ = fs::temp_directory_path() /
+            ("relax_topology_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(root_);
+  }
+  ~SysfsFixture() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void add_cpu(unsigned cpu, const std::string& package_id) {
+    const fs::path dir = root_ / ("cpu" + std::to_string(cpu)) / "topology";
+    fs::create_directories(dir);
+    std::FILE* f =
+        std::fopen((dir / "physical_package_id").string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(package_id.c_str(), f);
+    std::fclose(f);
+  }
+
+  [[nodiscard]] std::string root() const { return root_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path root_;
+};
+
+TEST(Topology, DiscoversTwoSocketsFromSysfs) {
+  SysfsFixture fx;
+  // Non-dense package ids (3 and 7, the way real firmware numbers them):
+  // must remap to dense domains ordered by package id.
+  fx.add_cpu(0, "3\n");
+  fx.add_cpu(1, "3\n");
+  fx.add_cpu(2, "7\n");
+  fx.add_cpu(3, "7\n");
+  const auto t = util::Topology::discover_from(fx.root(), {0, 1, 2, 3});
+  EXPECT_EQ(t.num_domains, 2u);
+  EXPECT_EQ(t.cpu_domain, (std::vector<unsigned>{0, 0, 1, 1}));
+}
+
+TEST(Topology, SingleSocketDiscoveryFallsBackToFlat) {
+  SysfsFixture fx;
+  for (unsigned c = 0; c < 4; ++c) fx.add_cpu(c, "0\n");
+  const auto t = util::Topology::discover_from(fx.root(), {0, 1, 2, 3});
+  EXPECT_EQ(t.num_domains, 1u);
+  EXPECT_EQ(t.cpu_domain, (std::vector<unsigned>{0, 0, 0, 0}));
+}
+
+TEST(Topology, UnreadablePackageIdFallsBackToFlat) {
+  SysfsFixture fx;
+  fx.add_cpu(0, "0\n");
+  fx.add_cpu(1, "1\n");
+  // cpu2 has no topology files at all — a host that doesn't expose them.
+  const auto t = util::Topology::discover_from(fx.root(), {0, 1, 2});
+  EXPECT_EQ(t.num_domains, 1u);
+  EXPECT_EQ(t.cpu_domain.size(), 3u);
+}
+
+TEST(Topology, NonNumericPackageIdFallsBackToFlat) {
+  SysfsFixture fx;
+  fx.add_cpu(0, "0\n");
+  fx.add_cpu(1, "garbage\n");
+  EXPECT_EQ(util::Topology::discover_from(fx.root(), {0, 1}).num_domains, 1u);
+}
+
+TEST(Topology, RespectsTheAllowedCpuList) {
+  SysfsFixture fx;
+  fx.add_cpu(0, "0\n");
+  fx.add_cpu(1, "0\n");
+  fx.add_cpu(4, "1\n");  // restricted cpuset: slots map to cpus {0, 4}
+  const auto t = util::Topology::discover_from(fx.root(), {0, 4});
+  EXPECT_EQ(t.num_domains, 2u);
+  EXPECT_EQ(t.cpu_domain, (std::vector<unsigned>{0, 1}));
+}
+
+// ------------------------------------------------------- plan_workers
+
+TEST(PlanWorkers, OffIsIdentityAndSingleDomain) {
+  const auto p = util::plan_workers(
+      util::TopologySpec{util::TopologyMode::kOff, 1}, 4);
+  EXPECT_EQ(p.num_domains, 1u);
+  EXPECT_EQ(p.pin_slot, (std::vector<unsigned>{0, 1, 2, 3}));
+  EXPECT_EQ(p.domain, (std::vector<unsigned>{0, 0, 0, 0}));
+}
+
+TEST(PlanWorkers, VirtualSplitsWorkersIntoBlocks) {
+  const auto p = util::plan_workers(
+      util::TopologySpec{util::TopologyMode::kVirtual, 2}, 4);
+  EXPECT_EQ(p.num_domains, 2u);
+  // Identity pinning (the host really is flat), block-split domains.
+  EXPECT_EQ(p.pin_slot, (std::vector<unsigned>{0, 1, 2, 3}));
+  EXPECT_EQ(p.domain, (std::vector<unsigned>{0, 0, 1, 1}));
+}
+
+TEST(PlanWorkers, VirtualClampsToTheWorkerCount) {
+  const auto p = util::plan_workers(
+      util::TopologySpec{util::TopologyMode::kVirtual, 16}, 3);
+  EXPECT_EQ(p.num_domains, 3u);
+  EXPECT_EQ(p.domain, (std::vector<unsigned>{0, 1, 2}));
+}
+
+TEST(PlanWorkers, AutoYieldsAConsistentPlacementOnAnyHost) {
+  // Host-independent invariants: whatever discover() finds (flat in CI
+  // containers, real sockets on big boxes), the placement must be usable.
+  const auto p = util::plan_workers(
+      util::TopologySpec{util::TopologyMode::kAuto, 1}, 6);
+  ASSERT_EQ(p.pin_slot.size(), 6u);
+  ASSERT_EQ(p.domain.size(), 6u);
+  EXPECT_GE(p.num_domains, 1u);
+  for (const unsigned d : p.domain) EXPECT_LT(d, p.num_domains);
+}
+
+// ----------------------------------------------------------- StripeMap
+
+TEST(StripeMap, BlockPartitionIsExactAndInvertible) {
+  for (const std::size_t stripes : {1u, 2u, 7u, 8u, 16u, 33u}) {
+    for (const unsigned domains : {1u, 2u, 3u, 4u, 8u}) {
+      const sched::StripeMap map(stripes, domains);
+      const unsigned d = map.domains();
+      EXPECT_LE(d, stripes);  // clamped: every domain non-empty
+      std::size_t covered = 0;
+      for (unsigned dom = 0; dom < d; ++dom) {
+        EXPECT_EQ(map.domain_begin(dom), covered);
+        EXPECT_GE(map.domain_size(dom), 1u);
+        covered += map.domain_size(dom);
+      }
+      EXPECT_EQ(covered, stripes);
+      for (std::size_t i = 0; i < stripes; ++i) {
+        const unsigned owner = map.domain_of_stripe(i);
+        EXPECT_GE(i, map.domain_begin(owner));
+        EXPECT_LT(i, map.domain_begin(owner) + map.domain_size(owner));
+      }
+    }
+  }
+}
+
+TEST(StripeMap, DegenerateRequestsClampToUsableValues) {
+  EXPECT_EQ(sched::StripeMap(0, 0).stripes(), 1u);
+  EXPECT_EQ(sched::StripeMap(0, 0).domains(), 1u);
+  EXPECT_EQ(sched::StripeMap(4, 9).domains(), 4u);
+}
+
+TEST(StripeMap, StealScheduleCyclesEveryForeignDomain) {
+  const sched::StripeMap map(16, 4);
+  for (unsigned d = 0; d < 4; ++d) {
+    std::set<unsigned> targets;
+    for (std::uint64_t attempt = 0; attempt < 9; ++attempt) {
+      const unsigned victim = map.steal_domain(d, attempt);
+      EXPECT_NE(victim, d);  // stealing from yourself is not stealing
+      EXPECT_LT(victim, 4u);
+      targets.insert(victim);
+    }
+    // Every other domain reachable: no stripe can be starved forever.
+    EXPECT_EQ(targets.size(), 3u) << "from domain " << d;
+  }
+}
+
+/// Peek policy over a plain head array (nullopt == empty stripe) — the
+/// same shape the MultiQueues adapt for sampling.h.
+struct HeadPolicy {
+  std::vector<std::optional<int>> heads;
+  [[nodiscard]] std::size_t count() const { return heads.size(); }
+  [[nodiscard]] std::optional<int> peek(std::size_t i) const {
+    return heads[i];
+  }
+};
+
+TEST(StripeMap, StripedClaimsPreferTheOwnBlockAndStealOnSchedule) {
+  const sched::StripeMap map(8, 2);  // domain 0: [0,4), domain 1: [4,8)
+  HeadPolicy policy{{1, 2, 3, 4, 5, 6, 7, 8}};  // everything nonempty
+  sched::StripeContext ctx;
+  ctx.domain = 0;
+  util::Rng rng(42);
+
+  constexpr int kClaims = 800;
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < kClaims; ++i) {
+    const auto got = sched::sampling::select_and_claim_striped(
+        policy, map, ctx, rng, /*choices=*/2, /*probe_limit=*/4,
+        std::optional<std::size_t>{},
+        [](std::size_t stripe) { return std::optional<std::size_t>{stripe}; });
+    ASSERT_TRUE(got.has_value());
+    ++hits[*got];
+  }
+  // Every claim succeeds on the first sample, so exactly one sample in
+  // kStealPeriod targets the foreign block.
+  EXPECT_EQ(ctx.local_claims + ctx.steal_claims,
+            static_cast<std::uint64_t>(kClaims));
+  EXPECT_EQ(ctx.steal_claims,
+            static_cast<std::uint64_t>(kClaims) / sched::StripeMap::kStealPeriod);
+  // Stolen claims landed in the foreign block, everything else at home.
+  int foreign = 0;
+  for (int s = 4; s < 8; ++s) foreign += hits[s];
+  EXPECT_EQ(static_cast<std::uint64_t>(foreign), ctx.steal_claims);
+}
+
+TEST(StripeMap, StealReachesAnOtherwiseStarvedDomain) {
+  // Only a foreign stripe holds work: the steal schedule must reach it
+  // without waiting for the probe-limit fallback every time.
+  const sched::StripeMap map(8, 2);
+  HeadPolicy policy{{std::nullopt, std::nullopt, std::nullopt, std::nullopt,
+                     std::nullopt, std::nullopt, 9, std::nullopt}};
+  sched::StripeContext ctx;
+  ctx.domain = 0;
+  util::Rng rng(7);
+  const auto got = sched::sampling::select_and_claim_striped(
+      policy, map, ctx, rng, 2, /*probe_limit=*/1000,
+      std::optional<std::size_t>{},
+      [](std::size_t stripe) { return std::optional<std::size_t>{stripe}; });
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 6u);
+  EXPECT_EQ(ctx.steal_claims, 1u);
+  EXPECT_EQ(ctx.local_claims, 0u);
+}
+
+TEST(StripeMap, DisabledStealStillFindsForeignWorkViaTheGlobalScan) {
+  // steal_period 0: domain-local sampling only. The probe-limit fallback
+  // is a GLOBAL scan, so observed-empty keeps its flat meaning and the
+  // foreign stripe is still reachable — just slowly (the starved-domain
+  // quality leg measures the rank cost of exactly this configuration).
+  const sched::StripeMap map(8, 2, /*steal_period=*/0);
+  HeadPolicy policy{{std::nullopt, std::nullopt, std::nullopt, std::nullopt,
+                     5, std::nullopt, std::nullopt, std::nullopt}};
+  sched::StripeContext ctx;
+  ctx.domain = 0;
+  util::Rng rng(3);
+  const auto got = sched::sampling::select_and_claim_striped(
+      policy, map, ctx, rng, 2, /*probe_limit=*/4,
+      std::optional<std::size_t>{},
+      [](std::size_t stripe) { return std::optional<std::size_t>{stripe}; });
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 4u);
+}
+
+TEST(StripeMap, StripedClaimReportsEmptyOnlyAfterAGlobalScan) {
+  const sched::StripeMap map(8, 2);
+  HeadPolicy policy{std::vector<std::optional<int>>(8, std::nullopt)};
+  sched::StripeContext ctx;
+  ctx.domain = 1;
+  util::Rng rng(5);
+  const auto got = sched::sampling::select_and_claim_striped(
+      policy, map, ctx, rng, 2, /*probe_limit=*/4,
+      std::optional<std::size_t>{},
+      [](std::size_t stripe) { return std::optional<std::size_t>{stripe}; });
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(ctx.local_claims + ctx.steal_claims, 0u);
+}
+
+TEST(StripeMap, DomainInsertsStayInTheOwnBlock) {
+  const sched::StripeMap map(10, 2);  // blocks [0,5) and [5,10)
+  HeadPolicy policy{std::vector<std::optional<int>>(10, 1)};
+  util::Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t t0 =
+        sched::sampling::pick_uniform_in_domain(policy, map, 0, rng);
+    EXPECT_LT(t0, 5u);
+    const std::size_t t1 =
+        sched::sampling::pick_uniform_in_domain(policy, map, 1, rng);
+    EXPECT_GE(t1, 5u);
+    EXPECT_LT(t1, 10u);
+  }
+}
+
+}  // namespace
+}  // namespace relax

@@ -8,9 +8,14 @@ previous run's, flagging every cell whose throughput (tasks_per_s)
 dropped by more than --max-drop (default 25%).
 
 Cells are keyed by (workload, backend, threads, pop_batch, pop_batch_auto,
-policy, distribution); the last two are None for backend_matrix rows,
-which keeps legacy keys stable while steady_state rows — which sweep
-insert policies and key distributions — stay distinct per combination.
+policy, distribution, numa); policy/distribution are None for
+backend_matrix rows, and numa="off" folds into None so pre-topology
+baselines (no numa field) keep matching current flat rows. That keeps
+legacy keys stable while newer rows — which sweep insert policies,
+key distributions, and topology placement (--numa) — stay distinct per
+combination. Unknown per-row fields (e.g. the steady harness's
+throughput-over-time "buckets" array) are ignored entirely: only
+tasks_per_s is compared, so old baselines without them diff cleanly.
 
 Cells present only in the current snapshot are informational (axes
 legitimately grow). Cells present only in the BASELINE are their own
@@ -60,17 +65,30 @@ def cell_key(row):
         # baselines keep producing identical keys.
         row.get("policy"),
         row.get("distribution"),
+        # Topology placement axis. "off" (the flat default every new
+        # snapshot emits) folds into None so pre---numa baselines keep
+        # diffing against current default rows; only auto/virtual:K rows
+        # get distinct keys.
+        row.get("numa") if row.get("numa") != "off" else None,
     )
 
 
+def sort_key(key):
+    """Total order over cell keys whose optional fields mix None and str
+    (e.g. a flat row keyed numa=None next to numa='virtual:2')."""
+    return tuple((x is None, x) for x in key)
+
+
 def fmt_key(key):
-    workload, backend, threads, batch, auto, policy, dist = key
+    workload, backend, threads, batch, auto, policy, dist, numa = key
     batch_s = f"auto:{batch}" if auto else str(batch)
     out = f"{workload} x {backend} @ t={threads} batch={batch_s}"
     if policy is not None:
         out += f" policy={policy}"
     if dist is not None:
         out += f" dist={dist}"
+    if numa is not None:
+        out += f" numa={numa}"
     return out
 
 
@@ -80,7 +98,7 @@ def report_missing(baseline, current, annotate=True):
     them; annotation-only — missing cells never affect the exit status.
     annotate=False skips the printing (the self-test classifies without
     planting ::warning lines in CI logs)."""
-    missing = sorted(baseline.keys() - current.keys())
+    missing = sorted(baseline.keys() - current.keys(), key=sort_key)
     if annotate:
         for key in missing:
             print(
@@ -113,7 +131,7 @@ def diff_cells(baseline, current, max_drop):
     list of (key, old_tps, new_tps, relative_change)."""
     regressions = []
     improvements = []
-    for key, row in sorted(current.items()):
+    for key, row in sorted(current.items(), key=lambda kv: sort_key(kv[0])):
         old = baseline.get(key)
         if old is None:
             continue
@@ -207,6 +225,35 @@ def self_test():
     if cell_key(base_cell)[-2:] != (None, None):
         failures.append("legacy row did not key as policy/distribution=None")
 
+    # Topology axis compatibility: a pre---numa baseline row (no numa
+    # field) must key identically to a current numa="off" row — including
+    # one that also carries the steady harness's buckets array, which is
+    # not a compared metric — while numa="virtual:2" rows stay distinct.
+    numa_rows = roundtrip(
+        [
+            dict(steady_cell, numa="off", buckets=[500, 500]),
+            dict(steady_cell, numa="virtual:2", buckets=[250, 250]),
+        ]
+    )
+    if len(numa_rows) != 2:
+        failures.append(
+            f"numa axis collapse: expected 2 distinct cells, got "
+            f"{len(numa_rows)}"
+        )
+    legacy_steady = roundtrip([steady_cell])
+    regressions, improvements = diff_cells(legacy_steady, numa_rows, 0.25)
+    if regressions or improvements:
+        failures.append(
+            f"numa=off row did not diff cleanly against legacy baseline: "
+            f"{regressions} {improvements}"
+        )
+    if report_missing(legacy_steady, numa_rows, annotate=False):
+        failures.append(
+            "legacy (no-numa) baseline cell not matched by numa=off row"
+        )
+    if cell_key(dict(steady_cell, numa="off"))[-1] is not None:
+        failures.append("numa=off did not fold into the legacy None key")
+
     # Baseline-only cells are their own class: never regressions, and
     # report_missing must surface exactly the vanished keys.
     shrunk = dict(steady)
@@ -292,7 +339,7 @@ def main():
         print(f"::error::cannot read current bench snapshot: {e}")
         return 1
 
-    for key in sorted(current.keys() - baseline.keys()):
+    for key in sorted(current.keys() - baseline.keys(), key=sort_key):
         print(f"new cell (no baseline): {fmt_key(key)}")
     regressions, improvements = diff_cells(baseline, current, args.max_drop)
     missing = report_missing(baseline, current)

@@ -48,6 +48,7 @@
 #include "util/cli.h"
 #include "util/thread_pin.h"
 #include "util/timer.h"
+#include "util/topology.h"
 
 namespace {
 
@@ -74,6 +75,14 @@ using relax::graph::Graph;
                            drain and the max — 64 unless given — from
                            claim feedback + global occupancy; 0 and
                            non-numeric values are rejected)       [1]
+  --numa=off|auto|virtual:<K>  topology-aware placement (parallel modes,
+                           including --algo=sssp): auto discovers sockets
+                           from sysfs (flat fallback in containers that
+                           hide them), virtual:K splits the workers into K
+                           synthetic domains for deterministic testing.
+                           Workers pin socket-by-socket and scalable
+                           backends prefer same-domain sub-queues with a
+                           bounded cross-domain steal                 [off]
   --sched=multiqueue|spray|topk|kbounded   (seq-relaxed)    [multiqueue]
   --k=<relaxation>         relaxation factor (seq-relaxed,
                            and kbounded-family backends)    [8]
@@ -226,7 +235,27 @@ relax::core::ParallelOptions parallel_opts(
   if (cli.has("k"))
     opts.relaxation_k = static_cast<std::uint32_t>(cli.get_int("k", 0));
   opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string numa_value = cli.get_string("numa", "off");
+  const auto spec = relax::util::TopologySpec::parse(numa_value);
+  if (!spec) {
+    std::fprintf(stderr,
+                 "error: invalid --numa '%s': expected 'off', 'auto', or "
+                 "'virtual:<K>' with K >= 1\n\n",
+                 numa_value.c_str());
+    std::exit(2);
+  }
+  opts.topology = *spec;
   return opts;
+}
+
+/// seq / seq-relaxed run one thread with no placement to speak of.
+void warn_numa_unsupported(const relax::util::CommandLine& cli,
+                           const char* mode) {
+  if (!cli.has("numa") || cli.get_string("numa", "off") == "off") return;
+  std::fprintf(stderr,
+               "warning: --numa places pool workers; mode '%s' is "
+               "single-threaded, flag ignored\n",
+               mode);
 }
 
 void print_stats(const char* what, const ExecutionStats& stats) {
@@ -287,6 +316,7 @@ int run_graph_problem(const relax::util::CommandLine& cli,
   const bool verify = cli.get_bool("verify", true);
   if (mode == "seq") {
     warn_telemetry_unsupported("seq");
+    warn_numa_unsupported(cli, "seq");
     relax::util::Timer timer;
     const auto result = make_seq();
     std::printf("sequential: %.4f s\n", timer.seconds());
@@ -295,6 +325,7 @@ int run_graph_problem(const relax::util::CommandLine& cli,
   }
   if (mode == "seq-relaxed") {
     warn_telemetry_unsupported("seq-relaxed");
+    warn_numa_unsupported(cli, "seq-relaxed");
     auto problem = make_problem();
     const auto stats = run_seq_relaxed(problem, pri, cli);
     print_stats("seq-relaxed", stats);
@@ -405,6 +436,7 @@ int main(int argc, char** argv) {
     sssp_opts.seed = seed;
     sssp_opts.pop_batch = popts.pop_batch;
     sssp_opts.pop_batch_auto = popts.pop_batch_auto;
+    sssp_opts.topology = popts.topology;
     const auto dist = relax::algorithms::parallel_relaxed_sssp(
         g, weights, 0, sssp_opts, &stats);
     std::printf(
