@@ -234,8 +234,39 @@ std::vector<std::string> split_axis(const char* flag,
 
 }  // namespace
 
+[[noreturn]] void usage_and_exit(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "usage: bench_backend_matrix [flags]   (every axis flag is a "
+      "comma-separated list)\n"
+      "\n"
+      "  --n=<v> --m=<e>          G(n,m) workload size (default 4000 / "
+      "24000)\n"
+      "  --threads=<list>         thread-count axis (default 1,4)\n"
+      "  --pop-batch=<list>       labels per scheduler touch, each entry\n"
+      "                           <k>, 'auto', or 'auto:<max>' — 'auto'\n"
+      "                           enables the adaptive controller\n"
+      "                           (default 1,8,auto:8)\n"
+      "  --numa=<list>            topology-aware placement axis, each\n"
+      "                           entry off|auto|virtual:<K>; virtual:K\n"
+      "                           splits workers into K synthetic domains\n"
+      "                           for host-independent CI (default off)\n"
+      "  --backends=all|<list>    backend registry names (default all)\n"
+      "  --quality=0|1            also run the Definition 1 monitored\n"
+      "                           companion pass (default 1)\n"
+      "  --repeat=<r>             repetitions per cell, median reported\n"
+      "                           (default 3)\n"
+      "  --seed=<s>               base seed (default 1)\n"
+      "  --json=<path>            machine-readable artifact for\n"
+      "                           tools/bench_diff.py\n"
+      "  --help                   this text\n");
+  std::exit(error != nullptr ? 2 : 0);
+}
+
 int main(int argc, char** argv) {
   const relax::util::CommandLine cli(argc, argv);
+  if (cli.has("help")) usage_and_exit(nullptr);
   const auto n = static_cast<std::uint32_t>(cli.get_int("n", 4000));
   const auto m = static_cast<std::uint64_t>(cli.get_int("m", 24000));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));

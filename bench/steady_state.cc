@@ -98,8 +98,47 @@ bool write_json(const char* path, const std::vector<SteadyCell>& cells) {
 
 }  // namespace
 
+[[noreturn]] void usage_and_exit(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "usage: bench_steady_state [flags]   (every axis flag is a "
+      "comma-separated list)\n"
+      "\n"
+      "  --backends=<list>        backend registry names (default\n"
+      "                           multiqueue-c2,lockfree-multiqueue,\n"
+      "                           spraylist)\n"
+      "  --threads=<list>         thread-count axis (default 1,4)\n"
+      "  --pop-batch=<list>       labels per scheduler touch, each entry\n"
+      "                           <k>, 'auto', or 'auto:<max>' — 'auto'\n"
+      "                           enables the adaptive controller\n"
+      "                           (default 1,8)\n"
+      "  --numa=<list>            topology-aware placement axis, each\n"
+      "                           entry off|auto|virtual:<K>; virtual:K\n"
+      "                           splits workers into K synthetic domains\n"
+      "                           for host-independent CI (default off)\n"
+      "  --policies=all|<list>    insert policies (default uniform)\n"
+      "  --distributions=all|<list>\n"
+      "                           key distributions (default uniform)\n"
+      "  --prefill=<k>            keys resident before the timed window\n"
+      "                           (default 1000000)\n"
+      "  --time-ms=<t>            timed window length (default 1000)\n"
+      "  --runs=<r>               repetitions per cell, median reported\n"
+      "                           (default 3)\n"
+      "  --key-universe=<u>       key space size (default 4194304)\n"
+      "  --quality=0|1            also run the Definition 1 monitored\n"
+      "                           companion pass (default 1)\n"
+      "  --seed=<s>               base seed (default 1)\n"
+      "  --json=<path>            machine-readable artifact for\n"
+      "                           tools/bench_diff.py --fail (the binding\n"
+      "                           perf gate)\n"
+      "  --help                   this text\n");
+  std::exit(error != nullptr ? 2 : 0);
+}
+
 int main(int argc, char** argv) {
   const relax::util::CommandLine cli(argc, argv);
+  if (cli.has("help")) usage_and_exit(nullptr);
 
   SteadyConfig base;
   base.prefill = static_cast<std::size_t>(cli.get_int("prefill", 1'000'000));

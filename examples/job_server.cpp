@@ -1,14 +1,19 @@
-// Minimal job-server demo: one persistent SchedulingEngine serving a
-// request loop, the service-shaped way to use this library.
+// Minimal job-server demo — now a thin wrapper over the real subsystem.
+//
+// The serving machinery lives in src/server/ (the networked relax_server
+// binary runs the same code over TCP); this example drives it in-process
+// via ServerOptions::listen = false + JobServer::submit_local, so the demo
+// and the production server share one admission / completion path. What
+// used to be a hand-rolled ticket window here is now the engine's own
+// bounded admission: submissions beyond the --inflight window come back
+// BUSY and the demo waits for a completion before retrying — the same
+// backpressure a network client sees.
 //
 // A "request" names a framework problem (greedy MIS, coloring, or maximal
-// matching) over one of a few resident graphs. The server keeps a bounded
-// window of requests in flight (submission blocks on engine backpressure
-// beyond that, so a burst can never exhaust memory), completes them in
-// order, and reports per-request latency. Every `audit` -th request opts
-// into relaxation monitoring, so scheduler quality (Definition 1 rank
-// error / inversions) is sampled continuously in production without paying
-// the audit cost on every request.
+// matching) over the server's resident graph. Every `audit`-th request
+// opts into relaxation monitoring, so scheduler quality (Definition 1 rank
+// error / inversions) is sampled continuously without paying the audit
+// cost on every request.
 //
 // --backend selects the scheduler backend (any registry name from
 // sched/backend_registry.h) every request runs on; --backend=mix rotates
@@ -16,14 +21,15 @@
 // SprayList, and deterministic k-bounded jobs on the same pool.
 //
 // --pop-batch selects how many labels each worker claims per scheduler
-// touch (default 1). Batching amortizes the per-pop sample/lock round trip
-// — the audit requests report the matching O(pop_batch * q) rank-error
-// envelope, so the latency/quality trade is visible in the output.
+// touch (default 1; 'auto' or 'auto:<max>' enables the adaptive
+// controller). Batching amortizes the per-pop sample/lock round trip — the
+// audit requests report the matching O(pop_batch * q) rank-error envelope,
+// so the latency/quality trade is visible in the output.
 //
-// --metrics=<path|-> attaches an engine-wide obs::MetricsRegistry and dumps
-// it after the serving loop drains — the service "stats command": per-worker
-// slice/claim/park counters and latency percentiles in Prometheus text form
-// (JSON when the path ends in .json, stdout with '-').
+// --metrics=<path|-> attaches an obs::MetricsRegistry and dumps it after
+// the serving loop drains: per-worker engine counters plus the server's
+// request counts and request-latency histogram (Prometheus text form,
+// JSON when the path ends in .json, stdout with '-').
 //
 // --numa selects topology-aware placement (off | auto | virtual:<K>): the
 // pool pins socket-by-socket and every scalable backend the jobs stand up
@@ -36,34 +42,31 @@
 //                                     [--numa=off|auto|virtual:<K>]
 //                                     [--metrics=<path|->]
 #include <algorithm>
+#include <condition_variable>
 #include <cstdio>
-#include <memory>
+#include <deque>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
-#include "algorithms/coloring.h"
-#include "algorithms/matching.h"
-#include "algorithms/mis.h"
-#include "engine/engine.h"
-#include "graph/generators.h"
-#include "graph/permutation.h"
 #include "obs/metrics.h"
 #include "sched/backend_registry.h"
+#include "server/server.h"
+#include "server/server_cli.h"
 #include "util/cli.h"
 #include "util/timer.h"
-#include "util/topology.h"
 
 namespace {
 
-struct Request {
+namespace protocol = relax::server::protocol;
+
+/// What the submit loop remembers about an in-flight request, keyed by
+/// protocol id (completions arrive in engine order, not submission order).
+struct Pending {
   const char* kind;
   const relax::sched::BackendInfo* backend;
-  relax::engine::JobTicket ticket;
-  double submitted_at;
-  // Problem storage (exactly one is set, matching `kind`).
-  std::unique_ptr<relax::algorithms::AtomicMisProblem> mis;
-  std::unique_ptr<relax::algorithms::AtomicColoringProblem> coloring;
-  std::unique_ptr<relax::algorithms::AtomicMatchingProblem> matching;
+  std::uint32_t pop_batch;
 };
 
 }  // namespace
@@ -74,136 +77,124 @@ int main(int argc, char** argv) {
   const int inflight =
       std::max(1, static_cast<int>(cli.get_int("inflight", 4)));
   const int audit_every = static_cast<int>(cli.get_int("audit", 8));
-  const std::string pop_batch_value = cli.get_string("pop-batch", "1");
-  const auto pb = relax::engine::parse_pop_batch_flag(pop_batch_value);
-  if (!pb.valid) {
-    std::fprintf(stderr,
-                 "error: invalid --pop-batch '%s': expected a positive "
-                 "integer, 'auto', or 'auto:<max>'\n",
-                 pop_batch_value.c_str());
-    return 2;
-  }
-  const std::uint32_t pop_batch = pb.batch;
 
-  // Resolve the backend rotation: one fixed registry backend, or the whole
-  // registry round-robin with --backend=mix.
-  const std::string backend_flag = cli.get_string(
-      "backend", std::string(relax::sched::default_backend().name));
-  std::vector<const relax::sched::BackendInfo*> backends;
-  if (backend_flag == "mix") {
-    for (const auto& info : relax::sched::backend_registry())
-      backends.push_back(&info);
-  } else if (const auto* info = relax::sched::find_backend(backend_flag)) {
-    backends.push_back(info);
-  } else {
-    std::fprintf(stderr,
-                 "unknown --backend '%s'; valid: mix, %s\n",
-                 backend_flag.c_str(),
-                 relax::sched::backend_names().c_str());
-    return 2;
-  }
+  const auto pb =
+      relax::server::cli::parse_pop_batch(cli.get_string("pop-batch", "1"));
+  if (!pb) return 2;
 
-  // Resident data: a service would load these once at startup.
-  const auto g = relax::graph::gnm(4000, 24000, 1);
-  const auto pri = relax::graph::random_priorities(4000, 2);
-  const relax::algorithms::EdgeIncidence incidence(g);
-  const auto edge_pri =
-      relax::graph::random_priorities(incidence.num_edges(), 3);
+  const auto backends = relax::server::cli::resolve_backends(cli.get_string(
+      "backend", std::string(relax::sched::default_backend().name)));
+  if (backends.empty()) return 2;
 
-  // Telemetry sink outliving the engine; attached only when requested, so
-  // the default run pays no metric traffic at all.
+  const auto numa =
+      relax::server::cli::parse_numa(cli.get_string("numa", "off"));
+  if (!numa) return 2;
+
   const std::string metrics_path = cli.get_string("metrics", "");
   relax::obs::MetricsRegistry registry;
 
-  relax::engine::EngineOptions opts;
-  opts.num_threads = static_cast<unsigned>(cli.get_int("threads", 0));
-  opts.max_in_flight = static_cast<unsigned>(inflight);
-  const std::string numa_value = cli.get_string("numa", "off");
-  const auto numa_spec = relax::util::TopologySpec::parse(numa_value);
-  if (!numa_spec) {
-    std::fprintf(stderr,
-                 "error: invalid --numa '%s': expected 'off', 'auto', or "
-                 "'virtual:<K>' with K >= 1\n",
-                 numa_value.c_str());
-    return 2;
-  }
-  opts.topology = *numa_spec;
+  relax::server::ServerOptions opts;
+  opts.listen = false;  // in-process: submit_local only, no sockets
+  opts.engine.num_threads =
+      static_cast<unsigned>(cli.get_int("threads", 0));
+  opts.engine.max_in_flight = static_cast<unsigned>(inflight);
+  opts.engine.max_pending = static_cast<std::size_t>(inflight);
+  opts.engine.topology = *numa;
+  opts.default_pop_batch = pb->batch;
+  opts.default_pop_batch_auto = pb->adaptive;
   if (!metrics_path.empty()) opts.metrics = &registry;
-  relax::engine::SchedulingEngine engine(opts);
+  relax::server::JobServer server(std::move(opts));
+
   std::printf(
       "job_server: %u workers, %d jobs in flight, %d requests, pop-batch "
       "%u%s\n",
-      engine.width(), inflight, requests, pop_batch,
-      pb.adaptive ? " (adaptive)" : "");
+      server.engine().width(), inflight, requests, pb->batch,
+      pb->adaptive ? " (adaptive)" : "");
 
+  // Completion channel for the demo: submit_local's deliver callback runs
+  // on an engine worker; the main thread drains and prints.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<protocol::Response> done;
+  const auto deliver = [&](const protocol::Response& resp) {
+    {
+      std::lock_guard<std::mutex> guard(mu);
+      done.push_back(resp);
+    }
+    cv.notify_one();
+  };
+
+  std::unordered_map<std::uint64_t, Pending> pending;
   relax::util::Timer clock;
-  std::vector<Request> window;
   double latency_sum = 0.0;
   int completed = 0;
+  int in_flight = 0;
 
-  const auto complete_oldest = [&] {
-    Request req = std::move(window.front());
-    window.erase(window.begin());
-    const auto stats = req.ticket.wait();
-    const double latency_ms = (clock.seconds() - req.submitted_at) * 1e3;
+  const auto complete_one = [&] {
+    protocol::Response resp;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return !done.empty(); });
+      resp = std::move(done.front());
+      done.pop_front();
+    }
+    --in_flight;
+    const Pending meta = pending.at(resp.id);
+    pending.erase(resp.id);
+    const double latency_ms =
+        static_cast<double>(resp.latency_ns) / 1e6;
     latency_sum += latency_ms;
     ++completed;
     std::printf("  #%-3d %-8s %-20s %7.2f ms  iters=%llu wasted=%llu",
-                completed, req.kind,
-                std::string(req.backend->name).c_str(), latency_ms,
-                static_cast<unsigned long long>(stats.iterations),
-                static_cast<unsigned long long>(stats.failed_deletes));
-    if (stats.rank_samples > 0) {
+                completed, meta.kind,
+                std::string(meta.backend->name).c_str(), latency_ms,
+                static_cast<unsigned long long>(resp.iterations),
+                static_cast<unsigned long long>(resp.failed_deletes));
+    if (resp.rank_samples > 0) {
       relax::sched::BackendParams bp;
-      bp.threads = engine.width();
-      const auto envelope =
-          relax::sched::batched_rank_bound(*req.backend, bp, pop_batch);
+      bp.threads = server.engine().width();
+      const auto envelope = relax::sched::batched_rank_bound(
+          *meta.backend, bp, meta.pop_batch);
       std::printf("  [audit: mean rank err %.2f, max %llu, envelope %llu]",
-                  stats.mean_rank_error,
-                  static_cast<unsigned long long>(stats.max_rank_error),
+                  resp.mean_rank_error,
+                  static_cast<unsigned long long>(resp.max_rank_error),
                   static_cast<unsigned long long>(envelope));
     }
     std::printf("\n");
   };
 
+  static const char* const kKindNames[3] = {"mis", "coloring", "matching"};
   for (int r = 0; r < requests; ++r) {
-    if (window.size() >= static_cast<std::size_t>(inflight))
-      complete_oldest();
+    protocol::Request req;
+    req.id = static_cast<std::uint64_t>(r) + 1;
+    req.kind = static_cast<protocol::Kind>(r % 3);
+    req.seed = static_cast<std::uint64_t>(r) + 1;
+    req.pop_batch = pb->batch;
+    req.pop_batch_auto = pb->adaptive;
+    req.audit = audit_every > 0 && r % audit_every == 0;
+    const auto* backend =
+        backends[static_cast<std::size_t>(r) % backends.size()];
+    req.backend = std::string(backend->name);
+    pending.emplace(req.id, Pending{kKindNames[r % 3], backend, pb->batch});
 
-    Request req;
-    req.submitted_at = clock.seconds();
-    req.backend = backends[static_cast<std::size_t>(r) % backends.size()];
-    relax::engine::JobConfig cfg;
-    cfg.seed = static_cast<std::uint64_t>(r) + 1;
-    cfg.pop_batch = pop_batch;
-    cfg.pop_batch_auto = pb.adaptive;
-    cfg.monitor_relaxation = audit_every > 0 && r % audit_every == 0;
-    switch (r % 3) {
-      case 0:
-        req.kind = "mis";
-        req.mis = std::make_unique<relax::algorithms::AtomicMisProblem>(g, pri);
-        req.ticket =
-            engine.submit_relaxed_backend(*req.mis, pri, *req.backend, cfg);
-        break;
-      case 1:
-        req.kind = "coloring";
-        req.coloring =
-            std::make_unique<relax::algorithms::AtomicColoringProblem>(g, pri);
-        req.ticket = engine.submit_relaxed_backend(*req.coloring, pri,
-                                                   *req.backend, cfg);
-        break;
-      default:
-        req.kind = "matching";
-        req.matching =
-            std::make_unique<relax::algorithms::AtomicMatchingProblem>(
-                incidence, edge_pri);
-        req.ticket = engine.submit_relaxed_backend(*req.matching, edge_pri,
-                                                   *req.backend, cfg);
-        break;
+    // Bounded window: admission overflow comes back BUSY; completing one
+    // request always frees a slot, so the retry loop makes progress.
+    for (;;) {
+      protocol::Response immediate;
+      const auto status = server.submit_local(req, deliver, &immediate);
+      if (status == protocol::Status::kOk) break;
+      if (status == protocol::Status::kBusy) {
+        complete_one();
+        continue;
+      }
+      std::fprintf(stderr, "request #%d rejected: %s\n", r,
+                   immediate.message.c_str());
+      pending.erase(req.id);
+      return 1;
     }
-    window.push_back(std::move(req));
+    ++in_flight;
   }
-  while (!window.empty()) complete_oldest();
+  while (in_flight > 0) complete_one();
 
   const double total = clock.seconds();
   std::printf(
@@ -212,22 +203,6 @@ int main(int argc, char** argv) {
       total > 0.0 ? static_cast<double>(completed) / total : 0.0,
       completed > 0 ? latency_sum / completed : 0.0);
 
-  if (!metrics_path.empty()) {
-    const bool json = metrics_path.size() >= 5 &&
-                      metrics_path.compare(metrics_path.size() - 5, 5,
-                                           ".json") == 0;
-    const std::string text =
-        json ? registry.to_json() : registry.to_prometheus();
-    if (metrics_path == "-") {
-      std::fwrite(text.data(), 1, text.size(), stdout);
-    } else if (std::FILE* f = std::fopen(metrics_path.c_str(), "w")) {
-      std::fwrite(text.data(), 1, text.size(), f);
-      std::fclose(f);
-      std::printf("metrics written to %s\n", metrics_path.c_str());
-    } else {
-      std::fprintf(stderr, "warning: cannot write '%s'\n",
-                   metrics_path.c_str());
-    }
-  }
+  relax::server::cli::dump_metrics(registry, metrics_path);
   return 0;
 }

@@ -67,12 +67,32 @@ SchedulingEngine::~SchedulingEngine() {
   pool_.stop();
 }
 
-JobTicket SchedulingEngine::submit(std::shared_ptr<Job> job) {
+JobTicket SchedulingEngine::submit(std::shared_ptr<Job> job,
+                                   CompletionFn on_complete) {
   auto state = std::make_shared<JobTicket::State>();
+  state->on_complete = std::move(on_complete);
   {
     std::unique_lock<std::mutex> lock(mu_);
     space_cv_.wait(lock,
                    [&] { return pending_.size() < opts_.max_pending; });
+    ++submitted_;
+    pending_.push_back(Admitted{std::move(job), state, submitted_});
+    admit(lock);
+  }
+  if (opts_.metrics != nullptr) opts_.metrics->jobs_submitted().add();
+  pool_.notify();
+  return JobTicket(std::move(state));
+}
+
+std::optional<JobTicket> SchedulingEngine::try_submit(
+    std::shared_ptr<Job> job, CompletionFn on_complete) {
+  auto state = std::make_shared<JobTicket::State>();
+  state->on_complete = std::move(on_complete);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Same bound the blocking submit waits on; rejecting here instead of
+    // waiting is the whole point — the caller sheds load explicitly.
+    if (pending_.size() >= opts_.max_pending) return std::nullopt;
     ++submitted_;
     pending_.push_back(Admitted{std::move(job), state, submitted_});
     admit(lock);
@@ -214,6 +234,10 @@ void SchedulingEngine::finish(const Admitted& admitted) {
   admitted.state->cv.notify_all();
   drain_cv_.notify_all();
   pool_.notify();  // wake parked workers for any newly admitted jobs
+  // Callback completion, strictly after the ticket: a waiter woken by the
+  // notify above and the callback both observe the same fulfilled state,
+  // and the callback may free job-borrowed resources (see CompletionFn).
+  if (admitted.state->on_complete) admitted.state->on_complete(stats);
 }
 
 std::uint64_t SchedulingEngine::jobs_submitted() const {

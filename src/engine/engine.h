@@ -34,8 +34,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -84,6 +86,19 @@ struct EngineOptions {
 
 class SchedulingEngine;
 
+/// Completion callback attached to a submission (the callback-completion
+/// alternative to blocking on JobTicket::wait()). Invoked exactly once, by
+/// the worker that reaps the job, after the ticket is fulfilled — so a
+/// concurrent wait() on the same job is guaranteed to return. Runs on an
+/// engine worker thread: it must be lightweight (hand the stats off to
+/// another thread — a channel, a queue, an eventfd — rather than doing real
+/// work), must not call wait() on any ticket of the same engine, and must
+/// not call the blocking submit() (both can deadlock the pool against
+/// itself). Resources the job borrows (problem storage, caller-owned
+/// queues) may be released from inside the callback: the engine is done
+/// with the job before it fires.
+using CompletionFn = std::function<void(const core::ExecutionStats&)>;
+
 /// Handle to one submitted job. Copyable; wait() may be called from any
 /// thread except the engine's own workers, any number of times.
 class JobTicket {
@@ -106,6 +121,8 @@ class JobTicket {
     std::atomic<bool> reaped{false};      // reaper election
     std::atomic<bool> sealed{false};      // no new slices may start
     std::atomic<unsigned> in_slice{0};    // workers currently inside a slice
+    CompletionFn on_complete;             // set before publication, fired by
+                                          // the reaper after the ticket
   };
 
   explicit JobTicket(std::shared_ptr<State> state)
@@ -125,8 +142,33 @@ class SchedulingEngine {
   SchedulingEngine& operator=(const SchedulingEngine&) = delete;
 
   /// Submits a type-erased job. Blocks while the admission queue holds
-  /// max_pending jobs (backpressure; nothing is ever dropped).
-  JobTicket submit(std::shared_ptr<Job> job);
+  /// max_pending jobs (backpressure; nothing is ever dropped). With a
+  /// callback, completion additionally fires `on_complete` (see
+  /// CompletionFn for the threading contract) — the ticket stays valid
+  /// either way, so callers may mix both completion styles.
+  JobTicket submit(std::shared_ptr<Job> job, CompletionFn on_complete = {});
+
+  /// Non-blocking admission: like submit(), but when the admission queue
+  /// already holds max_pending jobs it returns nullopt immediately instead
+  /// of blocking — the caller decides what backpressure means (the network
+  /// front-end in src/server/ sheds load with an explicit BUSY response).
+  /// Never drops an accepted job: a returned ticket is a submitted job.
+  std::optional<JobTicket> try_submit(std::shared_ptr<Job> job,
+                                      CompletionFn on_complete = {});
+
+  /// Non-blocking, callback-completed form of submit_relaxed_backend — the
+  /// request path of the network front-end. nullopt == admission full
+  /// (nothing was enqueued; the problem may be freed immediately).
+  template <core::Problem P>
+  std::optional<JobTicket> try_submit_relaxed_backend(
+      P& problem, const graph::Priorities& pri,
+      const sched::BackendInfo& backend, const JobConfig& cfg,
+      CompletionFn on_complete) {
+    return try_submit(
+        make_backend_job(backend, problem, pri, width(),
+                         with_observability(cfg)),
+        std::move(on_complete));
+  }
 
   /// Relaxed execution over an engine-owned ConcurrentMultiQueue sized
   /// cfg.queue_factor sub-queues per worker — the production default. With

@@ -108,6 +108,13 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   }
   snap.jobs_submitted = jobs_submitted_.value();
   snap.jobs_completed = jobs_completed_.value();
+  snap.server.requests_accepted = server_.requests_accepted.value();
+  snap.server.requests_rejected = server_.requests_rejected.value();
+  snap.server.requests_completed = server_.requests_completed.value();
+  snap.server.request_errors = server_.request_errors.value();
+  snap.server.connections_opened = server_.connections_opened.value();
+  snap.server.connections_closed = server_.connections_closed.value();
+  snap.server.request_latency_ns = server_.request_latency_ns.snapshot();
   return snap;
 }
 
@@ -188,6 +195,39 @@ std::string MetricsRegistry::to_prometheus() const {
                  snap.claim_size);
   prom_histogram(out, "relax_park_ns", "parked duration per park",
                  snap.park_ns);
+  // Front-end request accounting: emitted only when the server layer ever
+  // recorded, so engine-only users keep their exact historical exposition.
+  if (snap.server.requests_accepted + snap.server.requests_rejected +
+          snap.server.request_errors + snap.server.connections_opened >
+      0) {
+    const auto scalar = [&](const char* name, const char* help,
+                            std::uint64_t v) {
+      append(out,
+             "# HELP %s %s\n# TYPE %s counter\n%s %" PRIu64 "\n", name, help,
+             name, name, v);
+    };
+    scalar("relax_server_requests_accepted_total",
+           "requests admitted into the engine", snap.server.requests_accepted);
+    scalar("relax_server_requests_rejected_total",
+           "requests shed with BUSY (admission queue full)",
+           snap.server.requests_rejected);
+    scalar("relax_server_requests_completed_total",
+           "requests completed with an OK response",
+           snap.server.requests_completed);
+    scalar("relax_server_request_errors_total",
+           "malformed frames or invalid request fields",
+           snap.server.request_errors);
+    scalar("relax_server_connections_opened_total", "connections accepted",
+           snap.server.connections_opened);
+    scalar("relax_server_connections_closed_total", "connections closed",
+           snap.server.connections_closed);
+    prom_histogram(out, "relax_server_request_latency_ns",
+                   "accept-to-completion latency per OK request",
+                   snap.server.request_latency_ns);
+    prom_quantiles(out, "relax_server_request_latency_ns_quantile",
+                   "request latency percentiles (interpolated log2 buckets)",
+                   snap.server.request_latency_ns);
+  }
   return out;
 }
 
@@ -228,6 +268,17 @@ std::string MetricsRegistry::to_json() const {
   json_histogram(out, "slice_latency_ns", snap.slice_ns, true);
   json_histogram(out, "claim_size", snap.claim_size, true);
   json_histogram(out, "park_ns", snap.park_ns, false);
+  append(out,
+         "}, \"server\": {\"requests_accepted\": %" PRIu64
+         ", \"requests_rejected\": %" PRIu64
+         ", \"requests_completed\": %" PRIu64 ", \"request_errors\": %" PRIu64
+         ", \"connections_opened\": %" PRIu64
+         ", \"connections_closed\": %" PRIu64 ", ",
+         snap.server.requests_accepted, snap.server.requests_rejected,
+         snap.server.requests_completed, snap.server.request_errors,
+         snap.server.connections_opened, snap.server.connections_closed);
+  json_histogram(out, "request_latency_ns", snap.server.request_latency_ns,
+                 false);
   out += "}}\n";
   return out;
 }

@@ -112,6 +112,31 @@ struct WorkerMetrics {
   AtomicHistogram park_ns;   // parked duration per park
 };
 
+/// Front-end (src/server/) request accounting: one block per registry, not
+/// per worker — the epoll thread and the reaping workers both write here,
+/// which the atomic counters tolerate (multi-writer relaxed adds, unlike
+/// the single-writer-by-layout worker blocks).
+struct ServerMetrics {
+  Counter requests_accepted;   // admitted into the engine
+  Counter requests_rejected;   // shed with BUSY (admission queue full)
+  Counter requests_completed;  // OK responses produced
+  Counter request_errors;      // malformed frames / bad request fields
+  Counter connections_opened;
+  Counter connections_closed;
+  AtomicHistogram request_latency_ns;  // accept -> completion callback
+};
+
+/// Plain point-in-time copy of the server block.
+struct ServerSnapshot {
+  std::uint64_t requests_accepted = 0;
+  std::uint64_t requests_rejected = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t request_errors = 0;
+  std::uint64_t connections_opened = 0;
+  std::uint64_t connections_closed = 0;
+  Histogram request_latency_ns;
+};
+
 /// Plain point-in-time copy of one worker's block.
 struct WorkerSnapshot {
   std::uint64_t slices = 0;
@@ -146,6 +171,7 @@ struct MetricsSnapshot {
   Histogram slice_ns;    // merged over workers
   Histogram claim_size;  // merged over workers
   Histogram park_ns;     // merged over workers
+  ServerSnapshot server;
 };
 
 class MetricsRegistry {
@@ -159,6 +185,7 @@ class MetricsRegistry {
     workers_.assign(workers, util::Padded<WorkerMetrics>{});
     jobs_submitted_ = Counter{};
     jobs_completed_ = Counter{};
+    server_ = ServerMetrics{};
   }
 
   [[nodiscard]] unsigned width() const noexcept {
@@ -173,6 +200,10 @@ class MetricsRegistry {
 
   Counter& jobs_submitted() noexcept { return jobs_submitted_; }
   Counter& jobs_completed() noexcept { return jobs_completed_; }
+
+  /// Front-end request/connection accounting (src/server/). Multi-writer:
+  /// the epoll thread and reaping workers record concurrently.
+  ServerMetrics& server() noexcept { return server_; }
 
   /// Point-in-time copy, callable from any thread concurrently with
   /// recording (monitoring-consistent; see file header).
@@ -191,6 +222,7 @@ class MetricsRegistry {
   std::vector<util::Padded<WorkerMetrics>> workers_;
   Counter jobs_submitted_;
   Counter jobs_completed_;
+  ServerMetrics server_;
 };
 
 }  // namespace relax::obs
