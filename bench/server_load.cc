@@ -18,7 +18,13 @@
 //          [--connections=4] [--rate=200] [--time-ms=2000]
 //          [--kind=mis|coloring|matching|mix] [--backend=<name>]
 //          [--pop-batch=<k>|auto[:max]] [--audit-every=0] [--seed=1]
-//          [--drain-ms=2000]
+//          [--drain-ms=2000] [--weights=a,b,c]
+//
+// --weights assigns QoS weights per *connection* (connection i takes
+// weights[i % len]), so one invocation can offer a weighted tenant mix and
+// report ok-counts and latency split per weight class — the client-side
+// view of the server's QosGovernor (docs/ARCHITECTURE.md, Multi-tenant
+// QoS).
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -30,6 +36,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -75,6 +82,12 @@ using Clock = std::chrono::steady_clock;
       "  --audit-every=<k>        every k-th request runs under the\n"
       "                           Definition 1 relaxation monitor\n"
       "                           (0 = never; default 0)\n"
+      "  --weights=<a,b,...>      QoS weight per connection (connection i\n"
+      "                           takes entry i mod len); 0 = server\n"
+      "                           default weight. With more than one\n"
+      "                           distinct weight the report splits ok\n"
+      "                           counts and latency per weight class\n"
+      "                           (default 0)\n"
       "  --seed=<s>               base scheduler seed (default 1)\n"
       "  --drain-ms=<t>           wait for stragglers after the send\n"
       "                           window before declaring drops\n"
@@ -83,9 +96,20 @@ using Clock = std::chrono::steady_clock;
   std::exit(error != nullptr ? 2 : 0);
 }
 
+/// Per-weight-class slice of the results (tenant view of QoS fairness).
+struct WeightBucket {
+  std::uint32_t weight = 0;  // 0 = server default
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> busy{0};
+  std::mutex hist_mu;
+  relax::obs::Histogram ok_latency_ns;
+};
+
 /// One TCP connection plus the in-flight map its receiver thread resolves.
 struct Conn {
   int fd = -1;
+  std::uint32_t weight = 0;        // QoS weight every request carries
+  WeightBucket* bucket = nullptr;  // shared per-weight results slice
   std::mutex mu;
   std::unordered_map<std::uint64_t, Clock::time_point> sent_at;
   std::thread receiver;
@@ -98,6 +122,28 @@ struct Totals {
   std::mutex hist_mu;
   relax::obs::Histogram ok_latency_ns;
 };
+
+/// Parses "--weights=a,b,c" into per-connection weight entries. Each entry
+/// must be in [0, 1024]; 0 means "server default".
+bool parse_weights(const std::string& flag,
+                   std::vector<std::uint32_t>* out) {
+  out->clear();
+  std::size_t pos = 0;
+  while (pos <= flag.size()) {
+    const std::size_t comma = flag.find(',', pos);
+    const std::string tok =
+        flag.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    if (tok.empty()) return false;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || v > 1024) return false;
+    out->push_back(static_cast<std::uint32_t>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
 
 int dial(const std::string& host, std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -165,18 +211,29 @@ void receive_loop(Conn& conn, Totals& totals) {
       switch (resp->status) {
         case protocol::Status::kOk: {
           totals.ok.fetch_add(1, std::memory_order_relaxed);
+          if (conn.bucket != nullptr)
+            conn.bucket->ok.fetch_add(1, std::memory_order_relaxed);
           if (known) {
             const auto ns =
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     Clock::now() - sent)
                     .count();
-            std::lock_guard<std::mutex> guard(totals.hist_mu);
-            totals.ok_latency_ns.record(static_cast<std::uint64_t>(ns));
+            {
+              std::lock_guard<std::mutex> guard(totals.hist_mu);
+              totals.ok_latency_ns.record(static_cast<std::uint64_t>(ns));
+            }
+            if (conn.bucket != nullptr) {
+              std::lock_guard<std::mutex> guard(conn.bucket->hist_mu);
+              conn.bucket->ok_latency_ns.record(
+                  static_cast<std::uint64_t>(ns));
+            }
           }
           break;
         }
         case protocol::Status::kBusy:
           totals.busy.fetch_add(1, std::memory_order_relaxed);
+          if (conn.bucket != nullptr)
+            conn.bucket->busy.fetch_add(1, std::memory_order_relaxed);
           break;
         case protocol::Status::kError:
           totals.error.fetch_add(1, std::memory_order_relaxed);
@@ -233,10 +290,28 @@ int main(int argc, char** argv) {
     pop_batch_auto = pb->adaptive;
   }
 
+  std::vector<std::uint32_t> weights{0};
+  if (cli.has("weights") &&
+      !parse_weights(cli.get_string("weights", "0"), &weights)) {
+    usage_and_exit("--weights expects comma-separated integers in [0,1024]");
+  }
+  // One result bucket per *distinct* weight, shared by every connection of
+  // that class, so the report reads as tenants rather than sockets.
+  std::vector<std::unique_ptr<WeightBucket>> buckets;
+  auto bucket_for = [&buckets](std::uint32_t w) -> WeightBucket* {
+    for (auto& b : buckets)
+      if (b->weight == w) return b.get();
+    buckets.push_back(std::make_unique<WeightBucket>());
+    buckets.back()->weight = w;
+    return buckets.back().get();
+  };
+
   std::vector<std::unique_ptr<Conn>> conns;
   Totals totals;
   for (std::size_t i = 0; i < connections; ++i) {
     auto conn = std::make_unique<Conn>();
+    conn->weight = weights[i % weights.size()];
+    conn->bucket = bucket_for(conn->weight);
     conn->fd = dial(host, port);
     if (conn->fd < 0) {
       std::fprintf(stderr, "error: cannot connect to %s:%u: %s\n",
@@ -277,6 +352,7 @@ int main(int argc, char** argv) {
     req.backend = backend;
 
     Conn& conn = *conns[static_cast<std::size_t>(sent) % conns.size()];
+    req.weight = conn.weight;
     {
       std::lock_guard<std::mutex> guard(conn.mu);
       conn.sent_at.emplace(req.id, Clock::now());
@@ -341,6 +417,29 @@ int main(int argc, char** argv) {
         totals.ok_latency_ns.percentile(95) / 1e6,
         totals.ok_latency_ns.percentile(99) / 1e6,
         static_cast<double>(totals.ok_latency_ns.max()) / 1e6);
+  }
+  // Per-weight split: the tenant-side fairness readout. Shares of the OK
+  // total should track the weight ratio when the server pool saturates.
+  if (buckets.size() > 1) {
+    for (const auto& b : buckets) {
+      const std::uint64_t b_ok = b->ok.load();
+      const double share =
+          ok > 0 ? 100.0 * static_cast<double>(b_ok) /
+                       static_cast<double>(ok)
+                 : 0.0;
+      char wlabel[16];
+      if (b->weight == 0)
+        std::snprintf(wlabel, sizeof(wlabel), "default");
+      else
+        std::snprintf(wlabel, sizeof(wlabel), "%u", b->weight);
+      std::printf(
+          "  weight=%s: ok=%llu (%.1f%% of ok) busy=%llu  "
+          "p50=%.2f ms p99=%.2f ms\n",
+          wlabel, static_cast<unsigned long long>(b_ok), share,
+          static_cast<unsigned long long>(b->busy.load()),
+          b_ok > 0 ? b->ok_latency_ns.percentile(50) / 1e6 : 0.0,
+          b_ok > 0 ? b->ok_latency_ns.percentile(99) / 1e6 : 0.0);
+    }
   }
   // Drops are the one unacceptable outcome: every admitted-or-shed request
   // owes a response. BUSY under saturation is expected; silence is a bug.

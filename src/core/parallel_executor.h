@@ -59,6 +59,12 @@ struct ParallelOptions {
                                  // jobs AND by SSSP's standalone executor
                                  // (algorithms::SsspOptions mirrors it)
   std::uint64_t seed = 1;        // scheduler randomness
+  std::uint32_t weight = 1;      // QoS tenant weight (engine/qos.h);
+                                 // meaningful when the job shares an
+                                 // engine with others — these one-shot
+                                 // wrappers run solo (full budget), so it
+                                 // mostly flows through for API symmetry
+                                 // with the server path
   bool pin_threads = true;
   util::TopologySpec topology;   // --numa: off (flat, default), auto
                                  // (sysfs sockets, flat fallback), or
@@ -99,6 +105,7 @@ inline engine::JobConfig job_config(const ParallelOptions& opts) {
   cfg.pop_batch = opts.pop_batch;
   cfg.pop_batch_auto = opts.pop_batch_auto;
   cfg.seed = opts.seed;
+  cfg.weight = opts.weight;
   return cfg;
 }
 

@@ -57,6 +57,9 @@ SchedulingEngine::SchedulingEngine(EngineOptions opts)
   if (opts_.max_in_flight == 0) opts_.max_in_flight = 1;
   if (opts_.max_pending == 0) opts_.max_pending = 1;
   if (opts_.slice_budget == 0) opts_.slice_budget = 1;
+  // Safe after the pool spawned: workers only consult the governor through
+  // Admitted::tenant, and no job can be admitted before this returns.
+  qos_.configure(opts_.slice_budget, opts_.metrics);
 }
 
 SchedulingEngine::~SchedulingEngine() {
@@ -116,6 +119,10 @@ void SchedulingEngine::admit(std::unique_lock<std::mutex>& lock) {
     admitted.job->activate(pool_.size());
     lock.lock();
     --activating_;
+    // Register the tenant under mu_ (the governor's aggregate counters are
+    // serialized here) before publication, so every worker-cache copy of
+    // this entry carries the ledger.
+    admitted.tenant = qos_.admit(admitted.id, admitted.job->weight());
     active_.push_back(std::move(admitted));
     active_version_.fetch_add(1, std::memory_order_release);
   }
@@ -154,16 +161,29 @@ bool SchedulingEngine::work(unsigned worker) {
     // write stat stripes concurrently with collect().
     admitted.state->in_slice.fetch_add(1);
     if (!admitted.state->sealed.load()) {
+      // Budget grant through the QoS governor — the one choke point where
+      // fixed slice_budget became per-tenant policy. Jobs submitted before
+      // the governor existed in a cache snapshot (tenant == nullptr only
+      // for entries admitted by older engines' caches; defensively keep
+      // the fixed budget there).
+      const std::uint32_t budget = admitted.tenant != nullptr
+                                       ? qos_.grant(*admitted.tenant)
+                                       : opts_.slice_budget;
       if (!observing) {
-        if (admitted.job->run_slice(worker, opts_.slice_budget)) any = true;
+        const SliceResult r = admitted.job->run_slice(worker, budget);
+        if (admitted.tenant != nullptr)
+          qos_.report(*admitted.tenant, budget, r.iterations, /*slice_ns=*/0);
+        if (r.progress) any = true;
       } else {
         const std::uint64_t start_ns =
             opts_.trace != nullptr ? opts_.trace->now_ns() : 0;
         util::Timer slice_timer;
-        const bool progress =
-            admitted.job->run_slice(worker, opts_.slice_budget);
+        const SliceResult r = admitted.job->run_slice(worker, budget);
+        const bool progress = r.progress;
         const std::uint64_t dur_ns =
             static_cast<std::uint64_t>(slice_timer.seconds() * 1e9);
+        if (admitted.tenant != nullptr)
+          qos_.report(*admitted.tenant, budget, r.iterations, dur_ns);
         if (opts_.metrics != nullptr && worker < opts_.metrics->width()) {
           auto& wm = opts_.metrics->worker(worker);
           if (progress) {
@@ -223,6 +243,9 @@ void SchedulingEngine::finish(const Admitted& admitted) {
                                }));
     active_version_.fetch_add(1, std::memory_order_release);
     ++completed_;
+    // Drop the tenant from the governor's aggregates under the same lock
+    // that registered it; the remaining tenants' shares widen immediately.
+    if (admitted.tenant != nullptr) qos_.release(*admitted.tenant);
     admit(lock);
   }
   if (opts_.metrics != nullptr) opts_.metrics->jobs_completed().add();

@@ -46,6 +46,7 @@
 #include "core/problem.h"
 #include "engine/backend_jobs.h"
 #include "engine/job.h"
+#include "engine/qos.h"
 #include "engine/worker_pool.h"
 #include "graph/permutation.h"
 #include "sched/backend_registry.h"
@@ -241,6 +242,10 @@ class SchedulingEngine {
     std::shared_ptr<Job> job;
     std::shared_ptr<JobTicket::State> state;
     std::uint64_t id = 0;  // 1-based submission order; trace-event job label
+    /// QoS ledger, attached at activation (admit()) and shared by every
+    /// worker-cache copy of this entry; workers consult it for each
+    /// slice's budget grant.
+    std::shared_ptr<TenantState> tenant;
   };
 
   /// Fills unset per-job telemetry sinks from the engine-wide ones in
@@ -296,6 +301,10 @@ class SchedulingEngine {
   std::atomic<std::uint64_t> active_version_{0};  // bumped under mu_
   std::uint64_t submitted_ = 0;       // guarded by mu_
   std::uint64_t completed_ = 0;       // guarded by mu_
+  /// Slice-budget policy (engine/qos.h): admit()/finish() register tenants
+  /// under mu_; work() consults it lock-free for every budget grant.
+  /// Declared before pool_ so it exists before any worker thread spawns.
+  QosGovernor qos_;
   std::vector<util::Padded<WorkerCache>> worker_caches_;
   WorkerPool pool_;  // last member: workers touch the state above
 };

@@ -115,6 +115,14 @@ namespace relax::engine {
 /// parameterize schedulers the job owns; they are ignored for caller-owned
 /// queues (submit_relaxed_on).
 struct JobConfig {
+  /// Ceiling on QoS weights; far above any sensible tenant ratio, this
+  /// only bounds the weighted-share arithmetic against nonsense values.
+  static constexpr std::uint32_t kMaxWeight = 1024;
+  /// Multi-tenant QoS weight (engine/qos.h). Under contention a weight-2
+  /// tenant receives ~2x the slice budget of a weight-1 tenant; solo
+  /// tenants always get the full budget. Clamped to [1, kMaxWeight] by
+  /// the jobs; 0 is treated as 1.
+  std::uint32_t weight = 1;
   unsigned queue_factor = 4;       // MultiQueue sub-queues per pool worker
   unsigned choices = 2;            // sampled sub-queues per pop; only the
                                    // default submit_relaxed MultiQueue path
@@ -213,6 +221,16 @@ inline PopBatchFlag parse_pop_batch_flag(std::string_view value) {
   return flag;
 }
 
+/// What one run_slice visit accomplished. `iterations` is the scheduler
+/// iterations actually consumed of the granted budget — the QoS governor
+/// settles the tenant's deficit ledger from it; `progress` keeps the old
+/// boolean meaning (popped a task or admitted labels) the engine's
+/// idle-backoff reads.
+struct SliceResult {
+  std::uint32_t iterations = 0;
+  bool progress = false;
+};
+
 class Job {
  public:
   virtual ~Job() = default;
@@ -223,9 +241,15 @@ class Job {
   virtual void activate(unsigned pool_width) = 0;
 
   /// Runs up to `budget` scheduler iterations on behalf of `worker`
-  /// (a stable id < pool_width). Returns true if the slice made progress
-  /// (popped a task or admitted labels); false lets the caller back off.
-  virtual bool run_slice(unsigned worker, std::uint32_t budget) = 0;
+  /// (a stable id < pool_width). Reports the iterations consumed and
+  /// whether the slice made progress (popped a task or admitted labels;
+  /// false lets the caller back off).
+  virtual SliceResult run_slice(unsigned worker, std::uint32_t budget) = 0;
+
+  /// The job's QoS weight (JobConfig::weight), read once at admission by
+  /// the engine's QosGovernor. Virtual because the type-erased
+  /// submit(shared_ptr<Job>) path never sees a JobConfig.
+  [[nodiscard]] virtual std::uint32_t weight() const noexcept { return 1; }
 
   [[nodiscard]] virtual bool finished() const noexcept = 0;
 
@@ -331,6 +355,8 @@ class RelaxedJob : public TaskJobBase {
         pop_batch_(std::clamp<std::uint32_t>(cfg.pop_batch, 1,
                                              JobConfig::kMaxPopBatch)),
         adaptive_(cfg.pop_batch_auto),
+        weight_(std::clamp<std::uint32_t>(cfg.weight, 1,
+                                          JobConfig::kMaxWeight)),
         numa_domains_(std::max(cfg.numa_domains, 1u)),
         worker_domains_(cfg.worker_domains),
         metrics_(cfg.metrics),
@@ -352,9 +378,13 @@ class RelaxedJob : public TaskJobBase {
       ws->reinsert.reserve(pop_batch_);
       // Watermarks scale with the pool: occupancy is global, and
       // pool_width workers drain up to width * cap labels per claim round.
+      // Measured mode re-derives them from the observed drain rate once a
+      // consult window of claim feedback exists; the static width-scaled
+      // marks remain the cold-start values.
       ws->controller = sched::BatchController(
           pop_batch_, adaptive_, /*high_watermark=*/0,
-          sched::BatchController::kDefaultConsultPeriod, pool_width);
+          sched::BatchController::kDefaultConsultPeriod, pool_width,
+          /*measured_watermarks=*/true);
     }
     // Topology-aware striping: when the engine placed workers into more
     // than one domain and the backend partitions into sub-queues, hand it
@@ -395,8 +425,12 @@ class RelaxedJob : public TaskJobBase {
     for (auto& ws : workers_) ws->handle.reset();
   }
 
-  bool run_slice(unsigned worker, std::uint32_t budget) override {
-    if (finished()) return false;
+  [[nodiscard]] std::uint32_t weight() const noexcept override {
+    return weight_;
+  }
+
+  SliceResult run_slice(unsigned worker, std::uint32_t budget) override {
+    if (finished()) return {};
     util::Timer slice_timer;  // slice latency -> this worker's stripe
     auto& ws = *workers_[worker];
     // First slice for this worker: open its session. Later slices reuse
@@ -559,7 +593,7 @@ class RelaxedJob : public TaskJobBase {
       }
       wm->current_claim.set(ws.controller.current());
     }
-    return progress;
+    return {iters, progress};
   }
 
  private:
@@ -611,6 +645,7 @@ class RelaxedJob : public TaskJobBase {
   std::uint32_t batch_;
   std::uint32_t pop_batch_;
   bool adaptive_;
+  std::uint32_t weight_;           // QoS tenant weight (clamped)
   unsigned numa_domains_;          // > 1 enables topology-aware striping
   const std::vector<unsigned>* worker_domains_;  // engine placement table
   unsigned pool_width_ = 0;        // set by activate()
@@ -637,10 +672,13 @@ class OwningRelaxedJob : public Job {
         job_(problem, pri, queue_, cfg) {}
 
   void activate(unsigned pool_width) override { job_.activate(pool_width); }
-  bool run_slice(unsigned worker, std::uint32_t budget) override {
+  SliceResult run_slice(unsigned worker, std::uint32_t budget) override {
     return job_.run_slice(worker, budget);
   }
   void retire() noexcept override { job_.retire(); }
+  [[nodiscard]] std::uint32_t weight() const noexcept override {
+    return job_.weight();
+  }
   [[nodiscard]] bool finished() const noexcept override {
     return job_.finished();
   }
@@ -674,10 +712,13 @@ class MonitoredRelaxedJob : public Job {
         job_(problem, pri, monitored_, cfg) {}
 
   void activate(unsigned pool_width) override { job_.activate(pool_width); }
-  bool run_slice(unsigned worker, std::uint32_t budget) override {
+  SliceResult run_slice(unsigned worker, std::uint32_t budget) override {
     return job_.run_slice(worker, budget);
   }
   void retire() noexcept override { job_.retire(); }
+  [[nodiscard]] std::uint32_t weight() const noexcept override {
+    return job_.weight();
+  }
   [[nodiscard]] bool finished() const noexcept override {
     return job_.finished();
   }
@@ -711,8 +752,16 @@ template <core::Problem P>
 class ExactJob : public TaskJobBase {
  public:
   ExactJob(P& problem, const graph::Priorities& pri,
-           const JobConfig& /*cfg*/ = {})
-      : TaskJobBase(problem.num_tasks()), problem_(&problem), pri_(&pri) {}
+           const JobConfig& cfg = {})
+      : TaskJobBase(problem.num_tasks()),
+        problem_(&problem),
+        pri_(&pri),
+        weight_(std::clamp<std::uint32_t>(cfg.weight, 1,
+                                          JobConfig::kMaxWeight)) {}
+
+  [[nodiscard]] std::uint32_t weight() const noexcept override {
+    return weight_;
+  }
 
   void activate(unsigned pool_width) override {
     // Load inside activation, after the timer reset in the base activate:
@@ -726,14 +775,15 @@ class ExactJob : public TaskJobBase {
     slots_ = std::vector<util::Padded<Slot>>(pool_width);
   }
 
-  bool run_slice(unsigned worker, std::uint32_t budget) override {
-    if (finished()) return false;
+  SliceResult run_slice(unsigned worker, std::uint32_t budget) override {
+    if (finished()) return {};
     util::Timer slice_timer;  // slice latency -> this worker's stripe
     auto& stats = *stats_[worker];
     auto& my_retired = *retired_[worker];
     auto& slot = *slots_[worker];
     bool progress = false;
-    for (std::uint32_t iters = 0; iters < budget;) {
+    std::uint32_t iters = 0;
+    while (iters < budget) {
       if (!slot.has_pending) {
         const auto label = queue_.try_dequeue();
         if (!label) break;  // drained; held tasks may still be in flight
@@ -765,7 +815,7 @@ class ExactJob : public TaskJobBase {
     ++stats.slices;
     stats.slice_latency_ns.record(
         static_cast<std::uint64_t>(slice_timer.seconds() * 1e9));
-    return progress;
+    return {iters, progress};
   }
 
  private:
@@ -779,6 +829,7 @@ class ExactJob : public TaskJobBase {
 
   P* problem_;
   const graph::Priorities* pri_;
+  std::uint32_t weight_;  // QoS tenant weight (clamped)
   sched::FaaArrayQueue<std::uint32_t> queue_;
   std::vector<util::Padded<Slot>> slots_;
 };

@@ -108,6 +108,21 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   }
   snap.jobs_submitted = jobs_submitted_.value();
   snap.jobs_completed = jobs_completed_.value();
+  const unsigned claimed = std::min<unsigned>(
+      qos_next_.load(std::memory_order_relaxed), kQosSlots);
+  snap.qos.reserve(claimed);
+  for (unsigned i = 0; i < claimed; ++i) {
+    const QosTenantMetrics& m = *qos_[i];
+    QosTenantSnapshot q;
+    q.job_id = m.job_id.value();
+    q.weight = m.weight.value();
+    q.grants = m.grants.value();
+    q.granted_iterations = m.granted_iterations.value();
+    q.used_iterations = m.used_iterations.value();
+    q.budget = m.budget.value();
+    q.deficit = m.deficit.value();
+    snap.qos.push_back(q);
+  }
   snap.server.requests_accepted = server_.requests_accepted.value();
   snap.server.requests_rejected = server_.requests_rejected.value();
   snap.server.requests_completed = server_.requests_completed.value();
@@ -195,6 +210,31 @@ std::string MetricsRegistry::to_prometheus() const {
                  snap.claim_size);
   prom_histogram(out, "relax_park_ns", "parked duration per park",
                  snap.park_ns);
+  // Per-tenant QoS ledger: emitted only when the governor ever claimed a
+  // slot, so pre-QoS scrapes keep their exact historical exposition.
+  if (!snap.qos.empty()) {
+    const auto qos_family = [&](const char* name, const char* help,
+                                const char* type, auto get) {
+      append(out, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, type);
+      for (const QosTenantSnapshot& q : snap.qos) {
+        append(out, "%s{job=\"%" PRIu64 "\",weight=\"%" PRIu64 "\"} %" PRIu64
+               "\n",
+               name, q.job_id, q.weight, get(q));
+      }
+    };
+    qos_family("relax_qos_grants_total", "slice budgets granted by the governor",
+               "counter", [](const QosTenantSnapshot& q) { return q.grants; });
+    qos_family("relax_qos_granted_iterations_total",
+               "sum of granted slice budgets (iterations)", "counter",
+               [](const QosTenantSnapshot& q) { return q.granted_iterations; });
+    qos_family("relax_qos_used_iterations_total",
+               "slice iterations actually consumed", "counter",
+               [](const QosTenantSnapshot& q) { return q.used_iterations; });
+    qos_family("relax_qos_budget", "most recent granted slice budget", "gauge",
+               [](const QosTenantSnapshot& q) { return q.budget; });
+    qos_family("relax_qos_deficit", "banked DRR credit after the last settle",
+               "gauge", [](const QosTenantSnapshot& q) { return q.deficit; });
+  }
   // Front-end request accounting: emitted only when the server layer ever
   // recorded, so engine-only users keep their exact historical exposition.
   if (snap.server.requests_accepted + snap.server.requests_rejected +
@@ -268,8 +308,19 @@ std::string MetricsRegistry::to_json() const {
   json_histogram(out, "slice_latency_ns", snap.slice_ns, true);
   json_histogram(out, "claim_size", snap.claim_size, true);
   json_histogram(out, "park_ns", snap.park_ns, false);
+  out += "}, \"qos\": [";
+  for (std::size_t i = 0; i < snap.qos.size(); ++i) {
+    const QosTenantSnapshot& q = snap.qos[i];
+    append(out,
+           "%s{\"job\": %" PRIu64 ", \"weight\": %" PRIu64
+           ", \"grants\": %" PRIu64 ", \"granted_iterations\": %" PRIu64
+           ", \"used_iterations\": %" PRIu64 ", \"budget\": %" PRIu64
+           ", \"deficit\": %" PRIu64 "}",
+           i ? ", " : "", q.job_id, q.weight, q.grants, q.granted_iterations,
+           q.used_iterations, q.budget, q.deficit);
+  }
   append(out,
-         "}, \"server\": {\"requests_accepted\": %" PRIu64
+         "], \"server\": {\"requests_accepted\": %" PRIu64
          ", \"requests_rejected\": %" PRIu64
          ", \"requests_completed\": %" PRIu64 ", \"request_errors\": %" PRIu64
          ", \"connections_opened\": %" PRIu64

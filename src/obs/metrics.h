@@ -126,6 +126,34 @@ struct ServerMetrics {
   AtomicHistogram request_latency_ns;  // accept -> completion callback
 };
 
+/// One tenant's QoS ledger (engine/qos.h writes, exporters read). Slots
+/// are claimed round-robin by QosGovernor::admit and deliberately survive
+/// job completion, so a post-run export still shows every tenant the run
+/// ever admitted — the CI loopback smoke greps these after shutdown.
+/// Multi-writer like ServerMetrics: any worker visiting the job records
+/// here. job_id/weight ride in Gauges (not raw integers) so the struct
+/// stays copyable for resize()'s vector::assign.
+struct QosTenantMetrics {
+  Gauge job_id;               // engine job id this slot currently describes
+  Gauge weight;               // tenant weight (1 = default)
+  Counter grants;             // slice budgets handed out
+  Counter granted_iterations; // sum of granted budgets
+  Counter used_iterations;    // sum of iterations actually consumed
+  Gauge budget;               // most recent granted budget
+  Gauge deficit;              // DRR credit after the last settle (saturated at 0)
+};
+
+/// Plain point-in-time copy of one QoS tenant slot.
+struct QosTenantSnapshot {
+  std::uint64_t job_id = 0;
+  std::uint64_t weight = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t granted_iterations = 0;
+  std::uint64_t used_iterations = 0;
+  std::uint64_t budget = 0;
+  std::uint64_t deficit = 0;
+};
+
 /// Plain point-in-time copy of the server block.
 struct ServerSnapshot {
   std::uint64_t requests_accepted = 0;
@@ -171,6 +199,7 @@ struct MetricsSnapshot {
   Histogram slice_ns;    // merged over workers
   Histogram claim_size;  // merged over workers
   Histogram park_ns;     // merged over workers
+  std::vector<QosTenantSnapshot> qos;  // claimed tenant slots, claim order
   ServerSnapshot server;
 };
 
@@ -186,6 +215,8 @@ class MetricsRegistry {
     jobs_submitted_ = Counter{};
     jobs_completed_ = Counter{};
     server_ = ServerMetrics{};
+    qos_.assign(kQosSlots, util::Padded<QosTenantMetrics>{});
+    qos_next_.store(0, std::memory_order_relaxed);
   }
 
   [[nodiscard]] unsigned width() const noexcept {
@@ -205,6 +236,28 @@ class MetricsRegistry {
   /// the epoll thread and reaping workers record concurrently.
   ServerMetrics& server() noexcept { return server_; }
 
+  /// Fixed pool of QoS tenant slots; engines with more than kQosSlots
+  /// concurrent-plus-historical tenants recycle the oldest slot (the
+  /// exporter then shows the most recent kQosSlots tenants, which is the
+  /// right monitoring behaviour for a long-lived server).
+  static constexpr unsigned kQosSlots = 32;
+
+  /// Claims (or recycles) a tenant slot and stamps its identity; counters
+  /// in a recycled slot restart from zero. Callers are serialized by the
+  /// engine's admission mutex; the atomic cursor keeps even unserialized
+  /// callers from sharing a slot.
+  QosTenantMetrics* claim_qos_slot(std::uint64_t job_id,
+                                   std::uint32_t weight) noexcept {
+    if (qos_.empty()) return nullptr;
+    const unsigned at =
+        qos_next_.fetch_add(1, std::memory_order_relaxed) % kQosSlots;
+    QosTenantMetrics& slot = *qos_[at];
+    slot = QosTenantMetrics{};
+    slot.job_id.set(job_id);
+    slot.weight.set(weight);
+    return &slot;
+  }
+
   /// Point-in-time copy, callable from any thread concurrently with
   /// recording (monitoring-consistent; see file header).
   [[nodiscard]] MetricsSnapshot snapshot() const;
@@ -223,6 +276,8 @@ class MetricsRegistry {
   Counter jobs_submitted_;
   Counter jobs_completed_;
   ServerMetrics server_;
+  std::vector<util::Padded<QosTenantMetrics>> qos_;
+  std::atomic<unsigned> qos_next_{0};
 };
 
 }  // namespace relax::obs

@@ -28,6 +28,21 @@
 // cap * W. Width 1 (the default) preserves the original single-executor
 // thresholds exactly.
 //
+// With measured_watermarks the static marks are only the COLD-START
+// values: each occupancy consult also closes a drain window — the labels
+// this worker's claims actually delivered since the previous consult,
+// over the wall time between them. EWMAs of the drain rate (labels/sec)
+// and the window duration give the expected per-window drain, and the
+// marks are re-derived from it: low = per-window drain * W ("the pool
+// clears everything visible within one consult window"), high = low *
+// kDefaultLoadFactor (unless an explicit high watermark was given, which
+// always wins). A worker claiming small batches against a slow scheduler
+// thus pins near-drain at a proportionally smaller backlog than the
+// static cap-derived guess, and a fast drainer keeps ramping where the
+// static marks would have pinned it. Idle or empty windows (nothing
+// delivered, or no time elapsed on a coarse clock) keep the previous
+// marks — the static fallback persists until there is real evidence.
+//
 // Between the two marks the claim-feedback ramp runs untouched. The
 // occupancy source is a policy value in the style of sampling.h's
 // count()/peek() policies:
@@ -41,6 +56,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -96,19 +112,28 @@ class BatchController {
   /// doubling ramp is pure latency — jump to the cap.
   static constexpr std::uint32_t kDefaultLoadFactor = 16;
 
+  /// Clock seam for the measured-watermark mode, injectable so tests can
+  /// drive windows deterministically; nullptr = steady_clock.
+  using NowFn = std::uint64_t (*)();
+
   BatchController() = default;
 
   /// cap: the largest claim ever issued (JobConfig::pop_batch). adaptive
   /// off degrades next_claim to the fixed cap and feedback to a no-op, so
   /// callers need no mode branches. high_watermark 0 derives
-  /// cap * kDefaultLoadFactor * num_workers. num_workers is the width of
-  /// the pool this controller's worker belongs to — both watermarks gate a
-  /// GLOBAL occupancy reading, so they scale with how much the whole pool
-  /// drains per claim round (see file header); 0 is treated as 1.
+  /// cap * kDefaultLoadFactor * num_workers (and, with measured_watermarks,
+  /// lets the drain-rate derivation replace both marks once a window of
+  /// evidence exists; a nonzero explicit high watermark always wins).
+  /// num_workers is the width of the pool this controller's worker belongs
+  /// to — both watermarks gate a GLOBAL occupancy reading, so they scale
+  /// with how much the whole pool drains per claim round (see file
+  /// header); 0 is treated as 1.
   explicit BatchController(std::uint32_t cap, bool adaptive,
                            std::uint64_t high_watermark = 0,
                            std::uint32_t consult_period = kDefaultConsultPeriod,
-                           std::uint32_t num_workers = 1)
+                           std::uint32_t num_workers = 1,
+                           bool measured_watermarks = false,
+                           NowFn now_ns = nullptr)
       : cap_(std::max<std::uint32_t>(cap, 1)),
         adaptive_(adaptive),
         high_(high_watermark != 0
@@ -118,7 +143,11 @@ class BatchController {
                         std::max<std::uint32_t>(num_workers, 1)),
         low_(static_cast<std::uint64_t>(std::max<std::uint32_t>(cap, 1)) *
              std::max<std::uint32_t>(num_workers, 1)),
-        consult_period_(std::max<std::uint32_t>(consult_period, 1)) {}
+        consult_period_(std::max<std::uint32_t>(consult_period, 1)),
+        width_(std::max<std::uint32_t>(num_workers, 1)),
+        measured_(measured_watermarks),
+        explicit_high_(high_watermark),
+        now_(now_ns) {}
 
   /// The claim size for the next scheduler touch. Consults `occupancy`
   /// every consult_period calls; an unknown occupancy (nullopt) leaves the
@@ -128,6 +157,7 @@ class BatchController {
     if (!adaptive_) return cap_;
     if (++touches_ >= consult_period_) {
       touches_ = 0;
+      if (measured_) consult_drain();
       if (const auto live = occupancy.size()) {
         if (*live >= high_) {
           if (k_ != cap_ || drain_pinned_) ++transitions_.backlog_jumps;
@@ -161,6 +191,9 @@ class BatchController {
   /// suppressed until a consult sees the backlog recover.
   void feedback(std::uint32_t asked, std::uint32_t got) {
     if (!adaptive_) return;
+    // Drain accounting for the measured-watermark window: every label the
+    // scheduler actually delivered, whatever the regime.
+    if (measured_) delivered_window_ += got;
     if (got < asked) {
       if (k_ != 1) ++transitions_.resets;
       k_ = 1;
@@ -183,7 +216,56 @@ class BatchController {
     return transitions_;
   }
 
+  /// The watermarks currently gating occupancy consults — the static
+  /// cold-start values until a measured window replaces them. Exposed for
+  /// stats/tests.
+  [[nodiscard]] std::uint64_t high_watermark() const noexcept { return high_; }
+  [[nodiscard]] std::uint64_t low_watermark() const noexcept { return low_; }
+
  private:
+  /// Closes one drain window (called at every occupancy consult in
+  /// measured mode) and re-derives the watermarks from the EWMA drain
+  /// rate. Windows with no deliveries or no elapsed time leave the marks
+  /// untouched — cold-start and idle phases keep the static fallback.
+  void consult_drain() {
+    const std::uint64_t now =
+        now_ != nullptr ? now_()
+                        : static_cast<std::uint64_t>(
+                              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  std::chrono::steady_clock::now()
+                                      .time_since_epoch())
+                                  .count());
+    const std::uint64_t delivered = delivered_window_;
+    delivered_window_ = 0;
+    if (!window_open_) {
+      window_open_ = true;
+      window_start_ = now;
+      return;
+    }
+    const std::uint64_t elapsed = now - window_start_;
+    window_start_ = now;
+    if (delivered == 0 || elapsed == 0) return;
+    // Drain rate this worker sustained over the window (labels/sec), and
+    // the window's duration, both EWMA-smoothed (alpha = 1/2) so one
+    // anomalous window cannot whipsaw the marks.
+    const double rate = static_cast<double>(delivered) * 1e9 /
+                        static_cast<double>(elapsed);
+    rate_ewma_ = rate_ewma_ == 0.0 ? rate : (rate_ewma_ + rate) / 2.0;
+    window_ns_ewma_ = window_ns_ewma_ == 0.0
+                          ? static_cast<double>(elapsed)
+                          : (window_ns_ewma_ + static_cast<double>(elapsed)) / 2.0;
+    // Expected labels the POOL clears per consult window: this worker's
+    // rate * window * width. That is the measured meaning of "one claim
+    // round across the pool could drain everything visible".
+    const double per_window = rate_ewma_ * window_ns_ewma_ / 1e9;
+    const auto low = static_cast<std::uint64_t>(
+        std::max(1.0, per_window * static_cast<double>(width_)));
+    low_ = low;
+    high_ = explicit_high_ != 0
+                ? explicit_high_
+                : std::max<std::uint64_t>(low + 1, low * kDefaultLoadFactor);
+  }
+
   std::uint32_t cap_ = 1;
   bool adaptive_ = false;
   std::uint64_t high_ = kDefaultLoadFactor;
@@ -193,6 +275,17 @@ class BatchController {
   std::uint32_t touches_ = 0;  // claims since the last occupancy consult
   bool drain_pinned_ = false;  // last consult saw near-drain: no ramping
   Transitions transitions_;    // regime-change tally for observability
+
+  // Measured-watermark state (all thread-local like the rest).
+  std::uint32_t width_ = 1;            // pool width the marks scale by
+  bool measured_ = false;              // re-derive marks from drain rate
+  std::uint64_t explicit_high_ = 0;    // caller-given high mark (wins)
+  NowFn now_ = nullptr;                // test clock seam
+  bool window_open_ = false;           // first consult only seeds the window
+  std::uint64_t window_start_ = 0;     // ns stamp of the open window
+  std::uint64_t delivered_window_ = 0; // labels delivered since then
+  double rate_ewma_ = 0.0;             // labels/sec (0 = unmeasured)
+  double window_ns_ewma_ = 0.0;        // consult window duration
 };
 
 }  // namespace relax::sched

@@ -107,6 +107,9 @@ void encode(const Request& msg, std::vector<std::uint8_t>& out) {
   put_u8(out, static_cast<std::uint8_t>(blen));
   out.insert(out.end(), msg.backend.begin(),
              msg.backend.begin() + static_cast<std::ptrdiff_t>(blen));
+  // Trailing v1 field (additive evolution): QoS weight. Always written by
+  // this encoder; absent in pre-weight frames, which decode as weight 1.
+  put_u32(out, msg.weight);
   end_frame(out, frame);
 }
 
@@ -146,6 +149,11 @@ std::optional<Request> decode_request(std::span<const std::uint8_t> payload) {
   msg.kind = static_cast<Kind>(kind);
   msg.audit = (flags & 0x01) != 0;
   msg.pop_batch_auto = (flags & 0x02) != 0;
+  // Trailing weight field: optional for compatibility with pre-weight
+  // encoders. Absent -> 1 (the historical per-job share), NOT 0 — an old
+  // client never asked for the server's default-weight override.
+  std::uint32_t weight = 0;
+  msg.weight = r.u32(weight) ? weight : 1;
   return msg;
 }
 

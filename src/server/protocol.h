@@ -73,6 +73,11 @@ struct Request {
   bool audit = false;            // run under the Definition 1 monitor
   std::uint64_t seed = 1;        // scheduler randomness (determinism knob)
   std::string backend;           // registry name; "" = server default
+  std::uint32_t weight = 0;      // QoS tenant weight, trailing v1 field:
+                                 // 0 = use the server's --default-weight;
+                                 // ABSENT on the wire (a pre-weight
+                                 // encoder) decodes as 1, so old clients
+                                 // keep their historical fixed share
 };
 
 /// One job completion (or rejection). Stats fields are meaningful only for

@@ -273,9 +273,19 @@ protocol::Status JobServer::admit_request(
                   "graph_id names no resident graph");
   const sched::BackendInfo* backend = nullptr;
   if (req.backend.empty()) {
-    backend = opts_.default_backend.empty()
-                  ? &sched::default_backend()
-                  : sched::find_backend(opts_.default_backend);
+    if (!opts_.backend_rotation.empty()) {
+      // Defaulted requests round-robin through the rotation (the
+      // --backend=mix multi-tenant pool); a request that names a backend
+      // bypasses it below.
+      const std::uint64_t at =
+          rotation_next_.fetch_add(1, std::memory_order_relaxed);
+      backend = sched::find_backend(
+          opts_.backend_rotation[at % opts_.backend_rotation.size()]);
+    } else {
+      backend = opts_.default_backend.empty()
+                    ? &sched::default_backend()
+                    : sched::find_backend(opts_.default_backend);
+    }
   } else {
     backend = sched::find_backend(req.backend);
   }
@@ -296,6 +306,11 @@ protocol::Status JobServer::admit_request(
     cfg.pop_batch_auto = req.pop_batch_auto;
   }
   cfg.monitor_relaxation = req.audit;
+  // QoS weight: 0 on the wire means "server default" (--default-weight);
+  // pre-weight clients decode as 1 and keep their historical share.
+  cfg.weight = std::clamp<std::uint32_t>(
+      req.weight == 0 ? opts_.default_weight : req.weight, 1,
+      engine::JobConfig::kMaxWeight);
 
   // Per-request problem storage, owned by the completion callback: the
   // engine is done with the job before the callback fires (CompletionFn

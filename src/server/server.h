@@ -89,6 +89,20 @@ struct ServerOptions {
   std::string default_backend;  // "" = registry default
   std::uint32_t default_pop_batch = 1;
   bool default_pop_batch_auto = false;
+  /// QoS weight applied when a request carries weight 0 ("use the server
+  /// default"). Requests that predate the weight field decode as 1 and
+  /// never take this value. Clamped to [1, JobConfig::kMaxWeight].
+  std::uint32_t default_weight = 1;
+
+  /// Backend rotation for requests that name no backend. Empty keeps the
+  /// historical behaviour (every defaulted request runs default_backend);
+  /// nonempty makes defaulted requests round-robin through these registry
+  /// names — `relax_server --backend=mix` fills it with the whole
+  /// registry, turning one server into a deliberately heterogeneous
+  /// multi-tenant pool (the QoS governor's cost normalization is what
+  /// keeps such a mix comparable). Requests that *name* a backend bypass
+  /// the rotation entirely.
+  std::vector<std::string> backend_rotation;
 
   /// Resident data, generated at startup.
   std::vector<GraphSpec> graphs = {GraphSpec{}};
@@ -214,6 +228,10 @@ class JobServer {
   std::atomic<bool> stop_{false};
   std::unordered_map<std::uint64_t, Connection> conns_;
   std::uint64_t next_conn_id_ = 2;  // 0 = listen sentinel, 1 = wake sentinel
+  /// Round-robin cursor into opts_.backend_rotation. Atomic because
+  /// submit_local may be driven from several caller threads, unlike the
+  /// single epoll thread.
+  std::atomic<std::uint64_t> rotation_next_{0};
 
   // Last member: destroyed first, draining in-flight jobs while the
   // channel above still exists.

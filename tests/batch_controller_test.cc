@@ -196,6 +196,120 @@ TEST(BatchController, ZeroCapIsClampedToOne) {
   EXPECT_EQ(fixed.next_claim(NoOccupancy{}), 1u);
 }
 
+/// Deterministic clock for the measured-watermark legs: tests advance it
+/// by hand between consults.
+std::uint64_t g_fake_now = 0;
+std::uint64_t fake_now() { return g_fake_now; }
+
+TEST(BatchController, MeasuredModeColdStartKeepsStaticMarks) {
+  g_fake_now = 0;
+  BatchController ctl(64, /*adaptive=*/true, /*high_watermark=*/0,
+                      /*consult_period=*/1, /*num_workers=*/1,
+                      /*measured_watermarks=*/true, &fake_now);
+  // Static width-1 defaults until a window of evidence exists.
+  EXPECT_EQ(ctl.high_watermark(), 64u * 16u);
+  EXPECT_EQ(ctl.low_watermark(), 64u);
+  // Consults with nothing delivered (first one only seeds the window, the
+  // rest close empty windows): the static fallback persists.
+  for (int i = 0; i < 3; ++i) {
+    g_fake_now += 1'000'000'000;
+    (void)ctl.next_claim(FakeOccupancy{std::nullopt});
+  }
+  EXPECT_EQ(ctl.high_watermark(), 64u * 16u);
+  EXPECT_EQ(ctl.low_watermark(), 64u);
+}
+
+TEST(BatchController, MeasuredMarksDeriveFromDrainRate) {
+  g_fake_now = 0;
+  BatchController ctl(64, /*adaptive=*/true, /*high_watermark=*/0,
+                      /*consult_period=*/1, /*num_workers=*/1,
+                      /*measured_watermarks=*/true, &fake_now);
+  (void)ctl.next_claim(FakeOccupancy{std::nullopt});  // seeds the window
+  // 100 labels over 1s: the pool clears ~100 labels per consult window,
+  // so low = 100 and high = 16 * low.
+  ctl.feedback(100, 100);
+  g_fake_now += 1'000'000'000;
+  (void)ctl.next_claim(FakeOccupancy{std::nullopt});
+  EXPECT_EQ(ctl.low_watermark(), 100u);
+  EXPECT_EQ(ctl.high_watermark(), 1600u);
+  // A faster window: 300 labels over the next second. EWMA (alpha = 1/2)
+  // of the rate gives (100 + 300) / 2 = 200 labels per window.
+  ctl.feedback(300, 300);
+  g_fake_now += 1'000'000'000;
+  (void)ctl.next_claim(FakeOccupancy{std::nullopt});
+  EXPECT_EQ(ctl.low_watermark(), 200u);
+  EXPECT_EQ(ctl.high_watermark(), 3200u);
+}
+
+TEST(BatchController, MeasuredMarksScaleWithPoolWidth) {
+  g_fake_now = 0;
+  BatchController ctl(64, /*adaptive=*/true, /*high_watermark=*/0,
+                      /*consult_period=*/1, /*num_workers=*/4,
+                      /*measured_watermarks=*/true, &fake_now);
+  (void)ctl.next_claim(FakeOccupancy{std::nullopt});
+  // One worker drains 100/window; the marks gate a GLOBAL occupancy
+  // reading, so the pool-wide low mark is 4x that.
+  ctl.feedback(100, 100);
+  g_fake_now += 1'000'000'000;
+  (void)ctl.next_claim(FakeOccupancy{std::nullopt});
+  EXPECT_EQ(ctl.low_watermark(), 400u);
+  EXPECT_EQ(ctl.high_watermark(), 6400u);
+}
+
+TEST(BatchController, ExplicitHighWatermarkSurvivesMeasuredDerivation) {
+  g_fake_now = 0;
+  BatchController ctl(64, /*adaptive=*/true, /*high_watermark=*/5000,
+                      /*consult_period=*/1, /*num_workers=*/1,
+                      /*measured_watermarks=*/true, &fake_now);
+  (void)ctl.next_claim(FakeOccupancy{std::nullopt});
+  ctl.feedback(100, 100);
+  g_fake_now += 1'000'000'000;
+  (void)ctl.next_claim(FakeOccupancy{std::nullopt});
+  // The low mark follows the measurement; the caller's high mark wins.
+  EXPECT_EQ(ctl.low_watermark(), 100u);
+  EXPECT_EQ(ctl.high_watermark(), 5000u);
+}
+
+TEST(BatchController, IdleMeasuredWindowKeepsPriorMarks) {
+  g_fake_now = 0;
+  BatchController ctl(64, /*adaptive=*/true, /*high_watermark=*/0,
+                      /*consult_period=*/1, /*num_workers=*/1,
+                      /*measured_watermarks=*/true, &fake_now);
+  (void)ctl.next_claim(FakeOccupancy{std::nullopt});
+  ctl.feedback(100, 100);
+  g_fake_now += 1'000'000'000;
+  (void)ctl.next_claim(FakeOccupancy{std::nullopt});
+  ASSERT_EQ(ctl.low_watermark(), 100u);
+  // An idle window (nothing delivered) and a zero-elapsed window (coarse
+  // clock) both leave the measured marks standing.
+  g_fake_now += 1'000'000'000;
+  (void)ctl.next_claim(FakeOccupancy{std::nullopt});
+  ctl.feedback(50, 50);
+  (void)ctl.next_claim(FakeOccupancy{std::nullopt});  // elapsed == 0
+  EXPECT_EQ(ctl.low_watermark(), 100u);
+  EXPECT_EQ(ctl.high_watermark(), 1600u);
+}
+
+TEST(BatchController, MeasuredMarksGateTheRegimeSwitches) {
+  g_fake_now = 0;
+  BatchController ctl(64, /*adaptive=*/true, /*high_watermark=*/0,
+                      /*consult_period=*/1, /*num_workers=*/1,
+                      /*measured_watermarks=*/true, &fake_now);
+  (void)ctl.next_claim(FakeOccupancy{std::nullopt});
+  ctl.feedback(100, 100);
+  g_fake_now += 1'000'000'000;
+  (void)ctl.next_claim(FakeOccupancy{std::nullopt});
+  ASSERT_EQ(ctl.low_watermark(), 100u);
+  ASSERT_EQ(ctl.high_watermark(), 1600u);
+  // The derived marks now drive the same jump/pin rules the static ones
+  // did: occupancy 1600 jumps to the cap, 100 pins single pops — both far
+  // from the static thresholds (1024 / 64) a cap-derived guess would use.
+  g_fake_now += 1'000'000'000;
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{1600}), 64u);
+  g_fake_now += 1'000'000'000;
+  EXPECT_EQ(ctl.next_claim(FakeOccupancy{100}), 1u);
+}
+
 TEST(QueueOccupancy, ReportsBackendSizeWhenPresent) {
   struct WithSize {
     [[nodiscard]] std::size_t size() const { return 7; }

@@ -277,6 +277,42 @@ TEST(EngineBackend, ExplicitRelaxationKIsHonoured) {
   EXPECT_LT(stats.max_rank_error, 3u);
 }
 
+// Weighted co-runs over real framework jobs: QoS weights reshape slice
+// budgets (the heavy tenant is granted larger slices under contention),
+// and the determinism property must be completely insensitive to that —
+// the decided outcome depends only on pi, never on slice boundaries.
+TEST(EngineBackend, WeightedJobsStayDeterministic) {
+  const MisFixture fix(2000, 12000);
+  SchedulingEngine eng(engine_opts(2, 3));
+  std::vector<std::unique_ptr<algorithms::AtomicMisProblem>> problems;
+  std::vector<JobTicket> tickets;
+  const std::uint32_t weights[] = {1, 2, 8};
+  for (std::size_t i = 0; i < 3; ++i) {
+    problems.push_back(
+        std::make_unique<algorithms::AtomicMisProblem>(fix.g, fix.pri));
+    JobConfig cfg;
+    cfg.seed = 81 + i;
+    cfg.weight = weights[i];
+    tickets.push_back(eng.submit_relaxed_backend(
+        *problems.back(), fix.pri, "multiqueue-c2", cfg));
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    SCOPED_TRACE(std::string("weight: ") + std::to_string(weights[i]));
+    const auto stats = tickets[i].wait();
+    EXPECT_EQ(problems[i]->result(), fix.expected);
+    EXPECT_EQ(stats.processed + stats.dead_skips, fix.g.num_vertices());
+  }
+  // Out-of-range weights clamp at admission rather than distorting the
+  // governor's aggregate weight: a solo max-weight job still just runs.
+  algorithms::AtomicMisProblem solo(fix.g, fix.pri);
+  JobConfig cfg;
+  cfg.seed = 91;
+  cfg.weight = JobConfig::kMaxWeight;
+  (void)eng.submit_relaxed_backend(solo, fix.pri, "multiqueue-c2", cfg)
+      .wait();
+  EXPECT_EQ(solo.result(), fix.expected);
+}
+
 TEST(EngineBackend, UnknownBackendNameThrowsWithValidList) {
   const MisFixture fix(100, 300);
   SchedulingEngine eng(engine_opts(1, 1));

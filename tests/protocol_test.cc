@@ -94,8 +94,13 @@ TEST(Protocol, DecodersRejectTruncatedPayloads) {
   std::vector<std::uint8_t> wire;
   protocol::encode(sample_request(protocol::Kind::kMis), wire);
   const auto payload = payload_of(wire);
-  // Every strict prefix must be rejected, never mis-decoded.
-  for (std::size_t len = 0; len < payload.size(); ++len)
+  // Every prefix cut inside the MANDATORY fields must be rejected, never
+  // mis-decoded. The trailing weight field is optional by design (additive
+  // evolution — see OldFormatRequestDecodesWithWeightOne), so the rejection
+  // sweep stops where the mandatory layout ends.
+  ASSERT_GT(payload.size(), 4u);
+  const std::size_t mandatory = payload.size() - 4;  // sans trailing weight
+  for (std::size_t len = 0; len < mandatory; ++len)
     EXPECT_FALSE(protocol::decode_request(payload.subspan(0, len)))
         << "prefix of " << len << " bytes decoded";
 
@@ -125,24 +130,72 @@ TEST(Protocol, DecodersRejectGarbageAndWrongHeader) {
   bad = std::vector<std::uint8_t>(wire.begin() + 4, wire.end());
   bad[2] = 99;
   EXPECT_FALSE(protocol::decode_request(bad));
-  // Declared backend length running past the payload end.
+  // Declared backend length running past the payload end (offset 28 is
+  // the backend_len byte, docs/PROTOCOL.md).
   bad = std::vector<std::uint8_t>(wire.begin() + 4, wire.end());
-  bad[bad.size() - sample_request(protocol::Kind::kMis).backend.size() - 1] =
-      255;
+  bad[28] = 255;
   EXPECT_FALSE(protocol::decode_request(bad));
+}
+
+TEST(Protocol, RequestRoundTripPreservesWeight) {
+  protocol::Request req = sample_request(protocol::Kind::kMis);
+  req.weight = 7;
+  std::vector<std::uint8_t> wire;
+  protocol::encode(req, wire);
+  const auto got = protocol::decode_request(payload_of(wire));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->weight, 7u);
+
+  // Weight 0 ("use the server default") survives the trip too — it is a
+  // PRESENT zero, distinct from the absent-field case below.
+  req.weight = 0;
+  wire.clear();
+  protocol::encode(req, wire);
+  const auto got0 = protocol::decode_request(payload_of(wire));
+  ASSERT_TRUE(got0.has_value());
+  EXPECT_EQ(got0->weight, 0u);
+}
+
+TEST(Protocol, OldFormatRequestDecodesWithWeightOne) {
+  // A pre-weight client's payload ends right after the backend string.
+  // It must decode, and with weight 1 (the historical equal share) — not
+  // 0, which would opt the old client into the server's default-weight
+  // override it never asked for.
+  std::vector<std::uint8_t> wire;
+  protocol::encode(sample_request(protocol::Kind::kMis), wire);
+  const auto payload = payload_of(wire);
+  const auto old_format = payload.subspan(0, payload.size() - 4);
+  const auto got = protocol::decode_request(old_format);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->weight, 1u);
+  EXPECT_EQ(got->backend, "multiqueue-c4");
+  EXPECT_EQ(got->id, sample_request(protocol::Kind::kMis).id);
+
+  // A partially-present weight field (1–3 trailing bytes) also decodes
+  // as absent: the optional tail is all-or-nothing by byte count.
+  for (std::size_t cut = 1; cut < 4; ++cut) {
+    const auto partial = payload.subspan(0, payload.size() - cut);
+    const auto p = protocol::decode_request(partial);
+    ASSERT_TRUE(p.has_value()) << "cut " << cut;
+    EXPECT_EQ(p->weight, 1u) << "cut " << cut;
+  }
 }
 
 TEST(Protocol, DecodersIgnoreTrailingBytes) {
   // Additive evolution: a same-version payload with appended fields still
-  // decodes on an old reader.
+  // decodes on an old reader — including fields appended AFTER the weight,
+  // which must itself still be read from its own position.
+  protocol::Request req = sample_request(protocol::Kind::kColoring);
+  req.weight = 3;
   std::vector<std::uint8_t> wire;
-  protocol::encode(sample_request(protocol::Kind::kColoring), wire);
+  protocol::encode(req, wire);
   std::vector<std::uint8_t> extended(wire.begin() + 4, wire.end());
   extended.insert(extended.end(), {1, 2, 3, 4, 5, 6, 7, 8});
   const auto got = protocol::decode_request(extended);
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->kind, protocol::Kind::kColoring);
   EXPECT_EQ(got->backend, "multiqueue-c4");
+  EXPECT_EQ(got->weight, 3u);
 }
 
 TEST(Protocol, FrameReaderReassemblesByteByByte) {

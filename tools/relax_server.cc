@@ -40,9 +40,15 @@ namespace {
       "  --inflight=<n>           jobs multiplexed at once (default 4)\n"
       "  --pending=<n>            admission queue bound; overflow is\n"
       "                           answered BUSY (default 64)\n"
-      "  --backend=<name>         default scheduler backend for requests\n"
+      "  --backend=<name>|mix     default scheduler backend for requests\n"
       "                           that don't name one (default: registry\n"
-      "                           default)\n"
+      "                           default); 'mix' rotates defaulted\n"
+      "                           requests round-robin through the whole\n"
+      "                           registry — a heterogeneous multi-tenant\n"
+      "                           pool\n"
+      "  --default-weight=<w>     QoS weight for requests that send\n"
+      "                           weight 0; old clients without the field\n"
+      "                           stay at weight 1 (default 1, max 1024)\n"
       "  --pop-batch=<k>|auto[:max]\n"
       "                           default labels per scheduler touch;\n"
       "                           'auto' adapts per worker up to max\n"
@@ -92,18 +98,31 @@ int main(int argc, char** argv) {
 
   const std::string backend_flag = cli.get_string("backend", "");
   if (!backend_flag.empty()) {
-    if (backend_flag == "mix")
-      usage_and_exit(
-          "--backend=mix is an in-process rotation (examples/job_server); "
-          "network clients pick per request");
-    if (relax::sched::find_backend(backend_flag) == nullptr) {
+    if (backend_flag == "mix") {
+      // Server-side rotation: defaulted requests cycle through the whole
+      // registry, one heterogeneous multi-tenant pool (the QoS governor
+      // keeps the mix fair). Requests that name a backend still win.
+      for (const auto* info : relax::server::cli::resolve_backends("mix"))
+        opts.backend_rotation.push_back(std::string(info->name));
+    } else if (relax::sched::find_backend(backend_flag) == nullptr) {
       std::fprintf(stderr, "unknown --backend '%s'; valid: %s\n",
                    backend_flag.c_str(),
                    relax::sched::backend_names().c_str());
       return 2;
+    } else {
+      opts.default_backend = backend_flag;
     }
-    opts.default_backend = backend_flag;
   }
+
+  const std::int64_t default_weight = cli.get_int("default-weight", 1);
+  if (default_weight < 1 ||
+      default_weight >
+          static_cast<std::int64_t>(relax::engine::JobConfig::kMaxWeight)) {
+    std::fprintf(stderr, "--default-weight must be in [1, %u]\n",
+                 relax::engine::JobConfig::kMaxWeight);
+    return 2;
+  }
+  opts.default_weight = static_cast<std::uint32_t>(default_weight);
 
   const auto pb =
       relax::server::cli::parse_pop_batch(cli.get_string("pop-batch", "1"));
@@ -142,10 +161,15 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
 
-  std::printf("relax_server: %u workers, %zu resident graphs, backend %s\n",
-              server->engine().width(), server->num_graphs(),
-              backend_flag.empty() ? "(registry default)"
-                                   : backend_flag.c_str());
+  std::printf(
+      "relax_server: %u workers, %zu resident graphs, backend %s, "
+      "default weight %u\n",
+      server->engine().width(), server->num_graphs(),
+      backend_flag.empty()
+          ? "(registry default)"
+          : (backend_flag == "mix" ? "mix (registry rotation)"
+                                   : backend_flag.c_str()),
+      static_cast<unsigned>(default_weight));
   std::printf("listening on %s:%u\n",
               cli.get_string("host", "127.0.0.1").c_str(),
               static_cast<unsigned>(server->port()));

@@ -87,6 +87,11 @@ using relax::graph::Graph;
   --k=<relaxation>         relaxation factor (seq-relaxed,
                            and kbounded-family backends)    [8]
   --seed=<s>               permutation + scheduler seed     [1]
+  --weight=<w>             QoS tenant weight for the submitted job
+                           (engine/qos.h). A one-shot run owns the pool,
+                           so it always gets the full slice budget; the
+                           flag matters when comparing against server-side
+                           multi-tenant runs with the same config  [1]
   --verify=0|1             check against sequential output  [1]
   --metrics=<path|->       dump engine telemetry after the run: per-worker
                            counters + slice/claim/park histograms with
@@ -235,6 +240,15 @@ relax::core::ParallelOptions parallel_opts(
   if (cli.has("k"))
     opts.relaxation_k = static_cast<std::uint32_t>(cli.get_int("k", 0));
   opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::int64_t weight = cli.get_int("weight", 1);
+  if (weight < 1 ||
+      weight >
+          static_cast<std::int64_t>(relax::engine::JobConfig::kMaxWeight)) {
+    std::fprintf(stderr, "error: --weight must be in [1, %u]\n\n",
+                 relax::engine::JobConfig::kMaxWeight);
+    std::exit(2);
+  }
+  opts.weight = static_cast<std::uint32_t>(weight);
   const std::string numa_value = cli.get_string("numa", "off");
   const auto spec = relax::util::TopologySpec::parse(numa_value);
   if (!spec) {
